@@ -1,0 +1,196 @@
+//! The Capacity-based baseline ([9] in the paper).
+//!
+//! This is how the paper characterises BOINC's own dispatch, and more
+//! generally classic load-balancing allocation: the mediator sends a query to
+//! the capable providers that currently have the most spare capacity,
+//! ignoring everybody's interests. It is excellent at balancing load and at
+//! keeping response times low in captive environments, which is exactly why
+//! the paper uses it as the performance yardstick — and it is oblivious to
+//! participant satisfaction, which is why it sheds volunteers in autonomous
+//! environments.
+//!
+//! Ranking criterion: ascending *relative* utilization (`utilization /
+//! capacity`), so a powerful provider with some backlog can still beat a weak
+//! idle one — this mirrors BOINC's preference for hosts with more spare
+//! computing power.
+
+use sbqa_core::allocator::{
+    AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator,
+};
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
+
+use crate::{baseline_decision, DEFAULT_CONSIDERATION};
+
+/// Capacity-based allocator: least relative utilization first.
+#[derive(Debug, Clone)]
+pub struct CapacityAllocator {
+    /// Number of providers reported as "considered" for satisfaction
+    /// accounting (the technique's analogue of `Kn`).
+    consideration: usize,
+}
+
+impl Default for CapacityAllocator {
+    fn default() -> Self {
+        Self {
+            consideration: DEFAULT_CONSIDERATION,
+        }
+    }
+}
+
+impl CapacityAllocator {
+    /// Creates a capacity-based allocator with the default consideration
+    /// window.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides how many providers are reported as considered per mediation.
+    #[must_use]
+    pub fn with_consideration(mut self, consideration: usize) -> Self {
+        self.consideration = consideration.max(1);
+        self
+    }
+
+    fn relative_utilization(snapshot: &ProviderSnapshot) -> f64 {
+        if snapshot.capacity > 0.0 {
+            snapshot.utilization / snapshot.capacity
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl QueryAllocator for CapacityAllocator {
+    fn name(&self) -> &'static str {
+        "Capacity"
+    }
+
+    fn allocate(
+        &mut self,
+        query: &Query,
+        candidates: &[ProviderSnapshot],
+        oracle: &dyn IntentionOracle,
+        _satisfaction: &SatisfactionRegistry,
+    ) -> SbqaResult<AllocationDecision> {
+        if candidates.is_empty() {
+            return Err(SbqaError::NoProviderOnline { query: query.id });
+        }
+
+        let mut ranked: Vec<ProviderSnapshot> = candidates.to_vec();
+        ranked.sort_by(|a, b| {
+            Self::relative_utilization(a)
+                .partial_cmp(&Self::relative_utilization(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+
+        let selected: Vec<ProviderId> = ranked
+            .iter()
+            .take(query.replication.min(ranked.len()))
+            .map(|s| s.id)
+            .collect();
+        let considered_len = self
+            .consideration
+            .max(selected.len())
+            .min(ranked.len());
+        let considered = &ranked[..considered_len];
+
+        Ok(baseline_decision(query, considered, &selected, oracle, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::allocator::StaticIntentions;
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
+
+    fn query(replication: usize) -> Query {
+        Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0))
+            .replication(replication)
+            .build()
+    }
+
+    fn snapshot(id: u64, utilization: f64, capacity: f64) -> ProviderSnapshot {
+        ProviderSnapshot {
+            id: ProviderId::new(id),
+            capabilities: CapabilitySet::ALL,
+            capacity,
+            utilization,
+            queue_length: 0,
+            online: true,
+        }
+    }
+
+    #[test]
+    fn selects_least_relatively_utilized_providers() {
+        let mut alloc = CapacityAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let candidates = vec![
+            snapshot(1, 8.0, 1.0),  // relative 8.0
+            snapshot(2, 8.0, 10.0), // relative 0.8
+            snapshot(3, 0.5, 1.0),  // relative 0.5
+        ];
+        let decision = alloc
+            .allocate(&query(2), &candidates, &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(
+            decision.selected,
+            vec![ProviderId::new(3), ProviderId::new(2)]
+        );
+    }
+
+    #[test]
+    fn powerful_busy_provider_beats_weak_idle_one_only_when_relative_load_is_lower() {
+        let mut alloc = CapacityAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        // Provider 1: utilization 2 over capacity 10 -> 0.2.
+        // Provider 2: utilization 1 over capacity 1  -> 1.0.
+        let candidates = vec![snapshot(1, 2.0, 10.0), snapshot(2, 1.0, 1.0)];
+        let decision = alloc
+            .allocate(&query(1), &candidates, &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.selected, vec![ProviderId::new(1)]);
+    }
+
+    #[test]
+    fn consideration_window_bounds_proposals() {
+        let mut alloc = CapacityAllocator::new().with_consideration(2);
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let candidates: Vec<ProviderSnapshot> =
+            (0..10).map(|i| snapshot(i, i as f64, 1.0)).collect();
+        let decision = alloc
+            .allocate(&query(1), &candidates, &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.proposals.len(), 2);
+        assert_eq!(decision.selected.len(), 1);
+
+        // Replication larger than the consideration window still reports every
+        // selected provider as considered.
+        let decision = alloc
+            .allocate(&query(5), &candidates, &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.selected.len(), 5);
+        assert_eq!(decision.proposals.len(), 5);
+    }
+
+    #[test]
+    fn empty_candidates_error() {
+        let mut alloc = CapacityAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        assert!(alloc
+            .allocate(&query(1), &[], &oracle, &satisfaction)
+            .is_err());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(CapacityAllocator::new().name(), "Capacity");
+    }
+}

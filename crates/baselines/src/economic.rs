@@ -1,0 +1,237 @@
+//! The economic baseline ([13] in the paper — Mariposa-style bidding).
+//!
+//! In Mariposa, queries carry budgets and providers *bid* for the right to
+//! execute query fragments; the broker buys the cheapest acceptable bids.
+//! For query allocation purposes (which is how the SbQA paper uses it as a
+//! baseline) the essential behaviour is:
+//!
+//! * each capable provider quotes a **price** for the query, increasing with
+//!   the work the query represents on that provider *and* with the backlog
+//!   the provider already has (busy providers are expensive providers);
+//! * the mediator allocates the query to the `q.n` cheapest bids.
+//!
+//! Like the capacity baseline, the technique ignores participants' interests;
+//! unlike it, the price signal favours *fast* providers (high capacity) even
+//! when they already have some backlog, which concentrates work on
+//! well-provisioned providers — the behaviour the satisfaction analysis of
+//! Scenario 1 is designed to expose.
+
+use sbqa_core::allocator::{
+    AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator,
+};
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
+
+use crate::{baseline_decision, DEFAULT_CONSIDERATION};
+
+/// Economic (bidding) allocator: cheapest bid wins.
+#[derive(Debug, Clone)]
+pub struct EconomicAllocator {
+    /// Weight of the provider's existing backlog in its price. A provider's
+    /// bid is `service_time + backlog_weight · current_backlog`.
+    backlog_weight: f64,
+    /// Number of providers reported as "considered" for satisfaction
+    /// accounting.
+    consideration: usize,
+}
+
+impl Default for EconomicAllocator {
+    fn default() -> Self {
+        Self {
+            backlog_weight: 1.0,
+            consideration: DEFAULT_CONSIDERATION,
+        }
+    }
+}
+
+impl EconomicAllocator {
+    /// Creates an economic allocator with default pricing.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the weight of existing backlog in a provider's bid.
+    #[must_use]
+    pub fn with_backlog_weight(mut self, weight: f64) -> Self {
+        self.backlog_weight = if weight.is_finite() && weight >= 0.0 {
+            weight
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Overrides how many providers are reported as considered per mediation.
+    #[must_use]
+    pub fn with_consideration(mut self, consideration: usize) -> Self {
+        self.consideration = consideration.max(1);
+        self
+    }
+
+    /// The bid a provider quotes for a query: the virtual time it would take
+    /// to deliver the result (queueing plus service), which is also a natural
+    /// monetary proxy in the Mariposa model.
+    #[must_use]
+    pub fn bid(&self, snapshot: &ProviderSnapshot, query: &Query) -> f64 {
+        let service = query.service_time(snapshot.capacity).seconds();
+        let backlog = snapshot.utilization.max(0.0);
+        service + self.backlog_weight * backlog
+    }
+}
+
+impl QueryAllocator for EconomicAllocator {
+    fn name(&self) -> &'static str {
+        "Economic"
+    }
+
+    fn allocate(
+        &mut self,
+        query: &Query,
+        candidates: &[ProviderSnapshot],
+        oracle: &dyn IntentionOracle,
+        _satisfaction: &SatisfactionRegistry,
+    ) -> SbqaResult<AllocationDecision> {
+        if candidates.is_empty() {
+            return Err(SbqaError::NoProviderOnline { query: query.id });
+        }
+
+        let mut bids: Vec<(ProviderSnapshot, f64)> = candidates
+            .iter()
+            .map(|snapshot| (*snapshot, self.bid(snapshot, query)))
+            .collect();
+        bids.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.id.cmp(&b.0.id))
+        });
+
+        let selected: Vec<ProviderId> = bids
+            .iter()
+            .take(query.replication.min(bids.len()))
+            .map(|(s, _)| s.id)
+            .collect();
+
+        let considered_len = self.consideration.max(selected.len()).min(bids.len());
+        let considered: Vec<ProviderSnapshot> =
+            bids[..considered_len].iter().map(|(s, _)| *s).collect();
+        // Report the (negated) bid as the technique's score so that higher
+        // is better, consistent with the other techniques' score columns.
+        let scores: Vec<(ProviderId, f64)> = bids
+            .iter()
+            .take(considered_len)
+            .map(|(s, bid)| (s.id, -bid))
+            .collect();
+
+        Ok(baseline_decision(
+            query,
+            &considered,
+            &selected,
+            oracle,
+            Some(&scores),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::allocator::StaticIntentions;
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
+
+    fn query(replication: usize, work: f64) -> Query {
+        Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0))
+            .replication(replication)
+            .work_units(work)
+            .build()
+    }
+
+    fn snapshot(id: u64, utilization: f64, capacity: f64) -> ProviderSnapshot {
+        ProviderSnapshot {
+            id: ProviderId::new(id),
+            capabilities: CapabilitySet::ALL,
+            capacity,
+            utilization,
+            queue_length: 0,
+            online: true,
+        }
+    }
+
+    #[test]
+    fn bid_combines_service_time_and_backlog() {
+        let alloc = EconomicAllocator::new();
+        let q = query(1, 10.0);
+        // Capacity 2 -> service 5s, backlog 3s -> bid 8.
+        assert!((alloc.bid(&snapshot(1, 3.0, 2.0), &q) - 8.0).abs() < 1e-12);
+        // Zero backlog weight ignores backlog.
+        let alloc = EconomicAllocator::new().with_backlog_weight(0.0);
+        assert!((alloc.bid(&snapshot(1, 3.0, 2.0), &q) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheapest_bids_win() {
+        let mut alloc = EconomicAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let candidates = vec![
+            snapshot(1, 0.0, 1.0),  // bid 10
+            snapshot(2, 0.0, 10.0), // bid 1
+            snapshot(3, 0.5, 5.0),  // bid 2.5
+        ];
+        let decision = alloc
+            .allocate(&query(2, 10.0), &candidates, &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(
+            decision.selected,
+            vec![ProviderId::new(2), ProviderId::new(3)]
+        );
+        // Scores are negated bids: the winner has the highest score.
+        let winner_score = decision
+            .proposals
+            .iter()
+            .find(|p| p.provider == ProviderId::new(2))
+            .unwrap()
+            .score
+            .unwrap();
+        let loser_score = decision
+            .proposals
+            .iter()
+            .find(|p| p.provider == ProviderId::new(1))
+            .map(|p| p.score.unwrap_or(f64::NEG_INFINITY));
+        if let Some(loser_score) = loser_score {
+            assert!(winner_score > loser_score);
+        }
+    }
+
+    #[test]
+    fn fast_providers_attract_work_even_with_backlog() {
+        // The crossover the satisfaction analysis cares about: a 10x-capacity
+        // provider with a small backlog still underbids an idle slow one.
+        let mut alloc = EconomicAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let candidates = vec![snapshot(1, 0.0, 1.0), snapshot(2, 0.5, 10.0)];
+        let decision = alloc
+            .allocate(&query(1, 10.0), &candidates, &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.selected, vec![ProviderId::new(2)]);
+    }
+
+    #[test]
+    fn degenerate_backlog_weight_is_sanitised() {
+        let alloc = EconomicAllocator::new().with_backlog_weight(f64::NAN);
+        let q = query(1, 1.0);
+        assert!(alloc.bid(&snapshot(1, 1.0, 1.0), &q).is_finite());
+    }
+
+    #[test]
+    fn empty_candidates_error_and_name() {
+        let mut alloc = EconomicAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        assert!(alloc
+            .allocate(&query(1, 1.0), &[], &oracle, &satisfaction)
+            .is_err());
+        assert_eq!(alloc.name(), "Economic");
+    }
+}

@@ -1,0 +1,134 @@
+//! # sbqa-baselines
+//!
+//! Baseline query-allocation techniques used by the paper's evaluation
+//! scenarios, all implementing the same
+//! [`QueryAllocator`](sbqa_core::QueryAllocator) trait as SbQA so that the
+//! scenario harnesses can swap them freely:
+//!
+//! * [`CapacityAllocator`] — the paper's "Capacity based" baseline ([9]),
+//!   equivalent to how BOINC dispatches work: queries go to the
+//!   least-utilized capable providers; participants' interests are ignored.
+//! * [`EconomicAllocator`] — the economic baseline ([13], Mariposa): each
+//!   provider bids a price derived from its load and capacity, the lowest
+//!   bids win.
+//! * [`RandomAllocator`], [`RoundRobinAllocator`], [`LoadBasedAllocator`] —
+//!   sanity baselines (uniform random, cyclic, shortest-queue-first) used by
+//!   tests and ablations.
+//!
+//! Even though these techniques ignore intentions when *deciding*, they still
+//! report, for every mediation, which providers they considered and what
+//! everybody's intentions were — that is what lets the satisfaction model
+//! analyse them (Scenario 1: "the proposed satisfaction model allows
+//! analyzing different query allocation techniques no matter their query
+//! allocation principle").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod economic;
+pub mod factory;
+pub mod load_based;
+pub mod random_alloc;
+pub mod round_robin;
+
+pub use capacity::CapacityAllocator;
+pub use economic::EconomicAllocator;
+pub use factory::build_allocator;
+pub use load_based::LoadBasedAllocator;
+pub use random_alloc::RandomAllocator;
+pub use round_robin::RoundRobinAllocator;
+
+use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProposalRecord, ProviderSnapshot};
+use sbqa_types::{ProviderId, Query};
+
+/// Builds an [`AllocationDecision`] for a baseline technique.
+///
+/// `considered` is the subset of providers the technique examined closely
+/// (its analogue of SbQA's `Kn`), `selected` the winners among them. The
+/// function resolves both sides' intentions through the oracle so that the
+/// satisfaction model can judge the technique, even though the technique
+/// itself ignored those intentions.
+pub(crate) fn baseline_decision(
+    query: &Query,
+    considered: &[ProviderSnapshot],
+    selected: &[ProviderId],
+    oracle: &dyn IntentionOracle,
+    scores: Option<&[(ProviderId, f64)]>,
+) -> AllocationDecision {
+    let proposals: Vec<ProposalRecord> = considered
+        .iter()
+        .map(|snapshot| {
+            let score = scores.and_then(|s| {
+                s.iter()
+                    .find(|(id, _)| *id == snapshot.id)
+                    .map(|(_, value)| *value)
+            });
+            ProposalRecord {
+                provider: snapshot.id,
+                provider_intention: oracle.provider_intention(snapshot.id, query),
+                consumer_intention: oracle.consumer_intention(query, snapshot.id),
+                score,
+                selected: selected.contains(&snapshot.id),
+            }
+        })
+        .collect();
+    AllocationDecision {
+        selected: selected.to_vec(),
+        proposals,
+        omega: None,
+    }
+}
+
+/// How many providers a baseline reports as "considered" for satisfaction
+/// purposes when it does not have a natural candidate-shortlist size of its
+/// own. Matches the default `kn` of SbQA so that proposal-driven
+/// dissatisfaction is comparable across techniques.
+pub(crate) const DEFAULT_CONSIDERATION: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::allocator::StaticIntentions;
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, Intention, QueryId};
+
+    #[test]
+    fn baseline_decision_resolves_intentions_for_all_considered() {
+        let query = Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0)).build();
+        let considered: Vec<ProviderSnapshot> = (0..3)
+            .map(|i| ProviderSnapshot::idle(ProviderId::new(i), CapabilitySet::ALL, 1.0))
+            .collect();
+        let mut oracle = StaticIntentions::new();
+        oracle.set_consumer_intention(ProviderId::new(1), Intention::new(0.7));
+        oracle.set_provider_intention(ProviderId::new(2), Intention::new(-0.4));
+
+        let decision = baseline_decision(
+            &query,
+            &considered,
+            &[ProviderId::new(1)],
+            &oracle,
+            Some(&[(ProviderId::new(1), 0.9)]),
+        );
+        assert_eq!(decision.selected, vec![ProviderId::new(1)]);
+        assert_eq!(decision.proposals.len(), 3);
+        assert!(decision.omega.is_none());
+
+        let p1 = decision
+            .proposals
+            .iter()
+            .find(|p| p.provider == ProviderId::new(1))
+            .unwrap();
+        assert!(p1.selected);
+        assert_eq!(p1.consumer_intention, Intention::new(0.7));
+        assert_eq!(p1.score, Some(0.9));
+
+        let p2 = decision
+            .proposals
+            .iter()
+            .find(|p| p.provider == ProviderId::new(2))
+            .unwrap();
+        assert!(!p2.selected);
+        assert_eq!(p2.provider_intention, Intention::new(-0.4));
+        assert_eq!(p2.score, None);
+    }
+}

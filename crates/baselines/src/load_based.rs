@@ -1,0 +1,161 @@
+//! Shortest-queue-first allocation.
+//!
+//! A pure load-based baseline that ranks by *absolute* backlog (queue length,
+//! then utilization), ignoring provider capacity. Contrasting it with the
+//! capacity baseline isolates the effect of capacity-awareness on response
+//! times, and it is the natural "join the shortest queue" strawman for the
+//! ablation benches.
+
+use sbqa_core::allocator::{
+    AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator,
+};
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
+
+use crate::{baseline_decision, DEFAULT_CONSIDERATION};
+
+/// Shortest-queue-first allocator.
+#[derive(Debug, Clone)]
+pub struct LoadBasedAllocator {
+    consideration: usize,
+}
+
+impl Default for LoadBasedAllocator {
+    fn default() -> Self {
+        Self {
+            consideration: DEFAULT_CONSIDERATION,
+        }
+    }
+}
+
+impl LoadBasedAllocator {
+    /// Creates a shortest-queue-first allocator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides how many providers are reported as considered per mediation.
+    #[must_use]
+    pub fn with_consideration(mut self, consideration: usize) -> Self {
+        self.consideration = consideration.max(1);
+        self
+    }
+}
+
+impl QueryAllocator for LoadBasedAllocator {
+    fn name(&self) -> &'static str {
+        "LoadBased"
+    }
+
+    fn allocate(
+        &mut self,
+        query: &Query,
+        candidates: &[ProviderSnapshot],
+        oracle: &dyn IntentionOracle,
+        _satisfaction: &SatisfactionRegistry,
+    ) -> SbqaResult<AllocationDecision> {
+        if candidates.is_empty() {
+            return Err(SbqaError::NoProviderOnline { query: query.id });
+        }
+        let mut ranked: Vec<ProviderSnapshot> = candidates.to_vec();
+        ranked.sort_by(|a, b| {
+            a.queue_length
+                .cmp(&b.queue_length)
+                .then_with(|| {
+                    a.utilization
+                        .partial_cmp(&b.utilization)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        let selected: Vec<ProviderId> = ranked
+            .iter()
+            .take(query.replication.min(ranked.len()))
+            .map(|s| s.id)
+            .collect();
+        let considered_len = self.consideration.max(selected.len()).min(ranked.len());
+        Ok(baseline_decision(
+            query,
+            &ranked[..considered_len],
+            &selected,
+            oracle,
+            None,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::allocator::StaticIntentions;
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
+
+    fn query(replication: usize) -> Query {
+        Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0))
+            .replication(replication)
+            .build()
+    }
+
+    fn snapshot(id: u64, queue: usize, utilization: f64) -> ProviderSnapshot {
+        ProviderSnapshot {
+            id: ProviderId::new(id),
+            capabilities: CapabilitySet::ALL,
+            capacity: 1.0,
+            utilization,
+            queue_length: queue,
+            online: true,
+        }
+    }
+
+    #[test]
+    fn shortest_queue_wins() {
+        let mut alloc = LoadBasedAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let candidates = vec![snapshot(1, 5, 5.0), snapshot(2, 0, 0.0), snapshot(3, 2, 2.0)];
+        let decision = alloc
+            .allocate(&query(2), &candidates, &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(
+            decision.selected,
+            vec![ProviderId::new(2), ProviderId::new(3)]
+        );
+    }
+
+    #[test]
+    fn utilization_breaks_queue_ties() {
+        let mut alloc = LoadBasedAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let candidates = vec![snapshot(1, 1, 9.0), snapshot(2, 1, 0.5)];
+        let decision = alloc
+            .allocate(&query(1), &candidates, &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.selected, vec![ProviderId::new(2)]);
+    }
+
+    #[test]
+    fn consideration_bounds_proposals() {
+        let mut alloc = LoadBasedAllocator::new().with_consideration(3);
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let candidates: Vec<ProviderSnapshot> =
+            (0..10).map(|i| snapshot(i, i as usize, i as f64)).collect();
+        let decision = alloc
+            .allocate(&query(1), &candidates, &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.proposals.len(), 3);
+    }
+
+    #[test]
+    fn empty_candidates_error_and_name() {
+        let mut alloc = LoadBasedAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        assert!(alloc
+            .allocate(&query(1), &[], &oracle, &satisfaction)
+            .is_err());
+        assert_eq!(alloc.name(), "LoadBased");
+    }
+}

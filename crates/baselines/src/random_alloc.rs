@@ -1,0 +1,147 @@
+//! Uniformly random allocation.
+//!
+//! Not a technique from the paper, but a useful sanity baseline: it ignores
+//! both load and interests, so any technique worth its salt should beat it on
+//! response time, and its satisfaction profile shows what "pure chance"
+//! fairness looks like.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sbqa_core::allocator::{
+    AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator,
+};
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
+
+use crate::baseline_decision;
+
+/// Random allocator: `q.n` providers drawn uniformly without replacement.
+#[derive(Debug, Clone)]
+pub struct RandomAllocator {
+    rng: ChaCha8Rng,
+}
+
+impl RandomAllocator {
+    /// Creates a random allocator with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl QueryAllocator for RandomAllocator {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn allocate(
+        &mut self,
+        query: &Query,
+        candidates: &[ProviderSnapshot],
+        oracle: &dyn IntentionOracle,
+        _satisfaction: &SatisfactionRegistry,
+    ) -> SbqaResult<AllocationDecision> {
+        if candidates.is_empty() {
+            return Err(SbqaError::NoProviderOnline { query: query.id });
+        }
+        let mut pool: Vec<ProviderSnapshot> = candidates.to_vec();
+        pool.shuffle(&mut self.rng);
+        pool.truncate(query.replication.min(candidates.len()));
+        let selected: Vec<ProviderId> = pool.iter().map(|s| s.id).collect();
+        Ok(baseline_decision(query, &pool, &selected, oracle, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::allocator::StaticIntentions;
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
+
+    fn query(replication: usize) -> Query {
+        Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0))
+            .replication(replication)
+            .build()
+    }
+
+    fn candidates(n: u64) -> Vec<ProviderSnapshot> {
+        (0..n)
+            .map(|i| ProviderSnapshot::idle(ProviderId::new(i), CapabilitySet::ALL, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn selects_exactly_replication_distinct_providers() {
+        let mut alloc = RandomAllocator::new(1);
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let decision = alloc
+            .allocate(&query(3), &candidates(10), &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.selected.len(), 3);
+        let mut ids: Vec<u64> = decision.selected.iter().map(|p| p.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn replication_larger_than_population_selects_everyone() {
+        let mut alloc = RandomAllocator::new(1);
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let decision = alloc
+            .allocate(&query(10), &candidates(3), &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.selected.len(), 3);
+    }
+
+    #[test]
+    fn same_seed_reproduces_choices() {
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let run = |seed: u64| {
+            let mut alloc = RandomAllocator::new(seed);
+            (0..20)
+                .map(|_| {
+                    alloc
+                        .allocate(&query(1), &candidates(10), &oracle, &satisfaction)
+                        .unwrap()
+                        .selected[0]
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn spreads_selections_over_the_population() {
+        let mut alloc = RandomAllocator::new(9);
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let d = alloc
+                .allocate(&query(1), &candidates(10), &oracle, &satisfaction)
+                .unwrap();
+            seen.insert(d.selected[0].raw());
+        }
+        assert!(seen.len() >= 8);
+    }
+
+    #[test]
+    fn empty_candidates_error_and_name() {
+        let mut alloc = RandomAllocator::new(0);
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        assert!(alloc
+            .allocate(&query(1), &[], &oracle, &satisfaction)
+            .is_err());
+        assert_eq!(alloc.name(), "Random");
+    }
+}

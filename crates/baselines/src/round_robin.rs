@@ -1,0 +1,144 @@
+//! Round-robin allocation.
+//!
+//! A deterministic sanity baseline: providers take turns in id order,
+//! regardless of load or interests. Perfectly even in query *counts*, blind
+//! to provider heterogeneity (a slow volunteer receives as much work as a
+//! fast one), which makes it a useful contrast for the load-balance metrics.
+
+use sbqa_core::allocator::{
+    AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator,
+};
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
+
+use crate::baseline_decision;
+
+/// Round-robin allocator: cycles through capable providers in id order.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinAllocator {
+    cursor: u64,
+}
+
+impl RoundRobinAllocator {
+    /// Creates a round-robin allocator starting at the first provider.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl QueryAllocator for RoundRobinAllocator {
+    fn name(&self) -> &'static str {
+        "RoundRobin"
+    }
+
+    fn allocate(
+        &mut self,
+        query: &Query,
+        candidates: &[ProviderSnapshot],
+        oracle: &dyn IntentionOracle,
+        _satisfaction: &SatisfactionRegistry,
+    ) -> SbqaResult<AllocationDecision> {
+        if candidates.is_empty() {
+            return Err(SbqaError::NoProviderOnline { query: query.id });
+        }
+        let mut ordered: Vec<ProviderSnapshot> = candidates.to_vec();
+        ordered.sort_by_key(|s| s.id);
+
+        let count = query.replication.min(ordered.len());
+        let start = (self.cursor as usize) % ordered.len();
+        let mut selected_snapshots: Vec<ProviderSnapshot> = Vec::with_capacity(count);
+        for offset in 0..count {
+            selected_snapshots.push(ordered[(start + offset) % ordered.len()]);
+        }
+        self.cursor = self.cursor.wrapping_add(count as u64);
+
+        let selected: Vec<ProviderId> = selected_snapshots.iter().map(|s| s.id).collect();
+        Ok(baseline_decision(
+            query,
+            &selected_snapshots,
+            &selected,
+            oracle,
+            None,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::allocator::StaticIntentions;
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
+
+    fn query(id: u64, replication: usize) -> Query {
+        Query::builder(QueryId::new(id), ConsumerId::new(1), Capability::new(0))
+            .replication(replication)
+            .build()
+    }
+
+    fn candidates(n: u64) -> Vec<ProviderSnapshot> {
+        (0..n)
+            .map(|i| ProviderSnapshot::idle(ProviderId::new(i), CapabilitySet::ALL, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn cycles_through_providers_in_order() {
+        let mut alloc = RoundRobinAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let picks: Vec<u64> = (0..6)
+            .map(|i| {
+                alloc
+                    .allocate(&query(i, 1), &candidates(3), &oracle, &satisfaction)
+                    .unwrap()
+                    .selected[0]
+                    .raw()
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn replication_wraps_around_the_ring() {
+        let mut alloc = RoundRobinAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let decision = alloc
+            .allocate(&query(1, 2), &candidates(3), &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(
+            decision.selected,
+            vec![ProviderId::new(0), ProviderId::new(1)]
+        );
+        let decision = alloc
+            .allocate(&query(2, 2), &candidates(3), &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(
+            decision.selected,
+            vec![ProviderId::new(2), ProviderId::new(0)]
+        );
+    }
+
+    #[test]
+    fn over_replication_is_capped_at_population() {
+        let mut alloc = RoundRobinAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let decision = alloc
+            .allocate(&query(1, 9), &candidates(3), &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.selected.len(), 3);
+    }
+
+    #[test]
+    fn empty_candidates_error_and_name() {
+        let mut alloc = RoundRobinAllocator::new();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        assert!(alloc
+            .allocate(&query(1, 1), &[], &oracle, &satisfaction)
+            .is_err());
+        assert_eq!(alloc.name(), "RoundRobin");
+    }
+}

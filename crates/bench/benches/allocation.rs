@@ -1,0 +1,90 @@
+//! Micro-benchmark: end-to-end cost of one allocation decision for every
+//! technique, on identical candidate sets.
+//!
+//! This is the per-query overhead a mediator pays for being interest-aware:
+//! SbQA consults the oracle `2·kn` times and scores/ranks, the baselines just
+//! sort. The series over `|Pq|` shows how each technique scales with the
+//! provider population.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sbqa_baselines::build_allocator;
+use sbqa_core::allocator::{ProviderSnapshot, StaticIntentions};
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{
+    AllocationPolicyKind, Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query,
+    QueryId, SystemConfig,
+};
+
+fn candidates(n: usize) -> Vec<ProviderSnapshot> {
+    (0..n)
+        .map(|i| ProviderSnapshot {
+            id: ProviderId::new(i as u64),
+            capabilities: CapabilitySet::ALL,
+            capacity: 1.0 + (i % 4) as f64,
+            utilization: (i % 13) as f64 * 0.5,
+            queue_length: i % 7,
+            online: true,
+        })
+        .collect()
+}
+
+fn query(replication: usize) -> Query {
+    Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0))
+        .replication(replication)
+        .work_units(1.0)
+        .build()
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation_decision");
+    let config = SystemConfig::default();
+    let satisfaction = SatisfactionRegistry::new(config.satisfaction_window);
+    let oracle = StaticIntentions::new()
+        .with_defaults(Intention::new(0.4), Intention::new(0.3));
+
+    for kind in AllocationPolicyKind::paper_policies() {
+        for size in [50usize, 200, 1000] {
+            let pool = candidates(size);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), size),
+                &pool,
+                |b, pool| {
+                    let mut allocator = build_allocator(kind, &config, 42).unwrap();
+                    let q = query(2);
+                    b.iter(|| {
+                        allocator
+                            .allocate(black_box(&q), black_box(pool), &oracle, &satisfaction)
+                            .unwrap()
+                    });
+                },
+            );
+        }
+    }
+
+    // SbQA sensitivity to kn: the intention-gathering and scoring work grows
+    // linearly with kn, the KnBest shuffle with |Pq|.
+    for kn in [2usize, 4, 16, 64] {
+        let pool = candidates(1000);
+        let config = SystemConfig::default().with_knbest(kn.max(20), kn);
+        group.bench_with_input(
+            BenchmarkId::new("SbQA_by_kn", kn),
+            &pool,
+            |b, pool| {
+                let mut allocator =
+                    build_allocator(AllocationPolicyKind::SbQA, &config, 42).unwrap();
+                let q = query(2);
+                b.iter(|| {
+                    allocator
+                        .allocate(black_box(&q), black_box(pool), &oracle, &satisfaction)
+                        .unwrap()
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

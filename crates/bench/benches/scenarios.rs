@@ -1,0 +1,56 @@
+//! Macro-benchmark: wall-clock cost of simulating the paper's scenarios at a
+//! reduced scale, one measurement per scenario family.
+//!
+//! These are *not* the experiments themselves (run the `scenarioN` binaries
+//! for those); they track the cost of the experiment harness so that
+//! regressions in the simulator or the allocators show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sbqa_boinc::{Scenario, ScenarioId};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_simulation");
+    group.sample_size(10);
+
+    // One captive comparison (S3) and one autonomous comparison (S4), at a
+    // reduced scale so a bench run stays in seconds.
+    for id in [ScenarioId::S3, ScenarioId::S4] {
+        group.bench_with_input(
+            BenchmarkId::new("quick", format!("scenario{}", id.number())),
+            &id,
+            |b, id| {
+                b.iter(|| {
+                    Scenario::sized(*id, 30, 60.0, 8.0)
+                        .run()
+                        .expect("scenario runs")
+                });
+            },
+        );
+    }
+
+    // A single-technique run to isolate simulator cost from comparison cost.
+    group.bench_function("single_run/sbqa_40_volunteers", |b| {
+        b.iter(|| {
+            let scenario = Scenario::sized(ScenarioId::S1, 40, 60.0, 8.0);
+            let population = sbqa_boinc::BoincPopulation::generate(&scenario.population);
+            let allocator = sbqa_baselines::build_allocator(
+                sbqa_types::AllocationPolicyKind::SbQA,
+                &scenario.sim.system,
+                scenario.sim.seed,
+            )
+            .unwrap();
+            sbqa_sim::SimulationBuilder::new(scenario.sim.clone())
+                .allocator(allocator)
+                .consumers(population.consumers.iter().cloned())
+                .providers(population.providers.iter().cloned())
+                .run()
+                .expect("simulation runs")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmark: cost of one SQLB score evaluation (Definition 3) and of
+//! the ω resolution (Equation 2). These sit on the mediation hot path — SbQA
+//! evaluates them `kn` times per query — so their cost bounds the mediation
+//! throughput reported in the allocation bench.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sbqa_core::scoring::{provider_score, resolve_omega};
+use sbqa_types::{Intention, OmegaPolicy, Satisfaction};
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring");
+
+    group.bench_function("provider_score/both_positive", |b| {
+        b.iter(|| {
+            provider_score(
+                black_box(Intention::new(0.7)),
+                black_box(Intention::new(0.4)),
+                black_box(0.6),
+                black_box(1.0),
+            )
+        });
+    });
+
+    group.bench_function("provider_score/negative_branch", |b| {
+        b.iter(|| {
+            provider_score(
+                black_box(Intention::new(-0.7)),
+                black_box(Intention::new(0.4)),
+                black_box(0.6),
+                black_box(1.0),
+            )
+        });
+    });
+
+    group.bench_function("resolve_omega/adaptive", |b| {
+        b.iter(|| {
+            resolve_omega(
+                black_box(OmegaPolicy::Adaptive),
+                black_box(Satisfaction::new(0.8)),
+                black_box(Satisfaction::new(0.3)),
+            )
+        });
+    });
+
+    group.bench_function("score_batch/kn=16", |b| {
+        let intentions: Vec<(Intention, Intention)> = (0..16)
+            .map(|i| {
+                (
+                    Intention::new((i as f64) / 16.0 - 0.5),
+                    Intention::new(0.5 - (i as f64) / 32.0),
+                )
+            })
+            .collect();
+        b.iter(|| {
+            intentions
+                .iter()
+                .map(|(pi, ci)| provider_score(*pi, *ci, black_box(0.5), 1.0))
+                .sum::<f64>()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

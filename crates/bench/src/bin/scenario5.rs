@@ -1,0 +1,10 @@
+//! Scenario 5 harness binary — see `sbqa_bench` crate docs for the flags.
+
+use std::process::ExitCode;
+
+use sbqa_bench::scenario_main;
+use sbqa_boinc::ScenarioId;
+
+fn main() -> ExitCode {
+    scenario_main(ScenarioId::S5)
+}

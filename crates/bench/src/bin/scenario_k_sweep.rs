@@ -1,0 +1,84 @@
+//! Ablation: sensitivity of SbQA to the satisfaction-window length `k`.
+//!
+//! The paper assumes every participant remembers its last `k` interactions
+//! but does not study the effect of `k`. This binary runs the Scenario 4
+//! setting (autonomous BOINC population, SbQA) with
+//! `k ∈ {5, 10, 25, 50, 100, 250}` and reports how satisfaction, departures
+//! and response times react: a very small window makes satisfaction — and
+//! therefore ω and the departure decisions — noisy, a very large one makes
+//! them sluggish.
+//!
+//! Flags are the same as the scenario binaries (`--quick`, `--volunteers`,
+//! `--duration`, `--arrival`, `--seed`, `--csv`).
+
+use std::process::ExitCode;
+
+use sbqa_bench::HarnessOptions;
+use sbqa_boinc::{BoincPopulation, ScenarioId};
+use sbqa_core::SbqaAllocator;
+use sbqa_metrics::Table;
+use sbqa_sim::SimulationBuilder;
+
+fn main() -> ExitCode {
+    let options = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = options.scenario(ScenarioId::S4);
+    let population = BoincPopulation::generate(&scenario.population);
+
+    let mut table = Table::new(
+        "Satisfaction-window (k) sweep — Scenario 4 setting, SbQA",
+        &[
+            "k",
+            "consumer sat",
+            "provider sat",
+            "providers kept",
+            "capacity kept",
+            "mean resp (s)",
+            "completed",
+        ],
+    );
+
+    for k in [5usize, 10, 25, 50, 100, 250] {
+        let system = scenario.sim.system.clone().with_window(k);
+        let sim = scenario.sim.clone().with_system(system.clone());
+        let allocator = match SbqaAllocator::new(system, sim.seed) {
+            Ok(allocator) => allocator,
+            Err(err) => {
+                eprintln!("invalid configuration for k = {k}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match SimulationBuilder::new(sim)
+            .allocator(Box::new(allocator))
+            .consumers(population.consumers.iter().cloned())
+            .providers(population.providers.iter().cloned())
+            .run()
+        {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("simulation failed for k = {k}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        table.add_row(&[
+            k.to_string(),
+            Table::num(report.final_consumer_satisfaction()),
+            Table::num(report.final_provider_satisfaction()),
+            format!(
+                "{}/{}",
+                report.participants.final_providers, report.participants.initial_providers
+            ),
+            Table::num(report.capacity_retention),
+            Table::num(report.response.mean()),
+            report.response.completed().to_string(),
+        ]);
+    }
+
+    println!("{table}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,244 @@
+//! The "play a BOINC participant" scenario support (Scenario 7).
+//!
+//! In the demo, people in the audience set their own preferences and watch
+//! how the different mediations treat them. The programmatic equivalent is an
+//! [`InteractiveParticipant`]: a single scripted consumer or provider with
+//! explicit preferences, injected into an otherwise ordinary population. The
+//! scenario then reports how well each mediation served *that* participant —
+//! the paper's claim being that only the SQLB mediation (used by SbQA) lets
+//! it reach its objectives regardless of what those objectives are.
+
+use serde::{Deserialize, Serialize};
+
+use sbqa_core::intention::{
+    ConsumerIntentionStrategy, ConsumerProfile, ProviderIntentionStrategy, ProviderProfile,
+};
+use sbqa_sim::{ConsumerSpec, ProviderSpec, SimulationReport};
+use sbqa_types::{Capability, CapabilitySet, ConsumerId, Intention, ProviderId};
+
+use crate::population::BoincPopulation;
+use crate::project::Project;
+
+/// Which side of the market the scripted participant plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InteractiveRole {
+    /// The participant is a volunteer (provider).
+    Provider,
+    /// The participant is a project (consumer).
+    Consumer,
+}
+
+/// A scripted participant with explicit preferences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractiveParticipant {
+    /// Which side it plays.
+    pub role: InteractiveRole,
+    /// Identity it will use inside the simulation.
+    pub id: u64,
+    /// Preferences towards the three projects (for a provider) — project
+    /// consumer-id to intention.
+    pub project_preferences: Vec<(ConsumerId, Intention)>,
+    /// Capacity donated (providers only).
+    pub capacity: f64,
+    /// Query arrival rate (consumers only).
+    pub arrival_rate: f64,
+}
+
+impl InteractiveParticipant {
+    /// A volunteer that only wants to work for one specific project and
+    /// refuses everything else — the sharpest objective a demo attendee can
+    /// set, and the one load-oblivious baselines serve worst.
+    #[must_use]
+    pub fn devoted_volunteer(id: u64, beloved_project: ConsumerId, others: &[ConsumerId]) -> Self {
+        let mut prefs = vec![(beloved_project, Intention::MAX)];
+        for other in others {
+            if *other != beloved_project {
+                prefs.push((*other, Intention::MIN));
+            }
+        }
+        Self {
+            role: InteractiveRole::Provider,
+            id,
+            project_preferences: prefs,
+            capacity: 2.0,
+            arrival_rate: 0.0,
+        }
+    }
+
+    /// A project that only trusts one specific volunteer population segment
+    /// is modelled more simply as a consumer with strong default distrust;
+    /// its objective is to get its queries answered by providers it rates
+    /// highly.
+    #[must_use]
+    pub fn picky_project(id: u64, arrival_rate: f64) -> Self {
+        Self {
+            role: InteractiveRole::Consumer,
+            id,
+            project_preferences: Vec::new(),
+            capacity: 0.0,
+            arrival_rate,
+        }
+    }
+
+    /// The provider id this participant uses (providers only).
+    #[must_use]
+    pub fn provider_id(&self) -> ProviderId {
+        ProviderId::new(self.id)
+    }
+
+    /// The consumer id this participant uses (consumers only).
+    #[must_use]
+    pub fn consumer_id(&self) -> ConsumerId {
+        ConsumerId::new(self.id)
+    }
+
+    /// Injects the participant into a generated population.
+    ///
+    /// Providers are appended to the volunteer list with a *pure preference*
+    /// intention strategy (their stated objective is exactly their
+    /// preference, un-blended with load); consumers are appended as an extra
+    /// project-like query source with a neutral reputation profile.
+    pub fn inject(&self, population: &mut BoincPopulation) {
+        match self.role {
+            InteractiveRole::Provider => {
+                let mut profile =
+                    ProviderProfile::new(ProviderIntentionStrategy::Preference, Intention::MIN);
+                for (project, preference) in &self.project_preferences {
+                    profile.set_consumer_preference(*project, *preference);
+                }
+                let capabilities: CapabilitySet = population
+                    .projects
+                    .iter()
+                    .map(|p| p.capability)
+                    .collect();
+                population.providers.push(ProviderSpec::new(
+                    self.provider_id(),
+                    capabilities,
+                    self.capacity,
+                    profile,
+                ));
+            }
+            InteractiveRole::Consumer => {
+                let capability = population
+                    .projects
+                    .first()
+                    .map_or(Capability::new(0), |p| p.capability);
+                let profile = ConsumerProfile::new(
+                    ConsumerIntentionStrategy::Preference,
+                    Intention::new(0.2),
+                );
+                population.consumers.push(ConsumerSpec::new(
+                    self.consumer_id(),
+                    capability,
+                    self.arrival_rate,
+                    Project::demo(self.consumer_id(), crate::project::ProjectKind::Normal, capability)
+                        .mean_work_units,
+                    1,
+                    profile,
+                ));
+            }
+        }
+    }
+
+    /// Reads this participant's final satisfaction out of a simulation
+    /// report. `None` means the participant departed before the end (which,
+    /// for the purposes of Scenario 7, is the strongest possible failure of
+    /// the mediation).
+    #[must_use]
+    pub fn satisfaction_in(&self, report: &SimulationReport) -> Option<f64> {
+        match self.role {
+            InteractiveRole::Provider => report.provider_satisfaction_of(self.provider_id()),
+            InteractiveRole::Consumer => report.consumer_satisfaction_of(self.consumer_id()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+
+    #[test]
+    fn devoted_volunteer_loves_one_project_and_rejects_the_rest() {
+        let participant = InteractiveParticipant::devoted_volunteer(
+            9_999,
+            ConsumerId::new(2),
+            &[ConsumerId::new(0), ConsumerId::new(1), ConsumerId::new(2)],
+        );
+        assert_eq!(participant.role, InteractiveRole::Provider);
+        assert_eq!(participant.project_preferences.len(), 3);
+        assert_eq!(participant.project_preferences[0], (ConsumerId::new(2), Intention::MAX));
+        assert!(participant
+            .project_preferences
+            .iter()
+            .filter(|(id, _)| *id != ConsumerId::new(2))
+            .all(|(_, i)| *i == Intention::MIN));
+    }
+
+    #[test]
+    fn injection_appends_the_right_kind_of_participant() {
+        let mut population = BoincPopulation::generate(
+            &PopulationConfig::default().with_volunteers(10),
+        );
+        let providers_before = population.providers.len();
+        let consumers_before = population.consumers.len();
+
+        let volunteer = InteractiveParticipant::devoted_volunteer(
+            9_999,
+            population.projects[2].id,
+            &population.projects.iter().map(|p| p.id).collect::<Vec<_>>(),
+        );
+        volunteer.inject(&mut population);
+        assert_eq!(population.providers.len(), providers_before + 1);
+        let injected = population.providers.last().unwrap();
+        assert_eq!(injected.id, ProviderId::new(9_999));
+        // The injected volunteer can serve every project.
+        for project in &population.projects {
+            assert!(injected.capabilities.contains(project.capability));
+        }
+
+        let project = InteractiveParticipant::picky_project(8_888, 2.0);
+        project.inject(&mut population);
+        assert_eq!(population.consumers.len(), consumers_before + 1);
+        assert_eq!(population.consumers.last().unwrap().id, ConsumerId::new(8_888));
+    }
+
+    #[test]
+    fn satisfaction_lookup_dispatches_on_role() {
+        let mut population = BoincPopulation::generate(
+            &PopulationConfig::default().with_volunteers(5),
+        );
+        let volunteer = InteractiveParticipant::devoted_volunteer(
+            9_999,
+            population.projects[0].id,
+            &population.projects.iter().map(|p| p.id).collect::<Vec<_>>(),
+        );
+        volunteer.inject(&mut population);
+
+        // Build a fake report with that provider present.
+        use sbqa_metrics::ResponseTimeStats;
+        use sbqa_satisfaction::SatisfactionAnalysis;
+        let report = SimulationReport {
+            technique: "SbQA".into(),
+            duration: 1.0,
+            seed: 0,
+            queries_issued: 0,
+            response: ResponseTimeStats::new(),
+            satisfaction: SatisfactionAnalysis::new("SbQA"),
+            queries_per_provider: vec![],
+            provider_capacities: vec![],
+            participants: Default::default(),
+            capacity_retention: 1.0,
+            series: vec![],
+            consumer_final_satisfaction: vec![],
+            provider_final_satisfaction: vec![(ProviderId::new(9_999), 0.7)],
+        };
+        assert_eq!(volunteer.satisfaction_in(&report), Some(0.7));
+        let absent = InteractiveParticipant::devoted_volunteer(
+            1_234,
+            population.projects[0].id,
+            &[],
+        );
+        assert_eq!(absent.satisfaction_in(&report), None);
+    }
+}

@@ -1,0 +1,344 @@
+//! The allocation abstraction shared by SbQA and every baseline.
+//!
+//! An allocation technique sees three things when a query arrives:
+//!
+//! * the [`Query`] itself,
+//! * a snapshot of every *capable and online* provider (`Pq`) — identity,
+//!   capacity, current utilization and queue length ([`ProviderSnapshot`]),
+//! * an [`IntentionOracle`] it may consult to learn the consumer's intention
+//!   towards a provider and a provider's intention towards the query, and
+//! * the mediator's [`SatisfactionRegistry`](sbqa_satisfaction::SatisfactionRegistry)
+//!   for techniques (like SbQA) that balance the two sides by satisfaction.
+//!
+//! It returns an [`AllocationDecision`]: which providers to allocate the
+//! query to, and the full list of proposals made (needed to update provider
+//! satisfaction — a provider that was consulted but not selected becomes less
+//! satisfied, exactly as in Definition 2).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{CapabilitySet, Intention, ProviderId, Query, SbqaResult};
+
+/// The mediator-visible state of a provider at allocation time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProviderSnapshot {
+    /// The provider's identity.
+    pub id: ProviderId,
+    /// Capabilities the provider advertises.
+    pub capabilities: CapabilitySet,
+    /// Processing capacity in work units per virtual second.
+    pub capacity: f64,
+    /// Current utilization, defined as outstanding work divided by capacity
+    /// (i.e. the virtual seconds of work already queued). KnBest uses this to
+    /// keep the `kn` least-utilized providers.
+    pub utilization: f64,
+    /// Number of queries currently queued or running at the provider.
+    pub queue_length: usize,
+    /// `true` if the provider is currently online.
+    pub online: bool,
+}
+
+impl ProviderSnapshot {
+    /// Creates a snapshot for an idle, online provider.
+    #[must_use]
+    pub fn idle(id: ProviderId, capabilities: CapabilitySet, capacity: f64) -> Self {
+        Self {
+            id,
+            capabilities,
+            capacity: if capacity.is_finite() && capacity > 0.0 {
+                capacity
+            } else {
+                1.0
+            },
+            utilization: 0.0,
+            queue_length: 0,
+            online: true,
+        }
+    }
+
+    /// `true` if this provider can perform the given query and is online.
+    #[must_use]
+    pub fn can_perform(&self, query: &Query) -> bool {
+        self.online && self.capabilities.contains(query.required_capability)
+    }
+}
+
+/// Source of intention values at mediation time.
+///
+/// In the real system the mediator *asks* the consumer and the providers for
+/// their intentions over the network; in the simulation the oracle is backed
+/// by the participants' intention strategies. Implementations must be cheap
+/// to call: SbQA calls it `2·kn` times per query.
+pub trait IntentionOracle {
+    /// The intention of the query's consumer (`q.c`) to have `q` allocated to
+    /// `provider` — an entry of the vector `CIq`.
+    fn consumer_intention(&self, query: &Query, provider: ProviderId) -> Intention;
+
+    /// The intention of `provider` to perform `q` — an entry of the vector
+    /// `PIq` (and of the provider's own `PPIp` history).
+    fn provider_intention(&self, provider: ProviderId, query: &Query) -> Intention;
+}
+
+/// A static, map-backed oracle. Useful in tests and in the interactive
+/// example where a scripted participant fixes its intentions in advance.
+#[derive(Debug, Clone, Default)]
+pub struct StaticIntentions {
+    consumer: HashMap<ProviderId, Intention>,
+    provider: HashMap<ProviderId, Intention>,
+    consumer_default: Intention,
+    provider_default: Intention,
+}
+
+impl StaticIntentions {
+    /// Creates an oracle where every intention defaults to neutral.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the default intentions returned for unknown providers.
+    #[must_use]
+    pub fn with_defaults(mut self, consumer: Intention, provider: Intention) -> Self {
+        self.consumer_default = consumer;
+        self.provider_default = provider;
+        self
+    }
+
+    /// Sets the consumer's intention towards a provider.
+    pub fn set_consumer_intention(&mut self, provider: ProviderId, intention: Intention) {
+        self.consumer.insert(provider, intention);
+    }
+
+    /// Sets a provider's intention towards any query.
+    pub fn set_provider_intention(&mut self, provider: ProviderId, intention: Intention) {
+        self.provider.insert(provider, intention);
+    }
+}
+
+impl IntentionOracle for StaticIntentions {
+    fn consumer_intention(&self, _query: &Query, provider: ProviderId) -> Intention {
+        self.consumer
+            .get(&provider)
+            .copied()
+            .unwrap_or(self.consumer_default)
+    }
+
+    fn provider_intention(&self, provider: ProviderId, _query: &Query) -> Intention {
+        self.provider
+            .get(&provider)
+            .copied()
+            .unwrap_or(self.provider_default)
+    }
+}
+
+/// One proposal made during a mediation: a provider that was asked for its
+/// intention, what it answered, and whether it was selected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProposalRecord {
+    /// The consulted provider.
+    pub provider: ProviderId,
+    /// The intention the provider expressed for performing the query.
+    pub provider_intention: Intention,
+    /// The intention the consumer expressed towards this provider.
+    pub consumer_intention: Intention,
+    /// The score the allocation technique assigned (if it scores at all).
+    pub score: Option<f64>,
+    /// `true` if the provider was selected to perform the query.
+    pub selected: bool,
+}
+
+/// The outcome of one allocation decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AllocationDecision {
+    /// Providers selected to perform the query, best-ranked first
+    /// (the vector `R` truncated to `min(q.n, kn)` entries).
+    pub selected: Vec<ProviderId>,
+    /// Every provider that was consulted, with its expressed intentions.
+    /// Selected providers appear here too, with `selected = true`.
+    pub proposals: Vec<ProposalRecord>,
+    /// The balancing parameter ω that was used, when the technique uses one.
+    pub omega: Option<f64>,
+}
+
+impl AllocationDecision {
+    /// `true` if no provider was selected.
+    #[must_use]
+    pub fn is_starved(&self) -> bool {
+        self.selected.is_empty()
+    }
+
+    /// The consumer-side view of the allocation: the selected providers with
+    /// the consumer's intention towards each, in ranking order. This is what
+    /// feeds Definition 1.
+    #[must_use]
+    pub fn consumer_view(&self) -> Vec<(ProviderId, Intention)> {
+        self.selected
+            .iter()
+            .map(|id| {
+                let intention = self
+                    .proposals
+                    .iter()
+                    .find(|p| p.provider == *id)
+                    .map_or(Intention::NEUTRAL, |p| p.consumer_intention);
+                (*id, intention)
+            })
+            .collect()
+    }
+
+    /// The provider-side view: every consulted provider with its expressed
+    /// intention and selection flag. This is what feeds Definition 2.
+    #[must_use]
+    pub fn provider_view(&self) -> Vec<(ProviderId, Intention, bool)> {
+        self.proposals
+            .iter()
+            .map(|p| (p.provider, p.provider_intention, p.selected))
+            .collect()
+    }
+}
+
+/// An allocation technique: SbQA or any baseline.
+pub trait QueryAllocator: Send {
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Decides which providers should perform `query`.
+    ///
+    /// `candidates` is the set `Pq` restricted to online providers; it is
+    /// never empty (the mediator short-circuits starvation before calling the
+    /// allocator). `oracle` answers intention questions and `satisfaction` is
+    /// the mediator's registry.
+    fn allocate(
+        &mut self,
+        query: &Query,
+        candidates: &[ProviderSnapshot],
+        oracle: &dyn IntentionOracle,
+        satisfaction: &SatisfactionRegistry,
+    ) -> SbqaResult<AllocationDecision>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_types::{Capability, ConsumerId, QueryId};
+
+    fn query() -> Query {
+        Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0)).build()
+    }
+
+    #[test]
+    fn idle_snapshot_sanitises_capacity() {
+        let snap = ProviderSnapshot::idle(ProviderId::new(1), CapabilitySet::ALL, -3.0);
+        assert_eq!(snap.capacity, 1.0);
+        assert!(snap.online);
+        assert_eq!(snap.queue_length, 0);
+        let ok = ProviderSnapshot::idle(ProviderId::new(1), CapabilitySet::ALL, 4.0);
+        assert_eq!(ok.capacity, 4.0);
+    }
+
+    #[test]
+    fn can_perform_requires_capability_and_online() {
+        let q = query();
+        let capable = ProviderSnapshot::idle(
+            ProviderId::new(1),
+            CapabilitySet::singleton(Capability::new(0)),
+            1.0,
+        );
+        assert!(capable.can_perform(&q));
+
+        let wrong_cap = ProviderSnapshot::idle(
+            ProviderId::new(2),
+            CapabilitySet::singleton(Capability::new(1)),
+            1.0,
+        );
+        assert!(!wrong_cap.can_perform(&q));
+
+        let offline = ProviderSnapshot {
+            online: false,
+            ..capable
+        };
+        assert!(!offline.can_perform(&q));
+    }
+
+    #[test]
+    fn static_oracle_returns_configured_and_default_intentions() {
+        let mut oracle = StaticIntentions::new()
+            .with_defaults(Intention::new(0.1), Intention::new(-0.2));
+        oracle.set_consumer_intention(ProviderId::new(1), Intention::new(0.9));
+        oracle.set_provider_intention(ProviderId::new(1), Intention::new(0.7));
+
+        let q = query();
+        assert_eq!(
+            oracle.consumer_intention(&q, ProviderId::new(1)),
+            Intention::new(0.9)
+        );
+        assert_eq!(
+            oracle.provider_intention(ProviderId::new(1), &q),
+            Intention::new(0.7)
+        );
+        assert_eq!(
+            oracle.consumer_intention(&q, ProviderId::new(9)),
+            Intention::new(0.1)
+        );
+        assert_eq!(
+            oracle.provider_intention(ProviderId::new(9), &q),
+            Intention::new(-0.2)
+        );
+    }
+
+    #[test]
+    fn decision_views_feed_both_satisfaction_definitions() {
+        let decision = AllocationDecision {
+            selected: vec![ProviderId::new(2)],
+            proposals: vec![
+                ProposalRecord {
+                    provider: ProviderId::new(1),
+                    provider_intention: Intention::new(0.5),
+                    consumer_intention: Intention::new(0.3),
+                    score: Some(0.2),
+                    selected: false,
+                },
+                ProposalRecord {
+                    provider: ProviderId::new(2),
+                    provider_intention: Intention::new(0.8),
+                    consumer_intention: Intention::new(0.9),
+                    score: Some(0.9),
+                    selected: true,
+                },
+            ],
+            omega: Some(0.5),
+        };
+        assert!(!decision.is_starved());
+        assert_eq!(
+            decision.consumer_view(),
+            vec![(ProviderId::new(2), Intention::new(0.9))]
+        );
+        let provider_view = decision.provider_view();
+        assert_eq!(provider_view.len(), 2);
+        assert_eq!(provider_view[0], (ProviderId::new(1), Intention::new(0.5), false));
+        assert_eq!(provider_view[1], (ProviderId::new(2), Intention::new(0.8), true));
+    }
+
+    #[test]
+    fn consumer_view_defaults_to_neutral_for_unlisted_selection() {
+        // A degenerate decision that selects a provider missing from the
+        // proposals still yields a well-formed consumer view.
+        let decision = AllocationDecision {
+            selected: vec![ProviderId::new(7)],
+            proposals: vec![],
+            omega: None,
+        };
+        assert_eq!(
+            decision.consumer_view(),
+            vec![(ProviderId::new(7), Intention::NEUTRAL)]
+        );
+        assert!(decision.provider_view().is_empty());
+    }
+
+    #[test]
+    fn empty_decision_is_starved() {
+        assert!(AllocationDecision::default().is_starved());
+    }
+}

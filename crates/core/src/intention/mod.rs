@@ -1,0 +1,86 @@
+//! Intention computation strategies.
+//!
+//! SbQA never dictates *how* a participant computes its intentions — that is
+//! precisely the autonomy the framework preserves. The demo paper, however,
+//! relies on a handful of concrete behaviours for its scenarios:
+//!
+//! * **preference-driven** participants whose intentions come from static
+//!   likes/dislikes (a volunteer that loves SETI@home, a project that trusts
+//!   reputable volunteers);
+//! * **performance-driven** participants (Scenario 5): consumers that only
+//!   care about response time and providers that only care about their own
+//!   load;
+//! * **hybrid** participants that trade one for the other, which is the
+//!   flexibility the SQLB framework advertises (consumers trading their
+//!   preferences for providers' reputation, providers trading their
+//!   preferences for their utilization).
+//!
+//! [`ConsumerProfile`] and [`ProviderProfile`] package those behaviours so
+//! the simulator (and the interactive example) can mix participant kinds
+//! freely.
+
+pub mod consumer;
+pub mod provider;
+
+pub use consumer::{ConsumerIntentionStrategy, ConsumerProfile};
+pub use provider::{ProviderIntentionStrategy, ProviderProfile};
+
+/// Maps a non-negative utilization (virtual seconds of queued work) onto a
+/// load-based intention in `[-1, 1]`.
+///
+/// The mapping `1 − 2·u/(u + scale)` is monotone decreasing: an idle
+/// participant answers `+1`, a participant whose backlog equals `scale`
+/// answers `0`, and an overloaded participant tends to `-1`. `scale` is the
+/// backlog (in virtual seconds) a participant considers "acceptable".
+#[must_use]
+pub fn load_to_intention(utilization: f64, scale: f64) -> sbqa_types::Intention {
+    let u = if utilization.is_finite() && utilization > 0.0 {
+        utilization
+    } else {
+        0.0
+    };
+    let scale = if scale.is_finite() && scale > 0.0 {
+        scale
+    } else {
+        1.0
+    };
+    sbqa_types::Intention::new(1.0 - 2.0 * (u / (u + scale)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_participant_is_fully_willing() {
+        assert_eq!(load_to_intention(0.0, 5.0).value(), 1.0);
+    }
+
+    #[test]
+    fn backlog_at_scale_is_neutral() {
+        assert!((load_to_intention(5.0, 5.0).value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_tends_to_refusal() {
+        let i = load_to_intention(1e9, 1.0);
+        assert!(i.value() < -0.99);
+    }
+
+    #[test]
+    fn mapping_is_monotone_decreasing() {
+        let a = load_to_intention(1.0, 5.0);
+        let b = load_to_intention(2.0, 5.0);
+        let c = load_to_intention(10.0, 5.0);
+        assert!(a > b);
+        assert!(b > c);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_sanitised() {
+        assert_eq!(load_to_intention(f64::NAN, 5.0).value(), 1.0);
+        assert_eq!(load_to_intention(-3.0, 5.0).value(), 1.0);
+        // A non-positive scale falls back to 1.0 rather than dividing by zero.
+        assert!(load_to_intention(1.0, 0.0).value().is_finite());
+    }
+}

@@ -1,0 +1,211 @@
+//! The KnBest provider pre-selection strategy (DASFAA 2007, used as step 1 of
+//! SbQA's mediation).
+//!
+//! From the set `Pq` of capable providers, KnBest
+//!
+//! 1. draws `k` providers uniformly at random (the set `K`), then
+//! 2. keeps the `kn` *least utilized* providers of `K` (the set `Kn`).
+//!
+//! The random draw spreads opportunities across the whole provider
+//! population (important for provider satisfaction and for discovering
+//! under-used providers), while the utilization filter keeps the final
+//! candidates from being overloaded. The paper's Scenario 6 adapts the query
+//! allocation to the application by varying `kn`: a small `kn` behaves almost
+//! like pure load balancing, a large `kn` gives the intention-based scoring
+//! more freedom.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::allocator::ProviderSnapshot;
+
+/// Configurable KnBest selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnBestSelector {
+    /// Number of providers drawn at random (`k`).
+    pub k: usize,
+    /// Number of least-utilized providers retained (`kn`).
+    pub kn: usize,
+}
+
+impl KnBestSelector {
+    /// Creates a selector. `kn` is capped at `k` and both are raised to at
+    /// least 1, so the selector is always usable.
+    #[must_use]
+    pub fn new(k: usize, kn: usize) -> Self {
+        let k = k.max(1);
+        Self { k, kn: kn.clamp(1, k) }
+    }
+
+    /// Applies KnBest to the candidate set, returning the set `Kn`.
+    ///
+    /// The result preserves no particular order except that it is sorted by
+    /// ascending utilization with provider id as the tie-breaker, which keeps
+    /// the selection deterministic for a given RNG stream.
+    #[must_use]
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        candidates: &[ProviderSnapshot],
+        rng: &mut R,
+    ) -> Vec<ProviderSnapshot> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+
+        // Step 1: the random subset K of size min(k, |Pq|).
+        let mut pool: Vec<ProviderSnapshot> = candidates.to_vec();
+        pool.shuffle(rng);
+        pool.truncate(self.k);
+
+        // Step 2: the kn least-utilized providers of K.
+        pool.sort_by(|a, b| {
+            a.utilization
+                .partial_cmp(&b.utilization)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        pool.truncate(self.kn);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbqa_types::{CapabilitySet, ProviderId};
+
+    fn snapshot(id: u64, utilization: f64) -> ProviderSnapshot {
+        ProviderSnapshot {
+            id: ProviderId::new(id),
+            capabilities: CapabilitySet::ALL,
+            capacity: 1.0,
+            utilization,
+            queue_length: 0,
+            online: true,
+        }
+    }
+
+    #[test]
+    fn parameters_are_sanitised() {
+        let sel = KnBestSelector::new(0, 0);
+        assert_eq!(sel.k, 1);
+        assert_eq!(sel.kn, 1);
+        let sel = KnBestSelector::new(4, 10);
+        assert_eq!(sel.kn, 4);
+    }
+
+    #[test]
+    fn empty_candidates_give_empty_selection() {
+        let sel = KnBestSelector::new(5, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sel.select(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn selection_never_exceeds_kn_or_population() {
+        let candidates: Vec<ProviderSnapshot> =
+            (0..10).map(|i| snapshot(i, i as f64)).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+
+        let sel = KnBestSelector::new(6, 3);
+        assert_eq!(sel.select(&candidates, &mut rng).len(), 3);
+
+        // When the population is smaller than kn, everything is returned.
+        let sel = KnBestSelector::new(50, 20);
+        assert_eq!(sel.select(&candidates[..2], &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn when_k_covers_everything_the_least_utilized_win() {
+        // With k >= |Pq| the random step is a no-op and the kn least utilized
+        // providers must be selected deterministically.
+        let candidates: Vec<ProviderSnapshot> = vec![
+            snapshot(1, 5.0),
+            snapshot(2, 0.5),
+            snapshot(3, 3.0),
+            snapshot(4, 0.1),
+        ];
+        let sel = KnBestSelector::new(10, 2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let kn = sel.select(&candidates, &mut rng);
+        let ids: Vec<u64> = kn.iter().map(|s| s.id.raw()).collect();
+        assert_eq!(ids, vec![4, 2]);
+    }
+
+    #[test]
+    fn same_seed_gives_same_selection() {
+        let candidates: Vec<ProviderSnapshot> =
+            (0..50).map(|i| snapshot(i, (i % 7) as f64)).collect();
+        let sel = KnBestSelector::new(10, 4);
+        let a = sel.select(&candidates, &mut StdRng::seed_from_u64(99));
+        let b = sel.select(&candidates, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_step_spreads_opportunities() {
+        // Provider 0 is the single least-utilized provider; with k = 1 the
+        // random draw decides alone, so over many mediations other providers
+        // must get selected too.
+        let candidates: Vec<ProviderSnapshot> = (0..10)
+            .map(|i| snapshot(i, if i == 0 { 0.0 } else { 1.0 }))
+            .collect();
+        let sel = KnBestSelector::new(1, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut selected_ids = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let kn = sel.select(&candidates, &mut rng);
+            selected_ids.insert(kn[0].id.raw());
+        }
+        assert!(selected_ids.len() > 5, "random step should spread selections");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_selected_are_subset_of_candidates(
+            utilizations in proptest::collection::vec(0.0f64..100.0, 1..40),
+            k in 1usize..20,
+            kn in 1usize..20,
+            seed in 0u64..1000,
+        ) {
+            let candidates: Vec<ProviderSnapshot> = utilizations
+                .iter()
+                .enumerate()
+                .map(|(i, u)| snapshot(i as u64, *u))
+                .collect();
+            let sel = KnBestSelector::new(k, kn);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let selection = sel.select(&candidates, &mut rng);
+            prop_assert!(selection.len() <= sel.kn.min(candidates.len()));
+            for s in &selection {
+                prop_assert!(candidates.iter().any(|c| c.id == s.id));
+            }
+            // No duplicates.
+            let mut ids: Vec<u64> = selection.iter().map(|s| s.id.raw()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), selection.len());
+        }
+
+        #[test]
+        fn prop_selection_sorted_by_utilization(
+            utilizations in proptest::collection::vec(0.0f64..100.0, 1..40),
+            seed in 0u64..1000,
+        ) {
+            let candidates: Vec<ProviderSnapshot> = utilizations
+                .iter()
+                .enumerate()
+                .map(|(i, u)| snapshot(i as u64, *u))
+                .collect();
+            let sel = KnBestSelector::new(8, 4);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let selection = sel.select(&candidates, &mut rng);
+            for pair in selection.windows(2) {
+                prop_assert!(pair[0].utilization <= pair[1].utilization);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # sbqa-core
+//!
+//! The query-allocation process of SbQA (Section III of the paper) and the
+//! abstractions every allocation technique in this workspace plugs into.
+//!
+//! Given an incoming query `q` and the set `Pq` of providers able to perform
+//! it, the SbQA mediator:
+//!
+//! 1. applies the **KnBest** strategy ([`knbest`]): select `k` providers at
+//!    random from `Pq`, keep the `kn` least-utilized of them (the set `Kn`);
+//! 2. asks the consumer for its intention towards each provider in `Kn` and
+//!    each provider in `Kn` for its intention towards `q` (the
+//!    [`IntentionOracle`] abstraction);
+//! 3. scores every provider in `Kn` with the **SQLB** balance of intentions
+//!    ([`scoring`], Definition 3), using a balancing parameter ω that is
+//!    either fixed by the application or derived from the consumer's and
+//!    provider's satisfaction (Equation 2);
+//! 4. ranks the providers ([`ranking`]) and allocates `q` to the
+//!    `min(q.n, kn)` best-scored ones;
+//! 5. sends the mediation result to the consumer and to *all* providers in
+//!    `Kn`, so that satisfaction reflects proposals as well as allocations
+//!    ([`mediator`]).
+//!
+//! Baseline techniques (capacity-based, economic, …) implement the same
+//! [`QueryAllocator`] trait in the `sbqa-baselines` crate, which is what lets
+//! the scenario harnesses compare them under identical conditions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod intention;
+pub mod knbest;
+pub mod mediator;
+pub mod ranking;
+pub mod registry;
+pub mod scoring;
+
+pub use allocator::{
+    AllocationDecision, IntentionOracle, ProposalRecord, ProviderSnapshot, QueryAllocator,
+    StaticIntentions,
+};
+pub use intention::{
+    ConsumerIntentionStrategy, ConsumerProfile, ProviderIntentionStrategy, ProviderProfile,
+};
+pub use knbest::KnBestSelector;
+pub use mediator::{Mediator, MediationOutcome};
+pub use ranking::rank_by_score;
+pub use registry::ProviderRegistry;
+pub use scoring::{provider_score, resolve_omega, ScoreInputs};
+pub use sbqa_types::{OmegaPolicy, SystemConfig};
+
+/// The SbQA allocator itself, implementing [`QueryAllocator`] with KnBest
+/// pre-selection and SQLB scoring. Re-exported from [`mediator`].
+pub use mediator::SbqaAllocator;

@@ -1,0 +1,492 @@
+//! The SbQA allocator and the mediator that hosts it.
+//!
+//! [`SbqaAllocator`] is the paper's allocation technique proper: KnBest
+//! pre-selection, intention gathering, SQLB scoring with a per-pair ω, and
+//! ranking. It implements the same [`QueryAllocator`] trait as the baselines.
+//!
+//! [`Mediator`] is the component in the middle of Figure 1: it owns the
+//! provider registry, the satisfaction registry and an allocator, receives
+//! queries, computes the set `Pq`, invokes the allocator and sends the
+//! mediation result back to the consumer and all consulted providers (which,
+//! in this in-process reproduction, means updating the satisfaction registry
+//! and reporting the decision to the caller).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{
+    CapabilitySet, ProviderId, Query, SbqaError, SbqaResult, SystemConfig,
+};
+
+use crate::allocator::{
+    AllocationDecision, IntentionOracle, ProposalRecord, ProviderSnapshot, QueryAllocator,
+};
+use crate::knbest::KnBestSelector;
+use crate::ranking::rank_by_score;
+use crate::registry::ProviderRegistry;
+use crate::scoring::{provider_score, resolve_omega};
+
+/// The Satisfaction-based Query Allocation technique (KnBest + SQLB).
+#[derive(Debug)]
+pub struct SbqaAllocator {
+    config: SystemConfig,
+    selector: KnBestSelector,
+    rng: ChaCha8Rng,
+}
+
+impl SbqaAllocator {
+    /// Creates an SbQA allocator from a validated configuration and a seed
+    /// for the KnBest random pre-selection.
+    pub fn new(config: SystemConfig, seed: u64) -> SbqaResult<Self> {
+        config.validate()?;
+        let selector = KnBestSelector::new(config.knbest_k, config.knbest_kn);
+        Ok(Self {
+            config,
+            selector,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        })
+    }
+
+    /// Creates an allocator with the default configuration.
+    #[must_use]
+    pub fn with_defaults(seed: u64) -> Self {
+        Self::new(SystemConfig::default(), seed).expect("default configuration is valid")
+    }
+
+    /// The configuration this allocator runs with.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+}
+
+impl QueryAllocator for SbqaAllocator {
+    fn name(&self) -> &'static str {
+        "SbQA"
+    }
+
+    fn allocate(
+        &mut self,
+        query: &Query,
+        candidates: &[ProviderSnapshot],
+        oracle: &dyn IntentionOracle,
+        satisfaction: &SatisfactionRegistry,
+    ) -> SbqaResult<AllocationDecision> {
+        if candidates.is_empty() {
+            return Err(SbqaError::NoProviderOnline { query: query.id });
+        }
+
+        // Step 1 — KnBest: the kn least-utilized of k random capable providers.
+        let kn = self.selector.select(candidates, &mut self.rng);
+
+        // Step 2 — gather intentions from the consumer and the Kn providers,
+        // and score each pair with a per-pair ω (Equation 2 compares the
+        // consumer's satisfaction with *that provider's* satisfaction).
+        let consumer_sat = satisfaction.consumer_satisfaction(query.consumer);
+        let mut scored: Vec<(ProviderId, f64)> = Vec::with_capacity(kn.len());
+        let mut proposals: Vec<ProposalRecord> = Vec::with_capacity(kn.len());
+        let mut omega_sum = 0.0;
+
+        for snapshot in &kn {
+            let consumer_intention = oracle.consumer_intention(query, snapshot.id);
+            let provider_intention = oracle.provider_intention(snapshot.id, query);
+            let provider_sat = satisfaction.provider_satisfaction(snapshot.id);
+            let omega = resolve_omega(self.config.omega, consumer_sat, provider_sat);
+            let score = provider_score(
+                provider_intention,
+                consumer_intention,
+                omega,
+                self.config.epsilon,
+            );
+            omega_sum += omega;
+            scored.push((snapshot.id, score));
+            proposals.push(ProposalRecord {
+                provider: snapshot.id,
+                provider_intention,
+                consumer_intention,
+                score: Some(score),
+                selected: false,
+            });
+        }
+
+        // Step 3 — ranking vector R and allocation to the min(q.n, kn) best.
+        let ranking = rank_by_score(&scored);
+        let winners: Vec<ProviderId> = ranking
+            .into_iter()
+            .take(query.replication.min(kn.len()))
+            .collect();
+        for proposal in &mut proposals {
+            proposal.selected = winners.contains(&proposal.provider);
+        }
+
+        Ok(AllocationDecision {
+            selected: winners,
+            proposals,
+            omega: if kn.is_empty() {
+                None
+            } else {
+                Some(omega_sum / kn.len() as f64)
+            },
+        })
+    }
+}
+
+/// The result of one mediation, as reported to the rest of the system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MediationOutcome {
+    /// The mediated query.
+    pub query: Query,
+    /// The allocation decision (selected providers, proposals, ω).
+    pub decision: AllocationDecision,
+}
+
+impl MediationOutcome {
+    /// The providers the query was allocated to, best-ranked first.
+    #[must_use]
+    pub fn selected(&self) -> &[ProviderId] {
+        &self.decision.selected
+    }
+}
+
+/// The mediator of Figure 1: provider registry + satisfaction registry + an
+/// allocation technique.
+pub struct Mediator {
+    allocator: Box<dyn QueryAllocator>,
+    providers: ProviderRegistry,
+    satisfaction: SatisfactionRegistry,
+}
+
+impl Mediator {
+    /// Creates a mediator around an allocation technique, with satisfaction
+    /// windows of length `satisfaction_window`.
+    #[must_use]
+    pub fn new(allocator: Box<dyn QueryAllocator>, satisfaction_window: usize) -> Self {
+        Self {
+            allocator,
+            providers: ProviderRegistry::new(),
+            satisfaction: SatisfactionRegistry::new(satisfaction_window),
+        }
+    }
+
+    /// Convenience constructor for an SbQA mediator with the given
+    /// configuration and seed.
+    pub fn sbqa(config: SystemConfig, seed: u64) -> SbqaResult<Self> {
+        let window = config.satisfaction_window;
+        Ok(Self::new(Box::new(SbqaAllocator::new(config, seed)?), window))
+    }
+
+    /// Name of the hosted allocation technique.
+    #[must_use]
+    pub fn technique(&self) -> &'static str {
+        self.allocator.name()
+    }
+
+    /// Registers a provider with its capabilities and capacity.
+    pub fn register_provider(
+        &mut self,
+        id: ProviderId,
+        capabilities: CapabilitySet,
+        capacity: f64,
+    ) {
+        self.providers.register(id, capabilities, capacity);
+        self.satisfaction.register_provider(id);
+    }
+
+    /// Registers a consumer so its satisfaction is tracked from the start.
+    pub fn register_consumer(&mut self, id: sbqa_types::ConsumerId) {
+        self.satisfaction.register_consumer(id);
+    }
+
+    /// Marks a provider online or offline.
+    pub fn set_provider_online(&mut self, id: ProviderId, online: bool) -> SbqaResult<()> {
+        self.providers.set_online(id, online)
+    }
+
+    /// Updates a provider's load state.
+    pub fn update_provider_load(
+        &mut self,
+        id: ProviderId,
+        utilization: f64,
+        queue_length: usize,
+    ) -> SbqaResult<()> {
+        self.providers.update_load(id, utilization, queue_length)
+    }
+
+    /// Immutable access to the provider registry.
+    #[must_use]
+    pub fn providers(&self) -> &ProviderRegistry {
+        &self.providers
+    }
+
+    /// Immutable access to the satisfaction registry.
+    #[must_use]
+    pub fn satisfaction(&self) -> &SatisfactionRegistry {
+        &self.satisfaction
+    }
+
+    /// Mediates one query: computes `Pq`, lets the allocation technique pick
+    /// providers, records the mediation result on both sides' satisfaction
+    /// and returns the outcome.
+    pub fn submit(
+        &mut self,
+        query: &Query,
+        oracle: &dyn IntentionOracle,
+    ) -> SbqaResult<MediationOutcome> {
+        let candidates = self.providers.capable_of(query);
+        if candidates.is_empty() {
+            return Err(self.providers.starvation_error(query));
+        }
+
+        let decision = self
+            .allocator
+            .allocate(query, &candidates, oracle, &self.satisfaction)?;
+
+        // "…sends the mediation result to the consumer and all providers in
+        // set Kn": both sides update their satisfaction windows.
+        self.satisfaction.record_mediation(
+            query.id,
+            query.consumer,
+            query.replication,
+            &decision.consumer_view(),
+            &decision.provider_view(),
+        );
+
+        Ok(MediationOutcome {
+            query: query.clone(),
+            decision,
+        })
+    }
+}
+
+impl std::fmt::Debug for Mediator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mediator")
+            .field("technique", &self.allocator.name())
+            .field("providers", &self.providers.len())
+            .field("consumers", &self.satisfaction.consumer_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::StaticIntentions;
+    use sbqa_types::{Capability, ConsumerId, Intention, OmegaPolicy, QueryId, Satisfaction};
+
+    fn caps() -> CapabilitySet {
+        CapabilitySet::singleton(Capability::new(0))
+    }
+
+    fn query(id: u64, replication: usize) -> Query {
+        Query::builder(QueryId::new(id), ConsumerId::new(1), Capability::new(0))
+            .replication(replication)
+            .build()
+    }
+
+    fn snapshots(n: u64) -> Vec<ProviderSnapshot> {
+        (0..n)
+            .map(|i| ProviderSnapshot::idle(ProviderId::new(i), caps(), 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn allocator_selects_min_of_replication_and_kn() {
+        let config = SystemConfig::default().with_knbest(10, 3);
+        let mut alloc = SbqaAllocator::new(config, 42).unwrap();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new()
+            .with_defaults(Intention::new(0.5), Intention::new(0.5));
+
+        // Replication 2 with kn = 3: two providers selected.
+        let decision = alloc
+            .allocate(&query(1, 2), &snapshots(20), &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.selected.len(), 2);
+        assert_eq!(decision.proposals.len(), 3);
+
+        // Replication 5 with kn = 3: capped at 3.
+        let decision = alloc
+            .allocate(&query(2, 5), &snapshots(20), &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.selected.len(), 3);
+    }
+
+    #[test]
+    fn allocator_prefers_mutually_wanted_providers() {
+        // kn covers the whole candidate set so the random step cannot hide
+        // the preferred provider.
+        let config = SystemConfig::default().with_knbest(10, 10);
+        let mut alloc = SbqaAllocator::new(config, 7).unwrap();
+        let satisfaction = SatisfactionRegistry::new(10);
+
+        let mut oracle = StaticIntentions::new()
+            .with_defaults(Intention::new(-0.5), Intention::new(-0.5));
+        oracle.set_consumer_intention(ProviderId::new(3), Intention::new(0.9));
+        oracle.set_provider_intention(ProviderId::new(3), Intention::new(0.8));
+
+        let decision = alloc
+            .allocate(&query(1, 1), &snapshots(5), &oracle, &satisfaction)
+            .unwrap();
+        assert_eq!(decision.selected, vec![ProviderId::new(3)]);
+        // The scores are recorded on the proposals.
+        assert!(decision
+            .proposals
+            .iter()
+            .all(|p| p.score.is_some() && p.score.unwrap().is_finite()));
+    }
+
+    #[test]
+    fn empty_candidate_set_is_an_error() {
+        let mut alloc = SbqaAllocator::with_defaults(1);
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new();
+        let err = alloc
+            .allocate(&query(1, 1), &[], &oracle, &satisfaction)
+            .unwrap_err();
+        assert!(err.is_starvation());
+    }
+
+    #[test]
+    fn adaptive_omega_reacts_to_satisfaction_gap() {
+        let config = SystemConfig::default()
+            .with_knbest(10, 10)
+            .with_omega(OmegaPolicy::Adaptive);
+        let mut alloc = SbqaAllocator::new(config, 3).unwrap();
+        let oracle = StaticIntentions::new()
+            .with_defaults(Intention::new(0.5), Intention::new(0.5));
+
+        // A fresh registry: everyone fully satisfied, ω = 0.5.
+        let satisfaction = SatisfactionRegistry::new(10);
+        let decision = alloc
+            .allocate(&query(1, 1), &snapshots(3), &oracle, &satisfaction)
+            .unwrap();
+        assert!((decision.omega.unwrap() - 0.5).abs() < 1e-9);
+
+        // Make the consumer satisfied and the providers dissatisfied: ω must
+        // rise above 0.5 (more attention to providers).
+        let mut satisfaction = SatisfactionRegistry::new(10);
+        for p in 0..3u64 {
+            satisfaction.record_mediation(
+                QueryId::new(100 + p),
+                ConsumerId::new(1),
+                1,
+                &[(ProviderId::new(p), Intention::new(1.0))],
+                &[(ProviderId::new(p), Intention::new(-1.0), true)],
+            );
+        }
+        assert_eq!(
+            satisfaction.consumer_satisfaction(ConsumerId::new(1)),
+            Satisfaction::MAX
+        );
+        let decision = alloc
+            .allocate(&query(2, 1), &snapshots(3), &oracle, &satisfaction)
+            .unwrap();
+        assert!(decision.omega.unwrap() > 0.9);
+    }
+
+    #[test]
+    fn fixed_omega_is_used_verbatim() {
+        let config = SystemConfig::default()
+            .with_knbest(5, 5)
+            .with_omega(OmegaPolicy::Fixed(0.25));
+        let mut alloc = SbqaAllocator::new(config, 3).unwrap();
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle = StaticIntentions::new()
+            .with_defaults(Intention::new(0.5), Intention::new(0.5));
+        let decision = alloc
+            .allocate(&query(1, 1), &snapshots(4), &oracle, &satisfaction)
+            .unwrap();
+        assert!((decision.omega.unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected() {
+        let bad = SystemConfig::default().with_knbest(2, 5);
+        assert!(SbqaAllocator::new(bad, 0).is_err());
+    }
+
+    #[test]
+    fn mediator_end_to_end_updates_satisfaction() {
+        let config = SystemConfig::default().with_knbest(10, 5);
+        let mut mediator = Mediator::sbqa(config, 11).unwrap();
+        assert_eq!(mediator.technique(), "SbQA");
+
+        for p in 0..5u64 {
+            mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+        }
+        mediator.register_consumer(ConsumerId::new(1));
+
+        let oracle = StaticIntentions::new()
+            .with_defaults(Intention::new(0.8), Intention::new(0.6));
+        let outcome = mediator.submit(&query(1, 2), &oracle).unwrap();
+        assert_eq!(outcome.selected().len(), 2);
+
+        // The consumer got providers it liked (+0.8 -> 0.9 satisfaction per
+        // result), so its satisfaction reflects the mediation.
+        let consumer_sat = mediator
+            .satisfaction()
+            .consumer_satisfaction(ConsumerId::new(1));
+        assert!((consumer_sat.value() - 0.9).abs() < 1e-9);
+
+        // Every consulted provider has a recorded proposal.
+        let proposed: usize = outcome.decision.proposals.len();
+        assert!(proposed >= 2);
+        assert_eq!(mediator.providers().len(), 5);
+    }
+
+    #[test]
+    fn mediator_reports_starvation_kinds() {
+        let mut mediator = Mediator::sbqa(SystemConfig::default(), 1).unwrap();
+        let oracle = StaticIntentions::new();
+
+        // No provider at all with the required capability.
+        let err = mediator.submit(&query(1, 1), &oracle).unwrap_err();
+        assert!(matches!(err, SbqaError::NoCapableProvider { .. }));
+
+        // A capable provider exists but is offline.
+        mediator.register_provider(ProviderId::new(1), caps(), 1.0);
+        mediator
+            .set_provider_online(ProviderId::new(1), false)
+            .unwrap();
+        let err = mediator.submit(&query(2, 1), &oracle).unwrap_err();
+        assert!(matches!(err, SbqaError::NoProviderOnline { .. }));
+
+        // Back online: mediation succeeds.
+        mediator
+            .set_provider_online(ProviderId::new(1), true)
+            .unwrap();
+        assert!(mediator.submit(&query(3, 1), &oracle).is_ok());
+    }
+
+    #[test]
+    fn mediator_load_updates_flow_to_allocator() {
+        // With kn = 1, the least-utilized provider of the random draw wins;
+        // when k covers everything, that is the globally least utilized.
+        let config = SystemConfig::default().with_knbest(10, 1);
+        let mut mediator = Mediator::sbqa(config, 5).unwrap();
+        for p in 0..3u64 {
+            mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+        }
+        mediator
+            .update_provider_load(ProviderId::new(0), 10.0, 10)
+            .unwrap();
+        mediator
+            .update_provider_load(ProviderId::new(1), 5.0, 5)
+            .unwrap();
+        // Provider 2 stays idle.
+        let oracle = StaticIntentions::new()
+            .with_defaults(Intention::new(0.5), Intention::new(0.5));
+        let outcome = mediator.submit(&query(1, 1), &oracle).unwrap();
+        assert_eq!(outcome.selected(), &[ProviderId::new(2)]);
+    }
+
+    #[test]
+    fn debug_impl_mentions_technique() {
+        let mediator = Mediator::sbqa(SystemConfig::default(), 1).unwrap();
+        let text = format!("{mediator:?}");
+        assert!(text.contains("SbQA"));
+    }
+}

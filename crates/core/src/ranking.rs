@@ -1,0 +1,97 @@
+//! Provider ranking (the vector `R` of Section III).
+//!
+//! Once every provider in `Kn` has a score, the mediator builds the ranking
+//! vector `R`: `R[1]` is the best-scored provider, `R[2]` the second best,
+//! and so on. The query is then allocated to the first `min(q.n, kn)` entries
+//! of `R`.
+//!
+//! Ties are broken by provider id so that the process stays deterministic
+//! under a fixed RNG stream, which matters for reproducible experiments.
+
+use sbqa_types::ProviderId;
+
+/// Ranks `(provider, score)` pairs from the highest to the lowest score and
+/// returns the ordered provider ids (the vector `R`).
+///
+/// Non-finite scores are ranked last (they should not occur — Definition 3 is
+/// total — but a baseline plugged into the same interface could misbehave).
+#[must_use]
+pub fn rank_by_score(scored: &[(ProviderId, f64)]) -> Vec<ProviderId> {
+    let mut ranked: Vec<(ProviderId, f64)> = scored.to_vec();
+    ranked.sort_by(|a, b| {
+        let sa = if a.1.is_finite() { a.1 } else { f64::NEG_INFINITY };
+        let sb = if b.1.is_finite() { b.1 } else { f64::NEG_INFINITY };
+        sb.partial_cmp(&sa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    ranked.into_iter().map(|(id, _)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pid(raw: u64) -> ProviderId {
+        ProviderId::new(raw)
+    }
+
+    #[test]
+    fn ranks_highest_score_first() {
+        let ranked = rank_by_score(&[(pid(1), 0.2), (pid(2), 0.9), (pid(3), -0.5)]);
+        assert_eq!(ranked, vec![pid(2), pid(1), pid(3)]);
+    }
+
+    #[test]
+    fn ties_break_by_provider_id() {
+        let ranked = rank_by_score(&[(pid(9), 0.5), (pid(3), 0.5), (pid(7), 0.5)]);
+        assert_eq!(ranked, vec![pid(3), pid(7), pid(9)]);
+    }
+
+    #[test]
+    fn non_finite_scores_sink_to_the_bottom() {
+        let ranked = rank_by_score(&[(pid(1), f64::NAN), (pid(2), -5.0), (pid(3), 0.1)]);
+        assert_eq!(ranked, vec![pid(3), pid(2), pid(1)]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_ranking() {
+        assert!(rank_by_score(&[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ranking_is_permutation(
+            scores in proptest::collection::vec(-10.0f64..10.0, 0..30)
+        ) {
+            let scored: Vec<(ProviderId, f64)> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (pid(i as u64), *s))
+                .collect();
+            let ranked = rank_by_score(&scored);
+            prop_assert_eq!(ranked.len(), scored.len());
+            let mut ids: Vec<u64> = ranked.iter().map(|p| p.raw()).collect();
+            ids.sort_unstable();
+            let expected: Vec<u64> = (0..scores.len() as u64).collect();
+            prop_assert_eq!(ids, expected);
+        }
+
+        #[test]
+        fn prop_scores_descend_along_ranking(
+            scores in proptest::collection::vec(-10.0f64..10.0, 1..30)
+        ) {
+            let scored: Vec<(ProviderId, f64)> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (pid(i as u64), *s))
+                .collect();
+            let ranked = rank_by_score(&scored);
+            let score_of = |id: ProviderId| scored.iter().find(|(p, _)| *p == id).unwrap().1;
+            for pair in ranked.windows(2) {
+                prop_assert!(score_of(pair[0]) >= score_of(pair[1]) - 1e-12);
+            }
+        }
+    }
+}

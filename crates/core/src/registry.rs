@@ -1,0 +1,226 @@
+//! The mediator's provider registry.
+//!
+//! The registry tracks which providers exist, whether they are online, what
+//! they can do and how loaded they currently are. It answers the only
+//! question the allocation process needs from it: *which providers are able
+//! to perform this query right now* (the set `Pq`).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sbqa_types::{CapabilitySet, ProviderId, Query, SbqaError, SbqaResult};
+
+use crate::allocator::ProviderSnapshot;
+
+/// Mediator-side registry of provider state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProviderRegistry {
+    providers: HashMap<ProviderId, ProviderSnapshot>,
+}
+
+impl ProviderRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a provider with the given capabilities and
+    /// capacity, initially online and idle.
+    pub fn register(&mut self, id: ProviderId, capabilities: CapabilitySet, capacity: f64) {
+        self.providers
+            .insert(id, ProviderSnapshot::idle(id, capabilities, capacity));
+    }
+
+    /// Removes a provider entirely (it left the system for good).
+    /// Returns `true` if the provider existed.
+    pub fn unregister(&mut self, id: ProviderId) -> bool {
+        self.providers.remove(&id).is_some()
+    }
+
+    /// Marks a provider online or offline. Unknown providers are an error.
+    pub fn set_online(&mut self, id: ProviderId, online: bool) -> SbqaResult<()> {
+        match self.providers.get_mut(&id) {
+            Some(p) => {
+                p.online = online;
+                Ok(())
+            }
+            None => Err(SbqaError::UnknownProvider { provider: id }),
+        }
+    }
+
+    /// Updates a provider's load state (utilization in virtual seconds of
+    /// queued work, and queue length). Unknown providers are an error.
+    pub fn update_load(
+        &mut self,
+        id: ProviderId,
+        utilization: f64,
+        queue_length: usize,
+    ) -> SbqaResult<()> {
+        match self.providers.get_mut(&id) {
+            Some(p) => {
+                p.utilization = if utilization.is_finite() && utilization > 0.0 {
+                    utilization
+                } else {
+                    0.0
+                };
+                p.queue_length = queue_length;
+                Ok(())
+            }
+            None => Err(SbqaError::UnknownProvider { provider: id }),
+        }
+    }
+
+    /// Looks up one provider's snapshot.
+    #[must_use]
+    pub fn get(&self, id: ProviderId) -> Option<&ProviderSnapshot> {
+        self.providers.get(&id)
+    }
+
+    /// Number of registered providers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// `true` if no provider is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.providers.is_empty()
+    }
+
+    /// Number of providers currently online.
+    #[must_use]
+    pub fn online_count(&self) -> usize {
+        self.providers.values().filter(|p| p.online).count()
+    }
+
+    /// Iterates over all provider snapshots (online or not).
+    pub fn iter(&self) -> impl Iterator<Item = &ProviderSnapshot> {
+        self.providers.values()
+    }
+
+    /// The set `Pq`: every online provider able to perform `query`, sorted by
+    /// id for determinism.
+    #[must_use]
+    pub fn capable_of(&self, query: &Query) -> Vec<ProviderSnapshot> {
+        let mut capable: Vec<ProviderSnapshot> = self
+            .providers
+            .values()
+            .filter(|p| p.can_perform(query))
+            .copied()
+            .collect();
+        capable.sort_by_key(|p| p.id);
+        capable
+    }
+
+    /// Classifies a starvation: distinguishes "nobody can ever perform this"
+    /// from "capable providers exist but none is online".
+    #[must_use]
+    pub fn starvation_error(&self, query: &Query) -> SbqaError {
+        let any_capable = self
+            .providers
+            .values()
+            .any(|p| p.capabilities.contains(query.required_capability));
+        if any_capable {
+            SbqaError::NoProviderOnline { query: query.id }
+        } else {
+            SbqaError::NoCapableProvider { query: query.id }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_types::{Capability, ConsumerId, QueryId};
+
+    fn query(cap: u8) -> Query {
+        Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(cap)).build()
+    }
+
+    fn caps(cap: u8) -> CapabilitySet {
+        CapabilitySet::singleton(Capability::new(cap))
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = ProviderRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(ProviderId::new(1), caps(0), 2.0);
+        reg.register(ProviderId::new(2), caps(1), 3.0);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.online_count(), 2);
+        assert_eq!(reg.get(ProviderId::new(1)).unwrap().capacity, 2.0);
+        assert!(reg.get(ProviderId::new(9)).is_none());
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    fn capable_of_filters_by_capability_and_online() {
+        let mut reg = ProviderRegistry::new();
+        reg.register(ProviderId::new(1), caps(0), 1.0);
+        reg.register(ProviderId::new(2), caps(0), 1.0);
+        reg.register(ProviderId::new(3), caps(1), 1.0);
+        reg.set_online(ProviderId::new(2), false).unwrap();
+
+        let capable = reg.capable_of(&query(0));
+        let ids: Vec<u64> = capable.iter().map(|p| p.id.raw()).collect();
+        assert_eq!(ids, vec![1]);
+        assert_eq!(reg.online_count(), 2);
+    }
+
+    #[test]
+    fn load_updates_are_visible_in_snapshots() {
+        let mut reg = ProviderRegistry::new();
+        reg.register(ProviderId::new(1), caps(0), 1.0);
+        reg.update_load(ProviderId::new(1), 7.5, 3).unwrap();
+        let snap = reg.get(ProviderId::new(1)).unwrap();
+        assert_eq!(snap.utilization, 7.5);
+        assert_eq!(snap.queue_length, 3);
+        // Degenerate utilization is clamped to zero.
+        reg.update_load(ProviderId::new(1), f64::NAN, 0).unwrap();
+        assert_eq!(reg.get(ProviderId::new(1)).unwrap().utilization, 0.0);
+    }
+
+    #[test]
+    fn unknown_provider_operations_fail() {
+        let mut reg = ProviderRegistry::new();
+        assert!(matches!(
+            reg.set_online(ProviderId::new(1), true),
+            Err(SbqaError::UnknownProvider { .. })
+        ));
+        assert!(matches!(
+            reg.update_load(ProviderId::new(1), 1.0, 1),
+            Err(SbqaError::UnknownProvider { .. })
+        ));
+        assert!(!reg.unregister(ProviderId::new(1)));
+    }
+
+    #[test]
+    fn starvation_error_distinguishes_causes() {
+        let mut reg = ProviderRegistry::new();
+        reg.register(ProviderId::new(1), caps(0), 1.0);
+        // A query needing capability 5: nobody has it.
+        assert!(matches!(
+            reg.starvation_error(&query(5)),
+            SbqaError::NoCapableProvider { .. }
+        ));
+        // A query needing capability 0 while the only capable provider is
+        // offline: capability exists, nobody online.
+        reg.set_online(ProviderId::new(1), false).unwrap();
+        assert!(matches!(
+            reg.starvation_error(&query(0)),
+            SbqaError::NoProviderOnline { .. }
+        ));
+    }
+
+    #[test]
+    fn unregister_removes_from_capable_set() {
+        let mut reg = ProviderRegistry::new();
+        reg.register(ProviderId::new(1), caps(0), 1.0);
+        assert!(reg.unregister(ProviderId::new(1)));
+        assert!(reg.capable_of(&query(0)).is_empty());
+    }
+}

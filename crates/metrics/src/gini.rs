@@ -1,0 +1,99 @@
+//! The Gini coefficient, used as a fairness index.
+//!
+//! The scenario reports use the Gini coefficient over two distributions:
+//!
+//! * queries performed per provider (is the load shared fairly?), and
+//! * satisfaction per participant (are a few participants hoarding all the
+//!   satisfaction?).
+//!
+//! A coefficient of `0` means perfect equality, `1` means one participant
+//! gets everything.
+
+/// Computes the Gini coefficient of a set of non-negative quantities.
+///
+/// Negative inputs are clamped to zero (a provider cannot perform a negative
+/// number of queries); an empty slice or an all-zero slice yields `0.0`.
+#[must_use]
+pub fn gini_coefficient(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.iter().map(|v| v.max(0.0)).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // G = (2 * Σ_i i*x_i) / (n * Σ x) - (n + 1) / n, with i starting at 1 on
+    // the ascending-sorted sample.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
+    ((2.0 * weighted) / (n * total) - (n + 1.0) / n).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfectly_equal_distribution_is_zero() {
+        assert_eq!(gini_coefficient(&[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn single_winner_approaches_one() {
+        // With n participants and one holding everything, G = (n-1)/n.
+        let g = gini_coefficient(&[0.0, 0.0, 0.0, 100.0]);
+        assert!((g - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // [1, 2, 3]: G = (2*(1*1 + 2*2 + 3*3)) / (3*6) - 4/3 = 28/18 - 4/3 = 2/9
+        let g = gini_coefficient(&[1.0, 2.0, 3.0]);
+        assert!((g - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[0.0, 0.0]), 0.0);
+        assert_eq!(gini_coefficient(&[7.0]), 0.0);
+        // Negative values are clamped rather than corrupting the index.
+        assert_eq!(gini_coefficient(&[-1.0, -2.0]), 0.0);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = gini_coefficient(&[1.0, 5.0, 2.0, 9.0]);
+        let b = gini_coefficient(&[9.0, 2.0, 5.0, 1.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gini_in_unit_interval(values in proptest::collection::vec(0.0f64..1e6, 0..100)) {
+            let g = gini_coefficient(&values);
+            prop_assert!((0.0..=1.0).contains(&g));
+        }
+
+        #[test]
+        fn prop_uniform_distribution_is_zero(value in 0.1f64..1e6, n in 1usize..50) {
+            let values = vec![value; n];
+            prop_assert!(gini_coefficient(&values).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_scaling_invariant(values in proptest::collection::vec(0.0f64..1e3, 2..50), scale in 0.1f64..100.0) {
+            let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+            let a = gini_coefficient(&values);
+            let b = gini_coefficient(&scaled);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

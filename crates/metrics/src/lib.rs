@@ -1,0 +1,29 @@
+//! # sbqa-metrics
+//!
+//! Measurement primitives for the SbQA experiments: time series, summary
+//! statistics, fairness indices, load-balance indicators, response-time
+//! accounting and lightweight table / CSV rendering for the scenario
+//! harnesses.
+//!
+//! The crate is deliberately independent of the allocation logic so that any
+//! allocation technique — SbQA or a baseline — is measured with exactly the
+//! same instruments, which is what makes the scenario comparisons meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod csv;
+pub mod gini;
+pub mod response;
+pub mod summary;
+pub mod table;
+pub mod timeseries;
+
+pub use balance::LoadBalanceReport;
+pub use csv::CsvWriter;
+pub use gini::gini_coefficient;
+pub use response::ResponseTimeStats;
+pub use summary::Summary;
+pub use table::Table;
+pub use timeseries::{TimePoint, TimeSeries};

@@ -1,0 +1,237 @@
+//! Adequation and allocation efficiency.
+//!
+//! The demo paper only presents the *satisfaction* notion, but mentions that
+//! the complete model of the SQLB paper (VLDB 2007) also defines an
+//! **adequation** and an **allocation satisfaction** notion. We reconstruct
+//! them here because the experiment reports use them to separate two causes
+//! of dissatisfaction:
+//!
+//! * **Adequation** measures how well the *system as a whole* matches a
+//!   participant's interests, independently of the mediator's choices. A
+//!   provider surrounded by queries it hates has low adequation — no
+//!   allocation strategy can make it happy. For a provider we define it as
+//!   the mean unit-mapped intention over *all* proposed queries in the
+//!   window; for a consumer, as the mean over its queries of the best
+//!   attainable per-query satisfaction (intentions towards the `n` most
+//!   preferred capable providers).
+//! * **Allocation efficiency** is the ratio `satisfaction / adequation`
+//!   (clamped to `[0, 1]`): the fraction of the attainable satisfaction the
+//!   mediator actually delivered. An efficiency of 1 means the mediator did
+//!   as well as the environment allowed; a low efficiency with a high
+//!   adequation points at a poor allocation strategy rather than a poor
+//!   match between the participant and the system.
+//!
+//! These definitions follow the *intent* documented in the SbQA/SQLB papers
+//! (separating "the system is inadequate for me" from "the mediator ignores
+//! me"); the exact formulas are our reconstruction and are documented as such
+//! in `DESIGN.md`.
+
+use serde::{Deserialize, Serialize};
+
+use sbqa_types::{Intention, Satisfaction};
+
+use crate::consumer::ConsumerSatisfaction;
+use crate::provider::ProviderSatisfaction;
+
+/// Consumer-side adequation: the satisfaction the consumer *could* have had
+/// if the mediator always picked the providers it preferred.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerAdequation(pub Satisfaction);
+
+/// Provider-side adequation: how interesting the proposed workload is to the
+/// provider, regardless of what it got to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProviderAdequation(pub Satisfaction);
+
+/// The ratio of delivered satisfaction to attainable satisfaction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocationEfficiency(pub f64);
+
+impl AllocationEfficiency {
+    /// Computes `satisfaction / adequation`, clamped to `[0, 1]`.
+    ///
+    /// A zero adequation (the system has nothing to offer this participant)
+    /// yields an efficiency of 1: the mediator cannot be blamed for an
+    /// environment with no attainable satisfaction.
+    #[must_use]
+    pub fn from_parts(satisfaction: Satisfaction, adequation: Satisfaction) -> Self {
+        if adequation.value() <= f64::EPSILON {
+            return Self(1.0);
+        }
+        Self((satisfaction.value() / adequation.value()).clamp(0.0, 1.0))
+    }
+
+    /// The efficiency value in `[0, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+/// Computes the consumer adequation from the per-query *best attainable*
+/// satisfactions supplied by the caller.
+///
+/// The caller (the mediator or the simulator) knows, for each remembered
+/// query, the intentions the consumer expressed towards every capable
+/// provider; it passes the mean of the `n` highest unit-mapped intentions for
+/// each query. This function simply averages them, mirroring Definition 1.
+#[must_use]
+pub fn consumer_adequation(best_attainable: &[Satisfaction]) -> ConsumerAdequation {
+    match Satisfaction::mean(best_attainable) {
+        Some(mean) => ConsumerAdequation(mean),
+        None => ConsumerAdequation(Satisfaction::MAX),
+    }
+}
+
+/// Computes the best attainable per-query satisfaction for a consumer that
+/// required `n` results and expressed the given intentions towards the
+/// capable providers.
+///
+/// This is the building block the mediator feeds into
+/// [`consumer_adequation`]: take the `n` most preferred providers and average
+/// their unit-mapped intentions over `n` (missing providers count as zero,
+/// exactly as in Equation 1).
+#[must_use]
+pub fn best_attainable_satisfaction(intentions: &[Intention], n: usize) -> Satisfaction {
+    let n = n.max(1);
+    let mut units: Vec<f64> = intentions.iter().map(|i| i.to_unit().value()).collect();
+    units.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let sum: f64 = units.iter().take(n).sum();
+    Satisfaction::new(sum / n as f64)
+}
+
+/// Computes the provider adequation directly from its satisfaction tracker:
+/// the mean unit-mapped intention over all proposals in the window.
+#[must_use]
+pub fn provider_adequation(tracker: &ProviderSatisfaction) -> ProviderAdequation {
+    if tracker.observed_proposals() == 0 {
+        return ProviderAdequation(Satisfaction::MAX);
+    }
+    ProviderAdequation(tracker.mean_proposed_intention().to_unit())
+}
+
+/// Computes the provider's allocation efficiency from its tracker.
+#[must_use]
+pub fn provider_allocation_efficiency(tracker: &ProviderSatisfaction) -> AllocationEfficiency {
+    AllocationEfficiency::from_parts(tracker.satisfaction(), provider_adequation(tracker).0)
+}
+
+/// Computes the consumer's allocation efficiency given its tracker and the
+/// per-query best attainable satisfactions.
+#[must_use]
+pub fn consumer_allocation_efficiency(
+    tracker: &ConsumerSatisfaction,
+    best_attainable: &[Satisfaction],
+) -> AllocationEfficiency {
+    AllocationEfficiency::from_parts(
+        tracker.satisfaction(),
+        consumer_adequation(best_attainable).0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sbqa_types::QueryId;
+
+    #[test]
+    fn best_attainable_takes_top_n() {
+        let intentions = vec![
+            Intention::new(1.0),
+            Intention::new(-1.0),
+            Intention::new(0.0),
+        ];
+        // n = 1: only the best provider counts -> (1+1)/2 = 1.0
+        assert_eq!(
+            best_attainable_satisfaction(&intentions, 1),
+            Satisfaction::MAX
+        );
+        // n = 2: best two are 1.0 and 0.5 -> 0.75
+        assert!(
+            (best_attainable_satisfaction(&intentions, 2).value() - 0.75).abs() < 1e-12
+        );
+        // n = 4 with only three providers: missing one counts as zero.
+        let expected = (1.0 + 0.5 + 0.0) / 4.0;
+        assert!(
+            (best_attainable_satisfaction(&intentions, 4).value() - expected).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn best_attainable_of_empty_set_is_zero() {
+        assert_eq!(best_attainable_satisfaction(&[], 2), Satisfaction::MIN);
+    }
+
+    #[test]
+    fn consumer_adequation_averages_queries() {
+        let adequation = consumer_adequation(&[Satisfaction::new(1.0), Satisfaction::new(0.5)]);
+        assert!((adequation.0.value() - 0.75).abs() < 1e-12);
+        // No history yet: fully adequate.
+        assert_eq!(consumer_adequation(&[]).0, Satisfaction::MAX);
+    }
+
+    #[test]
+    fn provider_adequation_uses_all_proposals() {
+        let mut tracker = ProviderSatisfaction::new(10);
+        tracker.record_proposal(QueryId::new(1), Intention::new(1.0), false);
+        tracker.record_proposal(QueryId::new(2), Intention::new(-1.0), false);
+        // Adequation = mean unit intention = 0.5 even though nothing was performed.
+        assert!((provider_adequation(&tracker).0.value() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            provider_adequation(&ProviderSatisfaction::new(4)).0,
+            Satisfaction::MAX
+        );
+    }
+
+    #[test]
+    fn efficiency_separates_mediator_blame_from_environment_blame() {
+        let mut tracker = ProviderSatisfaction::new(10);
+        // Interesting workload, never selected: adequation 1, satisfaction 0,
+        // efficiency 0 — the mediator is to blame.
+        tracker.record_proposal(QueryId::new(1), Intention::new(1.0), false);
+        tracker.record_proposal(QueryId::new(2), Intention::new(1.0), false);
+        let eff = provider_allocation_efficiency(&tracker);
+        assert_eq!(eff.value(), 0.0);
+
+        // Uninteresting workload, always selected: satisfaction 0, adequation 0,
+        // efficiency 1 — the environment is to blame, not the mediator.
+        let mut tracker = ProviderSatisfaction::new(10);
+        tracker.record_proposal(QueryId::new(1), Intention::new(-1.0), true);
+        let eff = provider_allocation_efficiency(&tracker);
+        assert_eq!(eff.value(), 1.0);
+    }
+
+    #[test]
+    fn consumer_efficiency_compares_to_attainable() {
+        let mut tracker = ConsumerSatisfaction::new(10);
+        tracker.record_outcome(
+            QueryId::new(1),
+            1,
+            vec![(sbqa_types::ProviderId::new(1), Intention::new(0.0))],
+        );
+        // Got 0.5, could have had 1.0 -> efficiency 0.5.
+        let eff = consumer_allocation_efficiency(&tracker, &[Satisfaction::MAX]);
+        assert!((eff.value() - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_efficiency_in_unit_interval(s in 0.0f64..=1.0, a in 0.0f64..=1.0) {
+            let eff = AllocationEfficiency::from_parts(Satisfaction::new(s), Satisfaction::new(a));
+            prop_assert!((0.0..=1.0).contains(&eff.value()));
+        }
+
+        #[test]
+        fn prop_best_attainable_monotone_in_intentions(
+            intentions in proptest::collection::vec(-1.0f64..=1.0, 1..10),
+            n in 1usize..5,
+        ) {
+            let base: Vec<Intention> = intentions.iter().copied().map(Intention::new).collect();
+            let improved: Vec<Intention> = base.iter().map(|_| Intention::MAX).collect();
+            prop_assert!(
+                best_attainable_satisfaction(&improved, n) >= best_attainable_satisfaction(&base, n)
+            );
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Consumer-side satisfaction (Definition 1 of the paper).
+//!
+//! For a query `q` issued by consumer `c`, the consumer expressed an intention
+//! `CIq[p] ∈ [-1, 1]` towards every provider `p` in `Pq`. Once the query has
+//! been performed by the set `P̂q` of providers, the per-query satisfaction is
+//!
+//! ```text
+//! δs(c, q) = (1/n) · Σ_{p ∈ P̂q} (CIq[p] + 1) / 2
+//! ```
+//!
+//! where `n` is the number of results the consumer required (`q.n`). Note the
+//! normalisation by `n`, not by `|P̂q|`: if fewer providers than requested
+//! performed the query, the missing results contribute zero satisfaction —
+//! an under-served consumer is an unsatisfied consumer.
+//!
+//! The long-run satisfaction `δs(c)` (Definition 1) is the mean of `δs(c, q)`
+//! over the consumer's last `k` queries.
+
+use serde::{Deserialize, Serialize};
+
+use sbqa_types::{Intention, ProviderId, QueryId, Satisfaction};
+
+use crate::window::InteractionWindow;
+
+/// The record a consumer keeps for one of its past queries: which providers
+/// performed it, with which expressed intention, and how many results were
+/// required.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerInteraction {
+    /// The query this interaction refers to.
+    pub query: QueryId,
+    /// Number of results the consumer required (`q.n`, at least 1).
+    pub required_results: usize,
+    /// The providers that performed the query together with the intention the
+    /// consumer had expressed towards each of them.
+    pub performed_by: Vec<(ProviderId, Intention)>,
+}
+
+impl ConsumerInteraction {
+    /// Builds an interaction record, forcing `required_results ≥ 1`.
+    #[must_use]
+    pub fn new(
+        query: QueryId,
+        required_results: usize,
+        performed_by: Vec<(ProviderId, Intention)>,
+    ) -> Self {
+        Self {
+            query,
+            required_results: required_results.max(1),
+            performed_by,
+        }
+    }
+
+    /// Per-query satisfaction `δs(c, q)` (Equation 1).
+    #[must_use]
+    pub fn satisfaction(&self) -> Satisfaction {
+        let n = self.required_results as f64;
+        let sum: f64 = self
+            .performed_by
+            .iter()
+            .map(|(_, intention)| intention.to_unit().value())
+            .sum();
+        Satisfaction::new(sum / n)
+    }
+
+    /// `true` if the consumer obtained at least as many results as required.
+    #[must_use]
+    pub fn fully_served(&self) -> bool {
+        self.performed_by.len() >= self.required_results
+    }
+}
+
+/// Rolling consumer satisfaction over the last `k` queries (Definition 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerSatisfaction {
+    window: InteractionWindow<ConsumerInteraction>,
+}
+
+impl ConsumerSatisfaction {
+    /// Creates a tracker remembering the last `k` queries.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            window: InteractionWindow::new(k),
+        }
+    }
+
+    /// The window size `k`.
+    #[must_use]
+    pub fn window_size(&self) -> usize {
+        self.window.capacity()
+    }
+
+    /// Number of queries currently contributing to the satisfaction.
+    #[must_use]
+    pub fn observed_queries(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Records the outcome of a query.
+    pub fn record(&mut self, interaction: ConsumerInteraction) {
+        self.window.record(interaction);
+    }
+
+    /// Convenience wrapper over [`ConsumerSatisfaction::record`].
+    pub fn record_outcome(
+        &mut self,
+        query: QueryId,
+        required_results: usize,
+        performed_by: Vec<(ProviderId, Intention)>,
+    ) {
+        self.record(ConsumerInteraction::new(
+            query,
+            required_results,
+            performed_by,
+        ));
+    }
+
+    /// Long-run satisfaction `δs(c)`: the mean of the per-query satisfactions
+    /// over the remembered window.
+    ///
+    /// A consumer with no recorded query yet is fully satisfied
+    /// ([`Satisfaction::MAX`]) — it has not been wronged by the system yet,
+    /// which matches the paper's treatment of newcomers and prevents
+    /// spurious departures at simulation start.
+    #[must_use]
+    pub fn satisfaction(&self) -> Satisfaction {
+        if self.window.is_empty() {
+            return Satisfaction::MAX;
+        }
+        let sum: f64 = self
+            .window
+            .iter()
+            .map(|interaction| interaction.satisfaction().value())
+            .sum();
+        Satisfaction::new(sum / self.window.len() as f64)
+    }
+
+    /// Satisfaction of the most recent query, if any.
+    #[must_use]
+    pub fn latest_query_satisfaction(&self) -> Option<Satisfaction> {
+        self.window.latest().map(ConsumerInteraction::satisfaction)
+    }
+
+    /// Fraction of remembered queries that received all required results.
+    #[must_use]
+    pub fn full_service_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            return 1.0;
+        }
+        let served = self
+            .window
+            .iter()
+            .filter(|interaction| interaction.fully_served())
+            .count();
+        served as f64 / self.window.len() as f64
+    }
+
+    /// Iterates over the remembered interactions, oldest first.
+    pub fn interactions(&self) -> impl Iterator<Item = &ConsumerInteraction> {
+        self.window.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pid(raw: u64) -> ProviderId {
+        ProviderId::new(raw)
+    }
+
+    #[test]
+    fn per_query_satisfaction_matches_equation_one() {
+        // Two results required, two providers performed with intentions 1 and 0:
+        // δs = (1/2) * ((1+1)/2 + (0+1)/2) = (1/2) * (1 + 0.5) = 0.75
+        let interaction = ConsumerInteraction::new(
+            QueryId::new(1),
+            2,
+            vec![
+                (pid(1), Intention::new(1.0)),
+                (pid(2), Intention::new(0.0)),
+            ],
+        );
+        assert!((interaction.satisfaction().value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_served_queries_lose_satisfaction() {
+        // Three results required but only one provider (intention 1) performed:
+        // δs = (1/3) * 1 = 0.333…
+        let interaction = ConsumerInteraction::new(
+            QueryId::new(1),
+            3,
+            vec![(pid(1), Intention::new(1.0))],
+        );
+        assert!((interaction.satisfaction().value() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(!interaction.fully_served());
+    }
+
+    #[test]
+    fn starved_query_gives_zero_satisfaction() {
+        let interaction = ConsumerInteraction::new(QueryId::new(1), 2, vec![]);
+        assert_eq!(interaction.satisfaction(), Satisfaction::MIN);
+    }
+
+    #[test]
+    fn negative_intentions_drag_satisfaction_below_half() {
+        let interaction = ConsumerInteraction::new(
+            QueryId::new(1),
+            1,
+            vec![(pid(1), Intention::new(-1.0))],
+        );
+        assert_eq!(interaction.satisfaction(), Satisfaction::MIN);
+
+        let interaction = ConsumerInteraction::new(
+            QueryId::new(1),
+            1,
+            vec![(pid(1), Intention::new(-0.5))],
+        );
+        assert!((interaction.satisfaction().value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_run_satisfaction_is_mean_over_window() {
+        let mut sat = ConsumerSatisfaction::new(2);
+        assert_eq!(sat.satisfaction(), Satisfaction::MAX);
+
+        sat.record_outcome(QueryId::new(1), 1, vec![(pid(1), Intention::new(1.0))]);
+        sat.record_outcome(QueryId::new(2), 1, vec![(pid(2), Intention::new(-1.0))]);
+        // (1.0 + 0.0) / 2
+        assert!((sat.satisfaction().value() - 0.5).abs() < 1e-12);
+
+        // Window of 2: the oldest (fully satisfying) query is evicted.
+        sat.record_outcome(QueryId::new(3), 1, vec![(pid(3), Intention::new(-1.0))]);
+        assert_eq!(sat.satisfaction(), Satisfaction::MIN);
+        assert_eq!(sat.observed_queries(), 2);
+        assert_eq!(sat.window_size(), 2);
+    }
+
+    #[test]
+    fn latest_and_service_rate() {
+        let mut sat = ConsumerSatisfaction::new(10);
+        assert_eq!(sat.latest_query_satisfaction(), None);
+        assert_eq!(sat.full_service_rate(), 1.0);
+
+        sat.record_outcome(QueryId::new(1), 2, vec![(pid(1), Intention::new(1.0))]);
+        sat.record_outcome(
+            QueryId::new(2),
+            1,
+            vec![(pid(2), Intention::new(0.5))],
+        );
+        assert_eq!(sat.full_service_rate(), 0.5);
+        assert!(sat.latest_query_satisfaction().is_some());
+        assert_eq!(sat.interactions().count(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_satisfaction_always_in_unit_interval(
+            intentions in proptest::collection::vec(-1.0f64..=1.0, 0..10),
+            required in 1usize..5,
+        ) {
+            let performed: Vec<(ProviderId, Intention)> = intentions
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (pid(i as u64), Intention::new(*v)))
+                .collect();
+            let interaction = ConsumerInteraction::new(QueryId::new(0), required, performed);
+            let s = interaction.satisfaction().value();
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn prop_more_liked_providers_never_decrease_satisfaction(
+            base in -1.0f64..=1.0,
+            extra in 0.0f64..=1.0,
+            required in 2usize..5,
+        ) {
+            let one = ConsumerInteraction::new(
+                QueryId::new(0),
+                required,
+                vec![(pid(1), Intention::new(base))],
+            );
+            let two = ConsumerInteraction::new(
+                QueryId::new(0),
+                required,
+                vec![(pid(1), Intention::new(base)), (pid(2), Intention::new(extra))],
+            );
+            prop_assert!(two.satisfaction() >= one.satisfaction());
+        }
+
+        #[test]
+        fn prop_long_run_mean_bounded_by_extremes(
+            values in proptest::collection::vec(-1.0f64..=1.0, 1..30),
+            k in 1usize..40,
+        ) {
+            let mut sat = ConsumerSatisfaction::new(k);
+            for (i, v) in values.iter().enumerate() {
+                sat.record_outcome(
+                    QueryId::new(i as u64),
+                    1,
+                    vec![(pid(0), Intention::new(*v))],
+                );
+            }
+            let s = sat.satisfaction().value();
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # sbqa-satisfaction
+//!
+//! The long-run satisfaction model of SbQA (Section II of the paper, in turn
+//! taken from the SQLB framework, VLDB 2007).
+//!
+//! Participants — consumers and providers — are autonomous: they have private
+//! interests in queries and may leave a system that keeps ignoring those
+//! interests. The satisfaction model turns the history of a participant's
+//! *expressed intentions* over its last `k` interactions into a single number
+//! in `[0, 1]`:
+//!
+//! * **consumer satisfaction** ([`ConsumerSatisfaction`]): for each of the
+//!   last `k` queries, how much the consumer wanted the providers that
+//!   actually performed it (Definition 1);
+//! * **provider satisfaction** ([`ProviderSatisfaction`]): over the last `k`
+//!   queries *proposed* to the provider, how much it wanted the ones it
+//!   actually got to perform (Definition 2);
+//! * **adequation and allocation efficiency** ([`adequation`]): how well the
+//!   system's proposals match a participant's interests irrespective of the
+//!   final allocation, and which fraction of the attainable satisfaction the
+//!   mediator actually delivered (reconstructed from the SQLB paper, see the
+//!   module documentation).
+//!
+//! The mediator keeps its own mirror of everybody's satisfaction in a
+//! [`SatisfactionRegistry`], which is what the ω computation of Equation 2
+//! reads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adequation;
+pub mod analysis;
+pub mod consumer;
+pub mod provider;
+pub mod registry;
+pub mod window;
+
+pub use adequation::{AllocationEfficiency, ConsumerAdequation, ProviderAdequation};
+pub use analysis::{SatisfactionAnalysis, SatisfactionSnapshot, SideSummary};
+pub use consumer::{ConsumerInteraction, ConsumerSatisfaction};
+pub use provider::{ProviderInteraction, ProviderSatisfaction};
+pub use registry::SatisfactionRegistry;
+pub use window::InteractionWindow;

@@ -1,0 +1,245 @@
+//! Provider-side satisfaction (Definition 2 of the paper).
+//!
+//! A provider tracks the intentions it expressed towards the last `k` queries
+//! that were *proposed* to it (the vector `PPIp` of the paper). Among those,
+//! the subset `SQ^k_p` is the set of queries the provider actually got to
+//! perform. Its satisfaction is
+//!
+//! ```text
+//!            |  (1/|SQ^k_p|) · Σ_{q ∈ SQ^k_p} (PPIp[q] + 1) / 2
+//! δs(p)  =   |
+//!            |  0                                if SQ^k_p = ∅
+//! ```
+//!
+//! In words: a provider is satisfied when the queries it ends up performing
+//! are the ones it wanted, and completely unsatisfied when it is proposed
+//! queries but never selected. Note that the denominator is the number of
+//! *performed* queries, not `k`: a provider that performs few but
+//! well-matching queries is still satisfied — starvation is penalised through
+//! the empty-set clause, not through dilution.
+
+use serde::{Deserialize, Serialize};
+
+use sbqa_types::{Intention, QueryId, Satisfaction};
+
+use crate::window::InteractionWindow;
+
+/// One proposal the provider received: the query, the intention the provider
+/// expressed for performing it, and whether the mediator selected it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProviderInteraction {
+    /// The proposed query.
+    pub query: QueryId,
+    /// The intention the provider expressed for performing the query
+    /// (an entry of the vector `PPIp`).
+    pub intention: Intention,
+    /// `true` if the provider was selected to perform the query
+    /// (`q ∈ SQ^k_p`).
+    pub performed: bool,
+}
+
+impl ProviderInteraction {
+    /// Builds a proposal record.
+    #[must_use]
+    pub fn new(query: QueryId, intention: Intention, performed: bool) -> Self {
+        Self {
+            query,
+            intention,
+            performed,
+        }
+    }
+}
+
+/// Rolling provider satisfaction over the last `k` proposed queries
+/// (Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderSatisfaction {
+    window: InteractionWindow<ProviderInteraction>,
+}
+
+impl ProviderSatisfaction {
+    /// Creates a tracker remembering the last `k` proposals.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            window: InteractionWindow::new(k),
+        }
+    }
+
+    /// The window size `k`.
+    #[must_use]
+    pub fn window_size(&self) -> usize {
+        self.window.capacity()
+    }
+
+    /// Number of proposals currently remembered.
+    #[must_use]
+    pub fn observed_proposals(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Records a proposal and whether the provider performed it.
+    pub fn record(&mut self, interaction: ProviderInteraction) {
+        self.window.record(interaction);
+    }
+
+    /// Convenience wrapper over [`ProviderSatisfaction::record`].
+    pub fn record_proposal(&mut self, query: QueryId, intention: Intention, performed: bool) {
+        self.record(ProviderInteraction::new(query, intention, performed));
+    }
+
+    /// Long-run satisfaction `δs(p)` over the remembered window.
+    ///
+    /// Follows Definition 2, with one refinement for the cold-start case: a
+    /// provider that has received *no proposal at all* is treated as fully
+    /// satisfied (it has not been wronged yet), whereas a provider that has
+    /// been proposed queries but performed none of them gets the paper's `0`.
+    #[must_use]
+    pub fn satisfaction(&self) -> Satisfaction {
+        if self.window.is_empty() {
+            return Satisfaction::MAX;
+        }
+        let performed: Vec<&ProviderInteraction> =
+            self.window.iter().filter(|i| i.performed).collect();
+        if performed.is_empty() {
+            return Satisfaction::MIN;
+        }
+        let sum: f64 = performed
+            .iter()
+            .map(|i| i.intention.to_unit().value())
+            .sum();
+        Satisfaction::new(sum / performed.len() as f64)
+    }
+
+    /// Number of remembered proposals the provider actually performed
+    /// (`|SQ^k_p|`).
+    #[must_use]
+    pub fn performed_count(&self) -> usize {
+        self.window.iter().filter(|i| i.performed).count()
+    }
+
+    /// Fraction of remembered proposals the provider performed. Returns 1.0
+    /// when there is no proposal yet.
+    #[must_use]
+    pub fn selection_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            return 1.0;
+        }
+        self.performed_count() as f64 / self.window.len() as f64
+    }
+
+    /// Mean intention expressed over all remembered proposals, performed or
+    /// not. This is the raw interest signal used by the adequation notion.
+    #[must_use]
+    pub fn mean_proposed_intention(&self) -> Intention {
+        let values: Vec<Intention> = self.window.iter().map(|i| i.intention).collect();
+        Intention::mean(&values)
+    }
+
+    /// Iterates over the remembered proposals, oldest first.
+    pub fn interactions(&self) -> impl Iterator<Item = &ProviderInteraction> {
+        self.window.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn satisfaction_matches_definition_two() {
+        let mut sat = ProviderSatisfaction::new(10);
+        // Performed a wanted query (intention 1) and an unwanted one (-1),
+        // plus a proposal it did not perform (ignored by the numerator):
+        // δs = ((1+1)/2 + (-1+1)/2) / 2 = (1 + 0) / 2 = 0.5
+        sat.record_proposal(QueryId::new(1), Intention::new(1.0), true);
+        sat.record_proposal(QueryId::new(2), Intention::new(-1.0), true);
+        sat.record_proposal(QueryId::new(3), Intention::new(1.0), false);
+        assert!((sat.satisfaction().value() - 0.5).abs() < 1e-12);
+        assert_eq!(sat.performed_count(), 2);
+    }
+
+    #[test]
+    fn proposed_but_never_selected_means_zero() {
+        let mut sat = ProviderSatisfaction::new(5);
+        sat.record_proposal(QueryId::new(1), Intention::new(0.9), false);
+        sat.record_proposal(QueryId::new(2), Intention::new(0.8), false);
+        assert_eq!(sat.satisfaction(), Satisfaction::MIN);
+        assert_eq!(sat.selection_rate(), 0.0);
+    }
+
+    #[test]
+    fn no_proposal_yet_means_fully_satisfied() {
+        let sat = ProviderSatisfaction::new(5);
+        assert_eq!(sat.satisfaction(), Satisfaction::MAX);
+        assert_eq!(sat.selection_rate(), 1.0);
+        assert_eq!(sat.mean_proposed_intention(), Intention::NEUTRAL);
+    }
+
+    #[test]
+    fn denominator_is_performed_queries_not_k() {
+        let mut sat = ProviderSatisfaction::new(100);
+        // One performed query it loved, many proposals it did not perform:
+        // satisfaction stays 1.0 because the mean is over performed queries.
+        sat.record_proposal(QueryId::new(0), Intention::new(1.0), true);
+        for i in 1..50 {
+            sat.record_proposal(QueryId::new(i), Intention::new(0.5), false);
+        }
+        assert_eq!(sat.satisfaction(), Satisfaction::MAX);
+        assert!((sat.selection_rate() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_eviction_forgets_old_interactions() {
+        let mut sat = ProviderSatisfaction::new(2);
+        sat.record_proposal(QueryId::new(1), Intention::new(1.0), true);
+        sat.record_proposal(QueryId::new(2), Intention::new(1.0), true);
+        assert_eq!(sat.satisfaction(), Satisfaction::MAX);
+        // Two bad interactions push the good ones out of the window.
+        sat.record_proposal(QueryId::new(3), Intention::new(-1.0), true);
+        sat.record_proposal(QueryId::new(4), Intention::new(-1.0), true);
+        assert_eq!(sat.satisfaction(), Satisfaction::MIN);
+        assert_eq!(sat.observed_proposals(), 2);
+        assert_eq!(sat.window_size(), 2);
+        assert_eq!(sat.interactions().count(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_satisfaction_in_unit_interval(
+            proposals in proptest::collection::vec((-1.0f64..=1.0, proptest::bool::ANY), 0..50),
+            k in 1usize..60,
+        ) {
+            let mut sat = ProviderSatisfaction::new(k);
+            for (i, (intent, performed)) in proposals.iter().enumerate() {
+                sat.record_proposal(QueryId::new(i as u64), Intention::new(*intent), *performed);
+            }
+            let s = sat.satisfaction().value();
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn prop_performing_only_loved_queries_gives_max(
+            count in 1usize..30,
+        ) {
+            let mut sat = ProviderSatisfaction::new(64);
+            for i in 0..count {
+                sat.record_proposal(QueryId::new(i as u64), Intention::MAX, true);
+            }
+            prop_assert_eq!(sat.satisfaction(), Satisfaction::MAX);
+        }
+
+        #[test]
+        fn prop_selection_rate_in_unit_interval(
+            proposals in proptest::collection::vec(proptest::bool::ANY, 0..50),
+        ) {
+            let mut sat = ProviderSatisfaction::new(32);
+            for (i, performed) in proposals.iter().enumerate() {
+                sat.record_proposal(QueryId::new(i as u64), Intention::NEUTRAL, *performed);
+            }
+            let rate = sat.selection_rate();
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+}

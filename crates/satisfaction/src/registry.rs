@@ -1,0 +1,277 @@
+//! The mediator-side satisfaction registry.
+//!
+//! To compute ω (Equation 2) the mediator needs to know, at mediation time,
+//! the current satisfaction of the issuing consumer and of every candidate
+//! provider. [`SatisfactionRegistry`] is that bookkeeping: it owns one
+//! [`ConsumerSatisfaction`] per registered consumer and one
+//! [`ProviderSatisfaction`] per registered provider, and is updated after
+//! every mediation with the information the paper says the mediator sends out
+//! ("the mediation result to the consumer and all providers in set Kn").
+//!
+//! The registry is also the instrument of Scenario 1: because it only relies
+//! on expressed intentions and observed allocations, it can score *any*
+//! allocation method — Capacity-based, Economic or SbQA — from a satisfaction
+//! point of view.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sbqa_types::{ConsumerId, Intention, ProviderId, QueryId, Satisfaction};
+
+use crate::consumer::ConsumerSatisfaction;
+use crate::provider::ProviderSatisfaction;
+
+/// Mediator-side record of every participant's satisfaction state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SatisfactionRegistry {
+    window: usize,
+    consumers: HashMap<ConsumerId, ConsumerSatisfaction>,
+    providers: HashMap<ProviderId, ProviderSatisfaction>,
+}
+
+impl SatisfactionRegistry {
+    /// Creates a registry whose participants remember their last `k`
+    /// interactions.
+    #[must_use]
+    pub fn new(satisfaction_window: usize) -> Self {
+        Self {
+            window: satisfaction_window.max(1),
+            consumers: HashMap::new(),
+            providers: HashMap::new(),
+        }
+    }
+
+    /// The interaction-window length used for new participants.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Registers a consumer if it is not yet known. Returns `true` if it was
+    /// newly registered.
+    pub fn register_consumer(&mut self, consumer: ConsumerId) -> bool {
+        if self.consumers.contains_key(&consumer) {
+            return false;
+        }
+        self.consumers
+            .insert(consumer, ConsumerSatisfaction::new(self.window));
+        true
+    }
+
+    /// Registers a provider if it is not yet known. Returns `true` if it was
+    /// newly registered.
+    pub fn register_provider(&mut self, provider: ProviderId) -> bool {
+        if self.providers.contains_key(&provider) {
+            return false;
+        }
+        self.providers
+            .insert(provider, ProviderSatisfaction::new(self.window));
+        true
+    }
+
+    /// Removes a consumer (it left the system). Returns `true` if it existed.
+    pub fn remove_consumer(&mut self, consumer: ConsumerId) -> bool {
+        self.consumers.remove(&consumer).is_some()
+    }
+
+    /// Removes a provider (it left the system). Returns `true` if it existed.
+    pub fn remove_provider(&mut self, provider: ProviderId) -> bool {
+        self.providers.remove(&provider).is_some()
+    }
+
+    /// Number of registered consumers.
+    #[must_use]
+    pub fn consumer_count(&self) -> usize {
+        self.consumers.len()
+    }
+
+    /// Number of registered providers.
+    #[must_use]
+    pub fn provider_count(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// Current satisfaction of a consumer. Unknown consumers are treated as
+    /// fully satisfied newcomers, mirroring the tracker's cold-start rule.
+    #[must_use]
+    pub fn consumer_satisfaction(&self, consumer: ConsumerId) -> Satisfaction {
+        self.consumers
+            .get(&consumer)
+            .map_or(Satisfaction::MAX, ConsumerSatisfaction::satisfaction)
+    }
+
+    /// Current satisfaction of a provider; unknown providers count as fully
+    /// satisfied newcomers.
+    #[must_use]
+    pub fn provider_satisfaction(&self, provider: ProviderId) -> Satisfaction {
+        self.providers
+            .get(&provider)
+            .map_or(Satisfaction::MAX, ProviderSatisfaction::satisfaction)
+    }
+
+    /// Immutable access to a consumer's tracker.
+    #[must_use]
+    pub fn consumer(&self, consumer: ConsumerId) -> Option<&ConsumerSatisfaction> {
+        self.consumers.get(&consumer)
+    }
+
+    /// Immutable access to a provider's tracker.
+    #[must_use]
+    pub fn provider(&self, provider: ProviderId) -> Option<&ProviderSatisfaction> {
+        self.providers.get(&provider)
+    }
+
+    /// Records the outcome of a mediation.
+    ///
+    /// * `consumer` and `required_results` identify the query's issuer and its
+    ///   replication factor `q.n`;
+    /// * `performed_by` lists the selected providers with the intention the
+    ///   consumer had expressed towards each;
+    /// * `proposals` lists *every* provider that was asked for an intention
+    ///   (the set `Kn`), with the intention it expressed and whether it was
+    ///   selected — exactly the information the paper says the mediator sends
+    ///   back to "the consumer and all providers in set Kn".
+    pub fn record_mediation(
+        &mut self,
+        query: QueryId,
+        consumer: ConsumerId,
+        required_results: usize,
+        performed_by: &[(ProviderId, Intention)],
+        proposals: &[(ProviderId, Intention, bool)],
+    ) {
+        self.register_consumer(consumer);
+        if let Some(tracker) = self.consumers.get_mut(&consumer) {
+            tracker.record_outcome(query, required_results, performed_by.to_vec());
+        }
+        for (provider, intention, performed) in proposals {
+            self.register_provider(*provider);
+            if let Some(tracker) = self.providers.get_mut(provider) {
+                tracker.record_proposal(query, *intention, *performed);
+            }
+        }
+    }
+
+    /// Iterates over `(id, satisfaction)` for every registered consumer.
+    pub fn consumer_satisfactions(&self) -> impl Iterator<Item = (ConsumerId, Satisfaction)> + '_ {
+        self.consumers
+            .iter()
+            .map(|(id, tracker)| (*id, tracker.satisfaction()))
+    }
+
+    /// Iterates over `(id, satisfaction)` for every registered provider.
+    pub fn provider_satisfactions(&self) -> impl Iterator<Item = (ProviderId, Satisfaction)> + '_ {
+        self.providers
+            .iter()
+            .map(|(id, tracker)| (*id, tracker.satisfaction()))
+    }
+
+    /// The balancing parameter ω of Equation 2 for a given consumer/provider
+    /// pair, read from the registry's current state.
+    #[must_use]
+    pub fn omega(&self, consumer: ConsumerId, provider: ProviderId) -> f64 {
+        self.consumer_satisfaction(consumer)
+            .omega_against(self.provider_satisfaction(provider))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(raw: u64) -> ConsumerId {
+        ConsumerId::new(raw)
+    }
+
+    fn pid(raw: u64) -> ProviderId {
+        ProviderId::new(raw)
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut reg = SatisfactionRegistry::new(10);
+        assert!(reg.register_consumer(cid(1)));
+        assert!(!reg.register_consumer(cid(1)));
+        assert!(reg.register_provider(pid(1)));
+        assert!(!reg.register_provider(pid(1)));
+        assert_eq!(reg.consumer_count(), 1);
+        assert_eq!(reg.provider_count(), 1);
+        assert_eq!(reg.window(), 10);
+    }
+
+    #[test]
+    fn unknown_participants_are_satisfied_newcomers() {
+        let reg = SatisfactionRegistry::new(10);
+        assert_eq!(reg.consumer_satisfaction(cid(9)), Satisfaction::MAX);
+        assert_eq!(reg.provider_satisfaction(pid(9)), Satisfaction::MAX);
+        assert!((reg.omega(cid(9), pid(9)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_mediation_updates_both_sides() {
+        let mut reg = SatisfactionRegistry::new(10);
+        let selected = vec![(pid(1), Intention::new(1.0))];
+        let proposals = vec![
+            (pid(1), Intention::new(0.5), true),
+            (pid(2), Intention::new(0.9), false),
+        ];
+        reg.record_mediation(QueryId::new(1), cid(1), 1, &selected, &proposals);
+
+        // The consumer got its preferred provider: fully satisfied.
+        assert_eq!(reg.consumer_satisfaction(cid(1)), Satisfaction::MAX);
+        // Provider 1 performed a query it valued at 0.5 -> (0.5+1)/2 = 0.75.
+        assert!((reg.provider_satisfaction(pid(1)).value() - 0.75).abs() < 1e-12);
+        // Provider 2 was proposed a query but did not perform it -> 0.
+        assert_eq!(reg.provider_satisfaction(pid(2)), Satisfaction::MIN);
+        assert_eq!(reg.consumer_count(), 1);
+        assert_eq!(reg.provider_count(), 2);
+    }
+
+    #[test]
+    fn omega_shifts_towards_the_dissatisfied_side() {
+        let mut reg = SatisfactionRegistry::new(10);
+        // Build a dissatisfied provider and a satisfied consumer.
+        reg.record_mediation(
+            QueryId::new(1),
+            cid(1),
+            1,
+            &[(pid(1), Intention::new(1.0))],
+            &[
+                (pid(1), Intention::new(1.0), true),
+                (pid(2), Intention::new(0.9), false),
+            ],
+        );
+        // Consumer fully satisfied (1.0), provider 2 fully dissatisfied (0.0):
+        // ω = ((1 - 0) + 1) / 2 = 1 -> all the weight on the provider's intention.
+        assert!((reg.omega(cid(1), pid(2)) - 1.0).abs() < 1e-12);
+        // Against the satisfied provider 1 the weight stays balanced-ish.
+        assert!(reg.omega(cid(1), pid(1)) < 1.0);
+    }
+
+    #[test]
+    fn removal_forgets_participants() {
+        let mut reg = SatisfactionRegistry::new(5);
+        reg.register_consumer(cid(1));
+        reg.register_provider(pid(1));
+        assert!(reg.remove_consumer(cid(1)));
+        assert!(!reg.remove_consumer(cid(1)));
+        assert!(reg.remove_provider(pid(1)));
+        assert!(!reg.remove_provider(pid(1)));
+        assert_eq!(reg.consumer_count(), 0);
+        assert_eq!(reg.provider_count(), 0);
+    }
+
+    #[test]
+    fn satisfaction_iterators_cover_all_participants() {
+        let mut reg = SatisfactionRegistry::new(5);
+        reg.register_consumer(cid(1));
+        reg.register_consumer(cid(2));
+        reg.register_provider(pid(3));
+        assert_eq!(reg.consumer_satisfactions().count(), 2);
+        assert_eq!(reg.provider_satisfactions().count(), 1);
+        assert!(reg.consumer(cid(1)).is_some());
+        assert!(reg.provider(pid(3)).is_some());
+        assert!(reg.consumer(cid(99)).is_none());
+        assert!(reg.provider(pid(99)).is_none());
+    }
+}

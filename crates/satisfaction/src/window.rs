@@ -1,0 +1,198 @@
+//! Bounded windows over the last `k` interactions.
+//!
+//! Section II of the paper: "The satisfaction notions are based on the `k`
+//! last interactions that a participant had with the system. The `k` value may
+//! be different for each participant depending on its memory capacity."
+//!
+//! [`InteractionWindow`] is a fixed-capacity FIFO over interaction records.
+//! When a new interaction arrives and the window is full, the oldest record is
+//! evicted, so satisfaction always reflects the most recent `k` interactions.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded FIFO window over the last `k` interactions of a participant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionWindow<T> {
+    capacity: usize,
+    items: VecDeque<T>,
+    /// Total number of interactions ever recorded, including evicted ones.
+    total_recorded: u64,
+}
+
+impl<T> InteractionWindow<T> {
+    /// Creates a window remembering at most `k` interactions.
+    ///
+    /// A capacity of zero is promoted to one: a participant that remembers
+    /// nothing cannot compute a satisfaction at all, and the paper assumes
+    /// `k ≥ 1`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            capacity: k.max(1),
+            items: VecDeque::with_capacity(k.max(1)),
+            total_recorded: 0,
+        }
+    }
+
+    /// The window capacity `k`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of interactions currently remembered (≤ `k`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if no interaction has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` once the window holds exactly `k` interactions.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Total number of interactions ever recorded (monotonically increasing).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Records a new interaction, evicting the oldest one if the window is
+    /// full. Returns the evicted interaction, if any.
+    pub fn record(&mut self, item: T) -> Option<T> {
+        self.total_recorded += 1;
+        let evicted = if self.items.len() == self.capacity {
+            self.items.pop_front()
+        } else {
+            None
+        };
+        self.items.push_back(item);
+        evicted
+    }
+
+    /// Iterates over the remembered interactions from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// The most recent interaction, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<&T> {
+        self.items.back()
+    }
+
+    /// The oldest remembered interaction, if any.
+    #[must_use]
+    pub fn oldest(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Forgets all remembered interactions (but keeps the total counter).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Changes the window capacity.
+    ///
+    /// Shrinking evicts the oldest interactions so that only the newest
+    /// `new_k` remain; growing never discards anything.
+    pub fn resize(&mut self, new_k: usize) {
+        let new_k = new_k.max(1);
+        while self.items.len() > new_k {
+            self.items.pop_front();
+        }
+        self.capacity = new_k;
+    }
+}
+
+impl<T> Extend<T> for InteractionWindow<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.record(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_capacity_is_promoted_to_one() {
+        let w: InteractionWindow<u32> = InteractionWindow::new(0);
+        assert_eq!(w.capacity(), 1);
+    }
+
+    #[test]
+    fn record_evicts_oldest_when_full() {
+        let mut w = InteractionWindow::new(3);
+        assert_eq!(w.record(1), None);
+        assert_eq!(w.record(2), None);
+        assert_eq!(w.record(3), None);
+        assert!(w.is_full());
+        assert_eq!(w.record(4), Some(1));
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(w.oldest(), Some(&2));
+        assert_eq!(w.latest(), Some(&4));
+        assert_eq!(w.total_recorded(), 4);
+    }
+
+    #[test]
+    fn clear_keeps_total_counter() {
+        let mut w = InteractionWindow::new(2);
+        w.record("a");
+        w.record("b");
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.total_recorded(), 2);
+    }
+
+    #[test]
+    fn resize_shrinks_from_the_oldest_side() {
+        let mut w = InteractionWindow::new(5);
+        w.extend([1, 2, 3, 4, 5]);
+        w.resize(2);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(w.capacity(), 2);
+        // Growing keeps everything.
+        w.resize(10);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.capacity(), 10);
+        // Resize to zero is promoted to one.
+        w.resize(0);
+        assert_eq!(w.capacity(), 1);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_never_exceeds_capacity(k in 1usize..20, items in proptest::collection::vec(0u32..100, 0..100)) {
+            let mut w = InteractionWindow::new(k);
+            for item in &items {
+                w.record(*item);
+            }
+            prop_assert!(w.len() <= k);
+            prop_assert_eq!(w.total_recorded(), items.len() as u64);
+        }
+
+        #[test]
+        fn prop_keeps_most_recent_items(k in 1usize..20, items in proptest::collection::vec(0u32..100, 1..100)) {
+            let mut w = InteractionWindow::new(k);
+            for item in &items {
+                w.record(*item);
+            }
+            let expected: Vec<u32> = items.iter().rev().take(k).rev().copied().collect();
+            prop_assert_eq!(w.iter().copied().collect::<Vec<_>>(), expected);
+        }
+    }
+}

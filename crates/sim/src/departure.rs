@@ -1,0 +1,237 @@
+//! Departure evaluation for autonomous environments.
+//!
+//! Scenario 2 and Scenario 4 assume autonomous participants: "a provider
+//! leaves the BOINC platform if its satisfaction is smaller than 0.35 […] a
+//! consumer stops using BOINC if its satisfaction is smaller than 0.5". The
+//! simulator checks these rules at every sampling tick; a participant that
+//! trips its threshold departs permanently, taking its capacity (or its
+//! queries) with it.
+
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{ConsumerId, ProviderId};
+
+use crate::config::DeparturePolicy;
+use crate::consumer::ConsumerState;
+use crate::provider::ProviderState;
+
+/// The participants that tripped their departure thresholds at a check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepartureRound {
+    /// Consumers that decided to leave.
+    pub consumers: Vec<ConsumerId>,
+    /// Providers that decided to leave.
+    pub providers: Vec<ProviderId>,
+}
+
+impl DepartureRound {
+    /// `true` if nobody left.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.consumers.is_empty() && self.providers.is_empty()
+    }
+}
+
+/// Evaluates the departure policy against the current satisfaction state.
+///
+/// Only online participants with enough recorded interactions are examined;
+/// the captive policy never produces departures.
+#[must_use]
+pub fn evaluate_departures<'a>(
+    policy: &DeparturePolicy,
+    consumers: impl Iterator<Item = &'a ConsumerState>,
+    providers: impl Iterator<Item = &'a ProviderState>,
+    satisfaction: &SatisfactionRegistry,
+) -> DepartureRound {
+    let DeparturePolicy::Autonomous {
+        consumer_threshold,
+        provider_threshold,
+        min_interactions,
+    } = policy
+    else {
+        return DepartureRound::default();
+    };
+
+    let mut round = DepartureRound::default();
+
+    for consumer in consumers.filter(|c| c.online) {
+        let Some(tracker) = satisfaction.consumer(consumer.id()) else {
+            continue;
+        };
+        // A window smaller than the protection threshold would otherwise make
+        // departures impossible, so the effective threshold is capped at k.
+        let required = (*min_interactions).min(tracker.window_size());
+        if tracker.observed_queries() >= required
+            && tracker.satisfaction().is_below(*consumer_threshold)
+        {
+            round.consumers.push(consumer.id());
+        }
+    }
+
+    for provider in providers.filter(|p| p.online) {
+        let Some(tracker) = satisfaction.provider(provider.id()) else {
+            continue;
+        };
+        let required = (*min_interactions).min(tracker.window_size());
+        if tracker.observed_proposals() >= required
+            && tracker.satisfaction().is_below(*provider_threshold)
+        {
+            round.providers.push(provider.id());
+        }
+    }
+
+    round
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::intention::{ConsumerProfile, ProviderProfile};
+    use sbqa_types::{Capability, CapabilitySet, Intention, QueryId};
+
+    use crate::consumer::ConsumerSpec;
+    use crate::provider::ProviderSpec;
+
+    fn consumer(id: u64) -> ConsumerState {
+        ConsumerState::new(ConsumerSpec::new(
+            ConsumerId::new(id),
+            Capability::new(0),
+            1.0,
+            1.0,
+            1,
+            ConsumerProfile::default(),
+        ))
+    }
+
+    fn provider(id: u64) -> ProviderState {
+        ProviderState::new(ProviderSpec::new(
+            ProviderId::new(id),
+            CapabilitySet::ALL,
+            1.0,
+            ProviderProfile::default(),
+        ))
+    }
+
+    fn autonomous(min_interactions: usize) -> DeparturePolicy {
+        DeparturePolicy::Autonomous {
+            consumer_threshold: 0.5,
+            provider_threshold: 0.35,
+            min_interactions,
+        }
+    }
+
+    /// Records `n` fully dissatisfying mediations for consumer 1 and provider 1.
+    fn dissatisfy(registry: &mut SatisfactionRegistry, n: usize) {
+        for i in 0..n {
+            registry.record_mediation(
+                QueryId::new(i as u64),
+                ConsumerId::new(1),
+                1,
+                &[(ProviderId::new(1), Intention::new(-1.0))],
+                &[(ProviderId::new(1), Intention::new(-1.0), true)],
+            );
+        }
+    }
+
+    #[test]
+    fn captive_environments_never_lose_participants() {
+        let mut registry = SatisfactionRegistry::new(10);
+        dissatisfy(&mut registry, 20);
+        let consumers = [consumer(1)];
+        let providers = [provider(1)];
+        let round = evaluate_departures(
+            &DeparturePolicy::Captive,
+            consumers.iter(),
+            providers.iter(),
+            &registry,
+        );
+        assert!(round.is_empty());
+    }
+
+    #[test]
+    fn dissatisfied_participants_depart_in_autonomous_mode() {
+        let mut registry = SatisfactionRegistry::new(10);
+        dissatisfy(&mut registry, 20);
+        let consumers = [consumer(1)];
+        let providers = [provider(1)];
+        let round = evaluate_departures(
+            &autonomous(5),
+            consumers.iter(),
+            providers.iter(),
+            &registry,
+        );
+        assert_eq!(round.consumers, vec![ConsumerId::new(1)]);
+        assert_eq!(round.providers, vec![ProviderId::new(1)]);
+        assert!(!round.is_empty());
+    }
+
+    #[test]
+    fn newcomers_are_protected_by_min_interactions() {
+        let mut registry = SatisfactionRegistry::new(10);
+        dissatisfy(&mut registry, 3);
+        let consumers = [consumer(1)];
+        let providers = [provider(1)];
+        let round = evaluate_departures(
+            &autonomous(10),
+            consumers.iter(),
+            providers.iter(),
+            &registry,
+        );
+        assert!(round.is_empty());
+    }
+
+    #[test]
+    fn already_departed_participants_are_ignored() {
+        let mut registry = SatisfactionRegistry::new(10);
+        dissatisfy(&mut registry, 20);
+        let mut c = consumer(1);
+        c.depart(sbqa_types::VirtualTime::new(1.0));
+        let mut p = provider(1);
+        p.depart(sbqa_types::VirtualTime::new(1.0));
+        let consumers = [c];
+        let providers = [p];
+        let round = evaluate_departures(
+            &autonomous(5),
+            consumers.iter(),
+            providers.iter(),
+            &registry,
+        );
+        assert!(round.is_empty());
+    }
+
+    #[test]
+    fn satisfied_participants_stay() {
+        let mut registry = SatisfactionRegistry::new(10);
+        for i in 0..20 {
+            registry.record_mediation(
+                QueryId::new(i),
+                ConsumerId::new(1),
+                1,
+                &[(ProviderId::new(1), Intention::new(1.0))],
+                &[(ProviderId::new(1), Intention::new(1.0), true)],
+            );
+        }
+        let consumers = [consumer(1)];
+        let providers = [provider(1)];
+        let round = evaluate_departures(
+            &autonomous(5),
+            consumers.iter(),
+            providers.iter(),
+            &registry,
+        );
+        assert!(round.is_empty());
+    }
+
+    #[test]
+    fn unknown_participants_without_history_are_skipped() {
+        let registry = SatisfactionRegistry::new(10);
+        let consumers = [consumer(9)];
+        let providers = [provider(9)];
+        let round = evaluate_departures(
+            &autonomous(0),
+            consumers.iter(),
+            providers.iter(),
+            &registry,
+        );
+        assert!(round.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # sbqa-sim
+//!
+//! A discrete-event simulator for distributed query allocation — the
+//! substitute for the SimJava network simulation used by the paper's
+//! prototype.
+//!
+//! The simulated world contains:
+//!
+//! * **consumers** that issue queries following a Poisson process, each with
+//!   an intention profile (which providers they like, or whether they only
+//!   care about response time),
+//! * **providers** with heterogeneous capacity, a FIFO work queue and an
+//!   intention profile (which consumers they like, or whether they only care
+//!   about their own load),
+//! * a **mediator** hosting any [`QueryAllocator`](sbqa_core::QueryAllocator)
+//!   (SbQA or a baseline) plus the satisfaction registry,
+//! * a simple **network model** adding latency between all parties,
+//! * a **departure model** that distinguishes captive environments (nobody
+//!   can leave) from autonomous ones (participants leave when their
+//!   satisfaction drops below a threshold, as in Scenarios 2 and 4).
+//!
+//! Everything is driven by a virtual clock and a binary-heap event queue;
+//! runs are fully deterministic for a given seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod consumer;
+pub mod departure;
+pub mod event;
+pub mod network;
+pub mod provider;
+pub mod report;
+pub mod rng;
+pub mod runner;
+pub mod workload;
+
+pub use config::{DeparturePolicy, NetworkConfig, SimulationConfig};
+pub use consumer::{ConsumerSpec, ConsumerState};
+pub use event::{Event, EventQueue, ScheduledEvent};
+pub use network::NetworkModel;
+pub use provider::{ProviderSpec, ProviderState};
+pub use report::{ParticipantCounts, SimulationReport};
+pub use rng::SimRng;
+pub use runner::{Simulation, SimulationBuilder};
+pub use workload::WorkloadModel;

@@ -1,0 +1,176 @@
+//! Query generation.
+//!
+//! The workload model turns a [`ConsumerSpec`](crate::consumer::ConsumerSpec)
+//! into a stream of queries: exponential inter-arrival times (a Poisson
+//! process at the consumer's rate), exponentially-distributed work sizes
+//! around the consumer's mean, and a Short/Medium/Long class mix.
+
+use serde::{Deserialize, Serialize};
+
+use sbqa_types::{Duration, Query, QueryClass, QueryId, VirtualTime};
+
+use crate::consumer::ConsumerSpec;
+use crate::rng::SimRng;
+
+/// Probabilities of each query class in the generated mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadModel {
+    /// Probability of a short query.
+    pub short_fraction: f64,
+    /// Probability of a long query (the remainder is medium).
+    pub long_fraction: f64,
+    /// Lower bound on sampled work sizes, to avoid zero-length queries.
+    pub min_work_units: f64,
+}
+
+impl Default for WorkloadModel {
+    fn default() -> Self {
+        Self {
+            short_fraction: 0.25,
+            long_fraction: 0.25,
+            min_work_units: 0.05,
+        }
+    }
+}
+
+impl WorkloadModel {
+    /// A model that only generates medium queries of exactly the consumer's
+    /// mean size — useful for tests that need predictable service times.
+    #[must_use]
+    pub const fn deterministic() -> Self {
+        Self {
+            short_fraction: 0.0,
+            long_fraction: 0.0,
+            min_work_units: 0.0,
+        }
+    }
+
+    /// Samples the delay until a consumer's next query.
+    #[must_use]
+    pub fn next_arrival(&self, spec: &ConsumerSpec, rng: &mut SimRng) -> Duration {
+        Duration::new(rng.exponential(spec.arrival_rate))
+    }
+
+    /// Samples a query class according to the configured mix.
+    #[must_use]
+    pub fn sample_class(&self, rng: &mut SimRng) -> QueryClass {
+        let u = rng.uniform();
+        let short = self.short_fraction.clamp(0.0, 1.0);
+        let long = self.long_fraction.clamp(0.0, 1.0 - short);
+        if u < short {
+            QueryClass::Short
+        } else if u < short + long {
+            QueryClass::Long
+        } else {
+            QueryClass::Medium
+        }
+    }
+
+    /// Builds the next query for a consumer.
+    #[must_use]
+    pub fn next_query(
+        &self,
+        id: QueryId,
+        spec: &ConsumerSpec,
+        now: VirtualTime,
+        rng: &mut SimRng,
+    ) -> Query {
+        let work = if self.short_fraction == 0.0 && self.long_fraction == 0.0
+            && self.min_work_units == 0.0
+        {
+            spec.mean_work_units
+        } else {
+            rng.exponential(1.0 / spec.mean_work_units)
+                .max(self.min_work_units)
+        };
+        Query::builder(id, spec.id, spec.capability)
+            .replication(spec.replication)
+            .work_units(work)
+            .class(self.sample_class(rng))
+            .issued_at(now)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::intention::ConsumerProfile;
+    use sbqa_types::{Capability, ConsumerId};
+
+    fn spec(rate: f64, work: f64) -> ConsumerSpec {
+        ConsumerSpec::new(
+            ConsumerId::new(1),
+            Capability::new(3),
+            rate,
+            work,
+            2,
+            ConsumerProfile::default(),
+        )
+    }
+
+    #[test]
+    fn deterministic_model_reproduces_mean_work() {
+        let model = WorkloadModel::deterministic();
+        let mut rng = SimRng::new(1);
+        let q = model.next_query(QueryId::new(1), &spec(1.0, 3.0), VirtualTime::new(5.0), &mut rng);
+        assert_eq!(q.work_units, 3.0);
+        assert_eq!(q.class, QueryClass::Medium);
+        assert_eq!(q.replication, 2);
+        assert_eq!(q.required_capability, Capability::new(3));
+        assert_eq!(q.issued_at, VirtualTime::new(5.0));
+    }
+
+    #[test]
+    fn arrival_rate_controls_mean_interarrival() {
+        let model = WorkloadModel::default();
+        let mut rng = SimRng::new(2);
+        let s = spec(4.0, 1.0);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| model.next_arrival(&s, &mut rng).seconds())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn sampled_work_respects_minimum_and_mean() {
+        let model = WorkloadModel::default();
+        let mut rng = SimRng::new(3);
+        let s = spec(1.0, 2.0);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let q = model.next_query(QueryId::new(i), &s, VirtualTime::ZERO, &mut rng);
+            assert!(q.work_units >= model.min_work_units * QueryClass::Short.work_factor());
+            sum += q.work_units;
+        }
+        // Mean of the exponential is 2.0, scaled by the class mix
+        // (0.25·0.4 + 0.5·1.0 + 0.25·1.6 = 1.0), so the overall mean stays ≈ 2.
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean work {mean}");
+    }
+
+    #[test]
+    fn class_mix_follows_configured_fractions() {
+        let model = WorkloadModel {
+            short_fraction: 0.5,
+            long_fraction: 0.3,
+            min_work_units: 0.01,
+        };
+        let mut rng = SimRng::new(4);
+        let n = 20_000;
+        let mut short = 0;
+        let mut long = 0;
+        for _ in 0..n {
+            match model.sample_class(&mut rng) {
+                QueryClass::Short => short += 1,
+                QueryClass::Long => long += 1,
+                QueryClass::Medium => {}
+            }
+        }
+        assert!((short as f64 / n as f64 - 0.5).abs() < 0.02);
+        assert!((long as f64 / n as f64 - 0.3).abs() < 0.02);
+    }
+}

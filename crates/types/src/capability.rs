@@ -1,0 +1,251 @@
+//! Provider capabilities and query requirements.
+//!
+//! The paper assumes that for every incoming query `q` the mediator knows the
+//! set `Pq` of providers *able* to perform it. How that set is obtained is
+//! orthogonal to the allocation process (in BOINC it is "every volunteer that
+//! installed the project's application"); we model it with a small capability
+//! system: each provider advertises a [`CapabilitySet`], each query requires a
+//! single [`Capability`], and `Pq` is the set of providers whose capability
+//! set contains the requirement.
+//!
+//! Capability classes are small integers, so membership checks are a bitmask
+//! test and sets are `Copy`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of distinct capability classes supported by the bitmask
+/// representation.
+pub const MAX_CAPABILITY_CLASSES: u8 = 64;
+
+/// A single capability class (e.g. "can run SETI@home work units",
+/// "sells books", "answers SQL range queries").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Capability(u8);
+
+impl Capability {
+    /// Creates a capability class.
+    ///
+    /// # Panics
+    /// Panics if `class` is `>= MAX_CAPABILITY_CLASSES`; capability classes
+    /// are created at configuration time, so a panic is the appropriate
+    /// failure mode for a mis-configured experiment.
+    #[must_use]
+    pub fn new(class: u8) -> Self {
+        assert!(
+            class < MAX_CAPABILITY_CLASSES,
+            "capability class {class} exceeds the supported maximum of {MAX_CAPABILITY_CLASSES}"
+        );
+        Self(class)
+    }
+
+    /// The class index.
+    #[must_use]
+    pub const fn class(self) -> u8 {
+        self.0
+    }
+
+    fn bit(self) -> u64 {
+        1u64 << self.0
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cap{}", self.0)
+    }
+}
+
+/// A set of capability classes, stored as a 64-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CapabilitySet(u64);
+
+impl CapabilitySet {
+    /// The empty set.
+    pub const EMPTY: CapabilitySet = CapabilitySet(0);
+
+    /// The set containing every supported capability class.
+    pub const ALL: CapabilitySet = CapabilitySet(u64::MAX);
+
+    /// Creates an empty capability set.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates a set from an iterator of capabilities.
+    #[must_use]
+    pub fn from_capabilities<I: IntoIterator<Item = Capability>>(caps: I) -> Self {
+        let mut set = Self::EMPTY;
+        for cap in caps {
+            set.insert(cap);
+        }
+        set
+    }
+
+    /// Creates a singleton set.
+    #[must_use]
+    pub fn singleton(cap: Capability) -> Self {
+        let mut set = Self::EMPTY;
+        set.insert(cap);
+        set
+    }
+
+    /// Adds a capability to the set.
+    pub fn insert(&mut self, cap: Capability) {
+        self.0 |= cap.bit();
+    }
+
+    /// Removes a capability from the set.
+    pub fn remove(&mut self, cap: Capability) {
+        self.0 &= !cap.bit();
+    }
+
+    /// Returns `true` if the set contains `cap`.
+    #[must_use]
+    pub const fn contains(self, cap: Capability) -> bool {
+        self.0 & (1u64 << cap.0) != 0
+    }
+
+    /// Returns `true` if the set contains every capability of `other`.
+    #[must_use]
+    pub const fn is_superset_of(self, other: CapabilitySet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if the set is empty.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of capabilities in the set.
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Union of two sets.
+    #[must_use]
+    pub const fn union(self, other: CapabilitySet) -> CapabilitySet {
+        CapabilitySet(self.0 | other.0)
+    }
+
+    /// Intersection of two sets.
+    #[must_use]
+    pub const fn intersection(self, other: CapabilitySet) -> CapabilitySet {
+        CapabilitySet(self.0 & other.0)
+    }
+
+    /// Iterates over the capabilities in ascending class order.
+    pub fn iter(self) -> impl Iterator<Item = Capability> {
+        (0..MAX_CAPABILITY_CLASSES).filter_map(move |class| {
+            let cap = Capability(class);
+            if self.contains(cap) {
+                Some(cap)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl FromIterator<Capability> for CapabilitySet {
+    fn from_iter<T: IntoIterator<Item = Capability>>(iter: T) -> Self {
+        Self::from_capabilities(iter)
+    }
+}
+
+impl fmt::Display for CapabilitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for cap in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{cap}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut set = CapabilitySet::new();
+        let a = Capability::new(3);
+        let b = Capability::new(17);
+        assert!(set.is_empty());
+        set.insert(a);
+        set.insert(b);
+        assert!(set.contains(a));
+        assert!(set.contains(b));
+        assert!(!set.contains(Capability::new(5)));
+        assert_eq!(set.len(), 2);
+        set.remove(a);
+        assert!(!set.contains(a));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn capability_class_out_of_range_panics() {
+        let _ = Capability::new(64);
+    }
+
+    #[test]
+    fn superset_union_intersection() {
+        let a = CapabilitySet::from_capabilities([Capability::new(0), Capability::new(1)]);
+        let b = CapabilitySet::singleton(Capability::new(1));
+        assert!(a.is_superset_of(b));
+        assert!(!b.is_superset_of(a));
+        assert_eq!(a.union(b), a);
+        assert_eq!(a.intersection(b), b);
+        assert!(CapabilitySet::ALL.is_superset_of(a));
+        assert!(a.is_superset_of(CapabilitySet::EMPTY));
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete() {
+        let set: CapabilitySet = [Capability::new(9), Capability::new(2), Capability::new(40)]
+            .into_iter()
+            .collect();
+        let classes: Vec<u8> = set.iter().map(Capability::class).collect();
+        assert_eq!(classes, vec![2, 9, 40]);
+        assert_eq!(set.to_string(), "{cap2, cap9, cap40}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_insert_then_contains(classes in proptest::collection::vec(0u8..64, 0..20)) {
+            let caps: Vec<Capability> = classes.iter().copied().map(Capability::new).collect();
+            let set = CapabilitySet::from_capabilities(caps.iter().copied());
+            for cap in &caps {
+                prop_assert!(set.contains(*cap));
+            }
+            prop_assert_eq!(set.iter().count(), set.len());
+        }
+
+        #[test]
+        fn prop_union_is_superset_of_both(
+            a in proptest::collection::vec(0u8..64, 0..10),
+            b in proptest::collection::vec(0u8..64, 0..10),
+        ) {
+            let sa = CapabilitySet::from_capabilities(a.into_iter().map(Capability::new));
+            let sb = CapabilitySet::from_capabilities(b.into_iter().map(Capability::new));
+            let u = sa.union(sb);
+            prop_assert!(u.is_superset_of(sa));
+            prop_assert!(u.is_superset_of(sb));
+            prop_assert!(sa.is_superset_of(sa.intersection(sb)));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: mediate a handful of queries by hand and watch satisfaction
+//! and ω evolve.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sbqa::core::{Mediator, StaticIntentions};
+use sbqa::types::{
+    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+};
+
+fn main() {
+    // A mediator running the SbQA allocation process: KnBest pre-selection
+    // followed by satisfaction-balanced SQLB scoring.
+    let config = SystemConfig::default().with_knbest(5, 5);
+    let mut mediator = Mediator::sbqa(config, 42).expect("default configuration is valid");
+
+    // Five providers able to answer capability-0 queries, with one unit of
+    // capacity each.
+    let caps = CapabilitySet::singleton(Capability::new(0));
+    for p in 0..5u64 {
+        mediator.register_provider(ProviderId::new(p), caps, 1.0);
+    }
+    let consumer = ConsumerId::new(100);
+    mediator.register_consumer(consumer);
+
+    // The consumer trusts provider 3 and dislikes provider 0; provider 3 is
+    // keen on this consumer's queries, provider 0 is not.
+    let mut intentions =
+        StaticIntentions::new().with_defaults(Intention::new(0.2), Intention::new(0.2));
+    intentions.set_consumer_intention(ProviderId::new(3), Intention::new(0.9));
+    intentions.set_consumer_intention(ProviderId::new(0), Intention::new(-0.6));
+    intentions.set_provider_intention(ProviderId::new(3), Intention::new(0.8));
+    intentions.set_provider_intention(ProviderId::new(0), Intention::new(-0.4));
+
+    println!("query  selected        omega   consumer-sat");
+    println!("--------------------------------------------");
+    for q in 0..10u64 {
+        let query = Query::builder(QueryId::new(q), consumer, Capability::new(0))
+            .replication(1)
+            .build();
+        match mediator.submit(&query, &intentions) {
+            Ok(outcome) => {
+                let selected: Vec<String> =
+                    outcome.selected().iter().map(ToString::to_string).collect();
+                println!(
+                    "{:<6} {:<15} {:<7.3} {:.3}",
+                    query.id,
+                    selected.join(","),
+                    outcome.decision.omega.unwrap_or(f64::NAN),
+                    mediator
+                        .satisfaction()
+                        .consumer_satisfaction(consumer)
+                        .value()
+                );
+            }
+            Err(err) => println!("{:<6} could not be allocated: {err}", query.id.to_string()),
+        }
+    }
+
+    println!("\nProvider satisfaction after 10 mediations:");
+    let mut rows: Vec<(ProviderId, f64)> = mediator
+        .satisfaction()
+        .provider_satisfactions()
+        .map(|(id, s)| (id, s.value()))
+        .collect();
+    rows.sort_by_key(|(id, _)| *id);
+    for (id, satisfaction) in rows {
+        println!("  {id}: {satisfaction:.3}");
+    }
+}

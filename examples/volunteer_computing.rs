@@ -1,0 +1,52 @@
+//! Volunteer computing: the paper's BOINC setting, end to end.
+//!
+//! Generates the three demo projects (SETI@home, proteins@home,
+//! Einstein@home) and a volunteer population, then runs Scenario 4 — SbQA
+//! against the Capacity-based and Economic baselines in an *autonomous*
+//! environment where dissatisfied participants quit — and prints the
+//! comparison table plus the retained-capacity story.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example volunteer_computing
+//! ```
+
+use sbqa::boinc::{Scenario, ScenarioId};
+
+fn main() {
+    // The quick preset keeps the run under a couple of seconds; swap for
+    // `Scenario::new(ScenarioId::S4)` to reproduce the full-size experiment.
+    let scenario = Scenario::sized(ScenarioId::S4, 80, 150.0, 20.0);
+    println!(
+        "Running Scenario {} — {}\n",
+        scenario.id.number(),
+        scenario.id.title()
+    );
+    println!(
+        "population: {} volunteers, {} projects, autonomous environment\n",
+        scenario.population.volunteers, 3
+    );
+
+    let outcome = scenario.run().expect("scenario runs");
+    println!("{}", outcome.table());
+
+    println!("What to look for:");
+    println!("  * 'providers kept' and 'capacity kept' — SbQA keeps dissatisfied volunteers");
+    println!("    from quitting, so it preserves more of the donated capacity;");
+    println!("  * 'mean resp' — with more capacity online, response times stay lower even");
+    println!("    though SbQA does not optimise them directly;");
+    println!("  * 'provider sat' — the satisfaction gap between techniques explains the");
+    println!("    departures (Scenario 2's prediction).");
+
+    for result in &outcome.results {
+        let report = &result.report;
+        println!(
+            "\n[{}] issued {} queries, completed {} ({:.1}% completion), throughput {:.2} q/s",
+            result.label,
+            report.queries_issued,
+            report.response.completed(),
+            report.response.completion_rate() * 100.0,
+            report.throughput(),
+        );
+    }
+}

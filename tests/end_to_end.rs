@@ -1,0 +1,210 @@
+//! End-to-end integration tests spanning the whole workspace: population
+//! generation → simulation → reports, for every allocation technique, in both
+//! captive and autonomous environments.
+
+use sbqa::baselines::build_allocator;
+use sbqa::boinc::{BoincPopulation, PopulationConfig, Scenario, ScenarioId};
+use sbqa::sim::{DeparturePolicy, SimulationBuilder, SimulationConfig, SimulationReport};
+use sbqa::types::AllocationPolicyKind;
+
+fn small_population() -> BoincPopulation {
+    BoincPopulation::generate(
+        &PopulationConfig::default()
+            .with_volunteers(30)
+            .with_arrival_rate(8.0)
+            .with_seed(3),
+    )
+}
+
+fn run_technique(
+    kind: AllocationPolicyKind,
+    departure: DeparturePolicy,
+    duration: f64,
+) -> SimulationReport {
+    let population = small_population();
+    let config = SimulationConfig {
+        duration,
+        sample_interval: 5.0,
+        departure,
+        ..SimulationConfig::default()
+    };
+    let allocator = build_allocator(kind, &config.system, config.seed).unwrap();
+    SimulationBuilder::new(config)
+        .allocator(allocator)
+        .consumers(population.consumers.iter().cloned())
+        .providers(population.providers.iter().cloned())
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn every_technique_completes_queries_on_the_boinc_population() {
+    for kind in AllocationPolicyKind::all() {
+        let report = run_technique(kind, DeparturePolicy::Captive, 60.0);
+        assert_eq!(report.technique, kind.label());
+        assert!(
+            report.queries_issued > 0,
+            "{}: no queries issued",
+            kind.label()
+        );
+        assert!(
+            report.response.completed() > 0,
+            "{}: no queries completed",
+            kind.label()
+        );
+        assert!(
+            report.response.completion_rate() > 0.5,
+            "{}: completion rate {:.2} too low",
+            kind.label(),
+            report.response.completion_rate()
+        );
+        assert!(report.response.mean() > 0.0);
+        // Satisfaction values stay in the unit interval.
+        let consumer = report.final_consumer_satisfaction();
+        let provider = report.final_provider_satisfaction();
+        assert!((0.0..=1.0).contains(&consumer), "{}: {consumer}", kind.label());
+        assert!((0.0..=1.0).contains(&provider), "{}: {provider}", kind.label());
+    }
+}
+
+#[test]
+fn captive_environments_never_lose_participants() {
+    for kind in AllocationPolicyKind::paper_policies() {
+        let report = run_technique(kind, DeparturePolicy::Captive, 60.0);
+        assert_eq!(
+            report.participants.final_providers,
+            report.participants.initial_providers
+        );
+        assert_eq!(
+            report.participants.final_consumers,
+            report.participants.initial_consumers
+        );
+        assert!((report.capacity_retention - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn sbqa_retains_at_least_as_many_providers_as_the_baselines() {
+    // The headline claim of Scenario 4: in an autonomous environment the
+    // satisfaction-aware allocator keeps more volunteers online than the
+    // interest-blind baselines.
+    let departure = DeparturePolicy::paper_autonomous();
+    let sbqa = run_technique(AllocationPolicyKind::SbQA, departure, 150.0);
+    let capacity = run_technique(AllocationPolicyKind::Capacity, departure, 150.0);
+    let economic = run_technique(AllocationPolicyKind::Economic, departure, 150.0);
+
+    assert!(
+        sbqa.participants.final_providers >= capacity.participants.final_providers,
+        "SbQA kept {} providers, Capacity kept {}",
+        sbqa.participants.final_providers,
+        capacity.participants.final_providers
+    );
+    assert!(
+        sbqa.participants.final_providers >= economic.participants.final_providers,
+        "SbQA kept {} providers, Economic kept {}",
+        sbqa.participants.final_providers,
+        economic.participants.final_providers
+    );
+    assert!(sbqa.capacity_retention >= capacity.capacity_retention);
+}
+
+#[test]
+fn sbqa_provider_satisfaction_beats_interest_blind_baselines() {
+    let departure = DeparturePolicy::Captive;
+    let sbqa = run_technique(AllocationPolicyKind::SbQA, departure, 100.0);
+    let capacity = run_technique(AllocationPolicyKind::Capacity, departure, 100.0);
+
+    assert!(
+        sbqa.final_provider_satisfaction() > capacity.final_provider_satisfaction(),
+        "SbQA provider satisfaction {:.3} should exceed Capacity's {:.3}",
+        sbqa.final_provider_satisfaction(),
+        capacity.final_provider_satisfaction()
+    );
+}
+
+#[test]
+fn reports_expose_time_series_for_plotting() {
+    let report = run_technique(AllocationPolicyKind::SbQA, DeparturePolicy::Captive, 60.0);
+    for name in [
+        "consumer_satisfaction",
+        "provider_satisfaction",
+        "online_providers",
+        "mean_response_time",
+    ] {
+        let series = report
+            .series_named(name)
+            .unwrap_or_else(|| panic!("missing series {name}"));
+        assert!(!series.is_empty(), "series {name} is empty");
+    }
+    // Load-balance report is well formed.
+    let balance = report.load_balance();
+    assert!(balance.providers > 0);
+    assert!((0.0..=1.0).contains(&balance.gini));
+}
+
+#[test]
+fn query_accounting_is_conserved_for_every_technique() {
+    // Every issued query ends up in exactly one bucket: completed, starved,
+    // or still unfinished when the run stops — under both environments.
+    for departure in [DeparturePolicy::Captive, DeparturePolicy::paper_autonomous()] {
+        for kind in AllocationPolicyKind::paper_policies() {
+            let report = run_technique(kind, departure, 80.0);
+            let accounted = report.response.completed()
+                + report.response.starved()
+                + report.response.unfinished();
+            assert_eq!(
+                accounted,
+                report.queries_issued,
+                "{} ({:?}): issued {} but accounted {}",
+                kind.label(),
+                departure,
+                report.queries_issued,
+                accounted
+            );
+            assert!((0.0..=1.0).contains(&report.capacity_retention));
+            assert!(report.participants.final_providers <= report.participants.initial_providers);
+            assert!(report.participants.final_consumers <= report.participants.initial_consumers);
+        }
+    }
+}
+
+#[test]
+fn quick_scenarios_all_run() {
+    for id in ScenarioId::all() {
+        // Scenario 6 runs an 11-variant grid; shrink it further for CI time.
+        let scenario = if id == ScenarioId::S6 {
+            Scenario::sized(id, 20, 40.0, 6.0)
+        } else {
+            Scenario::sized(id, 25, 50.0, 6.0)
+        };
+        let outcome = scenario.run().unwrap_or_else(|e| panic!("scenario {id:?}: {e}"));
+        assert!(!outcome.results.is_empty());
+        let rendered = outcome.table().render();
+        assert!(rendered.contains("technique"));
+        for result in &outcome.results {
+            assert!(result.report.queries_issued > 0, "{}", result.label);
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_scenario_outcomes() {
+    let run = || {
+        Scenario::sized(ScenarioId::S3, 20, 40.0, 6.0)
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    for (ra, rb) in a.results.iter().zip(b.results.iter()) {
+        assert_eq!(ra.label, rb.label);
+        assert_eq!(ra.report.queries_issued, rb.report.queries_issued);
+        assert_eq!(ra.report.response.completed(), rb.report.response.completed());
+        assert!((ra.report.response.mean() - rb.report.response.mean()).abs() < 1e-12);
+        assert!(
+            (ra.report.final_provider_satisfaction() - rb.report.final_provider_satisfaction())
+                .abs()
+                < 1e-12
+        );
+    }
+}

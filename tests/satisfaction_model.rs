@@ -1,0 +1,171 @@
+//! Integration tests for the satisfaction model used across allocation
+//! techniques (the Scenario 1 claim: the model analyses *any* technique) and
+//! for the paper's worked equations on realistic mediation flows.
+
+use sbqa::core::{Mediator, StaticIntentions};
+use sbqa::satisfaction::{SatisfactionRegistry, SatisfactionSnapshot};
+use sbqa::types::{
+    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, Satisfaction,
+    SystemConfig, VirtualTime,
+};
+
+fn caps() -> CapabilitySet {
+    CapabilitySet::singleton(Capability::new(0))
+}
+
+fn query(id: u64, consumer: u64, replication: usize) -> Query {
+    Query::builder(QueryId::new(id), ConsumerId::new(consumer), Capability::new(0))
+        .replication(replication)
+        .build()
+}
+
+#[test]
+fn definition_one_and_two_compose_through_the_mediator() {
+    // One consumer, two providers; the consumer likes provider 0 (+1) and is
+    // neutral about provider 1; providers are enthusiastic (+1) and
+    // reluctant (-0.5) respectively.
+    let config = SystemConfig::default().with_knbest(4, 2);
+    let mut mediator = Mediator::sbqa(config, 1).unwrap();
+    mediator.register_provider(ProviderId::new(0), caps(), 1.0);
+    mediator.register_provider(ProviderId::new(1), caps(), 1.0);
+    mediator.register_consumer(ConsumerId::new(7));
+
+    let mut intentions = StaticIntentions::new();
+    intentions.set_consumer_intention(ProviderId::new(0), Intention::new(1.0));
+    intentions.set_consumer_intention(ProviderId::new(1), Intention::new(0.0));
+    intentions.set_provider_intention(ProviderId::new(0), Intention::new(1.0));
+    intentions.set_provider_intention(ProviderId::new(1), Intention::new(-0.5));
+
+    // Replication 2: both providers perform the query.
+    let outcome = mediator.submit(&query(1, 7, 2), &intentions).unwrap();
+    assert_eq!(outcome.selected().len(), 2);
+
+    // Definition 1: δs(c, q) = ((1+1)/2 + (0+1)/2) / 2 = 0.75.
+    let consumer_sat = mediator
+        .satisfaction()
+        .consumer_satisfaction(ConsumerId::new(7));
+    assert!((consumer_sat.value() - 0.75).abs() < 1e-9);
+
+    // Definition 2: provider 0 performed a query it wanted (+1) -> 1.0;
+    // provider 1 performed a query it disliked (-0.5) -> 0.25.
+    assert!(
+        (mediator
+            .satisfaction()
+            .provider_satisfaction(ProviderId::new(0))
+            .value()
+            - 1.0)
+            .abs()
+            < 1e-9
+    );
+    assert!(
+        (mediator
+            .satisfaction()
+            .provider_satisfaction(ProviderId::new(1))
+            .value()
+            - 0.25)
+            .abs()
+            < 1e-9
+    );
+}
+
+#[test]
+fn satisfaction_registry_analyses_any_allocation_principle() {
+    // Feed the same mediation history shape into the registry as if it came
+    // from three different techniques; the registry does not care where the
+    // decisions came from (Scenario 1's point).
+    let mut by_load = SatisfactionRegistry::new(20);
+    let mut by_price = SatisfactionRegistry::new(20);
+    let mut by_interest = SatisfactionRegistry::new(20);
+
+    for q in 0..20u64 {
+        // The "load" technique always picks provider 0, the "price" technique
+        // provider 1, the "interest" technique the provider the consumer
+        // actually likes (provider 2).
+        by_load.record_mediation(
+            QueryId::new(q),
+            ConsumerId::new(1),
+            1,
+            &[(ProviderId::new(0), Intention::new(-0.2))],
+            &[(ProviderId::new(0), Intention::new(-0.5), true)],
+        );
+        by_price.record_mediation(
+            QueryId::new(q),
+            ConsumerId::new(1),
+            1,
+            &[(ProviderId::new(1), Intention::new(0.1))],
+            &[(ProviderId::new(1), Intention::new(0.0), true)],
+        );
+        by_interest.record_mediation(
+            QueryId::new(q),
+            ConsumerId::new(1),
+            1,
+            &[(ProviderId::new(2), Intention::new(0.9))],
+            &[(ProviderId::new(2), Intention::new(0.8), true)],
+        );
+    }
+
+    let at = VirtualTime::new(1.0);
+    let load_snap = SatisfactionSnapshot::capture(&by_load, at, 0.5, 0.35);
+    let price_snap = SatisfactionSnapshot::capture(&by_price, at, 0.5, 0.35);
+    let interest_snap = SatisfactionSnapshot::capture(&by_interest, at, 0.5, 0.35);
+
+    // The model ranks the techniques by how well they serve interests,
+    // regardless of their internal principle.
+    assert!(interest_snap.consumers.mean > price_snap.consumers.mean);
+    assert!(price_snap.consumers.mean > load_snap.consumers.mean);
+    assert!(interest_snap.providers.mean > load_snap.providers.mean);
+}
+
+#[test]
+fn omega_self_adapts_towards_the_dissatisfied_side_over_a_mediation_stream() {
+    // Providers keep being handed queries they dislike; the consumer is happy.
+    // Equation 2 must push ω towards 1 (provider side) as the run progresses.
+    let config = SystemConfig::default().with_knbest(4, 4);
+    let mut mediator = Mediator::sbqa(config, 3).unwrap();
+    for p in 0..4u64 {
+        mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+    }
+    mediator.register_consumer(ConsumerId::new(1));
+
+    let intentions = StaticIntentions::new()
+        .with_defaults(Intention::new(0.9), Intention::new(-0.8));
+
+    let mut omegas = Vec::new();
+    for q in 0..30u64 {
+        let outcome = mediator.submit(&query(q, 1, 1), &intentions).unwrap();
+        omegas.push(outcome.decision.omega.unwrap());
+    }
+    let early: f64 = omegas[..5].iter().sum::<f64>() / 5.0;
+    let late: f64 = omegas[omegas.len() - 5..].iter().sum::<f64>() / 5.0;
+    assert!(
+        late > early,
+        "omega should drift towards the dissatisfied providers: early {early:.3}, late {late:.3}"
+    );
+    assert!(late > 0.7, "late omega {late:.3}");
+}
+
+#[test]
+fn departure_thresholds_of_the_paper_are_meaningful_for_the_model() {
+    // A provider performing only disliked queries converges below the 0.35
+    // departure threshold; one performing liked queries stays above it.
+    let mut registry = SatisfactionRegistry::new(10);
+    for q in 0..10u64 {
+        registry.record_mediation(
+            QueryId::new(q),
+            ConsumerId::new(1),
+            1,
+            &[(ProviderId::new(0), Intention::new(0.9))],
+            &[
+                (ProviderId::new(0), Intention::new(-0.9), true),
+                (ProviderId::new(1), Intention::new(0.9), q % 2 == 0),
+            ],
+        );
+    }
+    let unhappy = registry.provider_satisfaction(ProviderId::new(0));
+    let happy = registry.provider_satisfaction(ProviderId::new(1));
+    assert!(unhappy.is_below(0.35), "unhappy provider at {unhappy}");
+    assert!(!happy.is_below(0.35), "happy provider at {happy}");
+    // Intention +0.9 maps to (0.9 + 1) / 2 = 0.95 per performed query.
+    assert!((happy.value() - 0.95).abs() < 1e-9);
+    assert!(happy < Satisfaction::MAX);
+}

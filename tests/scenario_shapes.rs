@@ -1,0 +1,132 @@
+//! Shape tests: the qualitative claims of the paper's scenarios, checked at a
+//! reduced scale with fixed seeds so they run in CI time.
+//!
+//! These complement `end_to_end.rs` (which checks mechanics) by pinning the
+//! *direction* of the comparisons the paper makes: concentration of the
+//! economic baseline, SbQA's load balance when participants are
+//! performance-driven, and the scripted participant of Scenario 7 being
+//! served by SbQA.
+
+use sbqa::boinc::{Scenario, ScenarioId};
+
+#[test]
+fn economic_baseline_concentrates_load_more_than_capacity_baseline() {
+    // Scenario 1's analysis: the bidding technique funnels work to the
+    // fastest providers, the capacity technique spreads it.
+    let outcome = Scenario::sized(ScenarioId::S1, 40, 80.0, 10.0).run().unwrap();
+    let capacity = outcome.result_for("Capacity").unwrap();
+    let economic = outcome.result_for("Economic").unwrap();
+    assert!(
+        economic.report.load_balance().gini > capacity.report.load_balance().gini,
+        "economic Gini {:.3} should exceed capacity Gini {:.3}",
+        economic.report.load_balance().gini,
+        capacity.report.load_balance().gini
+    );
+}
+
+#[test]
+fn autonomous_baselines_lose_providers_that_captive_ones_keep() {
+    // Scenario 2 vs Scenario 1: same techniques, same population; only the
+    // departure rule differs.
+    let captive = Scenario::sized(ScenarioId::S1, 40, 120.0, 10.0).run().unwrap();
+    let autonomous = Scenario::sized(ScenarioId::S2, 40, 120.0, 10.0).run().unwrap();
+    for label in ["Capacity", "Economic"] {
+        let kept_captive = captive
+            .result_for(label)
+            .unwrap()
+            .report
+            .participants
+            .final_providers;
+        let kept_autonomous = autonomous
+            .result_for(label)
+            .unwrap()
+            .report
+            .participants
+            .final_providers;
+        assert_eq!(kept_captive, 40, "{label}: captive environments keep everyone");
+        assert!(
+            kept_autonomous < kept_captive,
+            "{label}: expected departures in the autonomous environment"
+        );
+    }
+}
+
+#[test]
+fn performance_driven_intentions_make_sbqa_balance_load_best() {
+    // Scenario 5: when providers only care about their load and consumers
+    // about response times, SbQA's interest-following turns into load
+    // balancing and beats the economic baseline's concentration.
+    let outcome = Scenario::sized(ScenarioId::S5, 40, 120.0, 10.0).run().unwrap();
+    let sbqa = outcome.result_for("SbQA").unwrap();
+    let economic = outcome.result_for("Economic").unwrap();
+    assert!(
+        sbqa.report.load_balance().gini < economic.report.load_balance().gini,
+        "SbQA Gini {:.3} should be below Economic Gini {:.3}",
+        sbqa.report.load_balance().gini,
+        economic.report.load_balance().gini
+    );
+    assert!(
+        sbqa.report.response.mean() <= economic.report.response.mean() * 1.5,
+        "SbQA mean response {:.3}s should not be far above Economic's {:.3}s",
+        sbqa.report.response.mean(),
+        economic.report.response.mean()
+    );
+}
+
+#[test]
+fn scripted_participant_is_served_by_sbqa() {
+    // Scenario 7: the devoted volunteer reaches a high satisfaction under the
+    // SQLB mediation; under the interest-blind baselines it either departs or
+    // ends up strictly less satisfied.
+    let outcome = Scenario::sized(ScenarioId::S7, 40, 150.0, 10.0).run().unwrap();
+    let sbqa = outcome.result_for("SbQA").unwrap();
+    let sbqa_focus = sbqa
+        .focus_satisfaction
+        .expect("the devoted volunteer stays online under SbQA");
+    assert!(
+        sbqa_focus > 0.6,
+        "devoted volunteer satisfaction under SbQA was only {sbqa_focus:.3}"
+    );
+    for label in ["Capacity", "Economic"] {
+        let baseline = outcome.result_for(label).unwrap();
+        match baseline.focus_satisfaction {
+            None => {} // departed: the mediation failed it completely
+            Some(satisfaction) => assert!(
+                satisfaction < sbqa_focus,
+                "{label} served the scripted volunteer better ({satisfaction:.3}) than SbQA ({sbqa_focus:.3})"
+            ),
+        }
+    }
+}
+
+#[test]
+fn larger_kn_increases_proposal_pressure_on_providers() {
+    // The kn axis of Scenario 6: with a very large kn most consulted
+    // providers are never selected, so provider satisfaction (Definition 2)
+    // drops relative to a small kn. Checked on the captive Scenario 3 setting
+    // to keep the population constant.
+    use sbqa::core::SbqaAllocator;
+    use sbqa::boinc::BoincPopulation;
+    use sbqa::sim::SimulationBuilder;
+
+    let base = Scenario::sized(ScenarioId::S3, 40, 100.0, 10.0);
+    let population = BoincPopulation::generate(&base.population);
+    let run_with_kn = |kn: usize| {
+        let system = base.sim.system.clone().with_knbest(20, kn);
+        let sim = base.sim.clone().with_system(system.clone());
+        SimulationBuilder::new(sim)
+            .allocator(Box::new(SbqaAllocator::new(system, 42).unwrap()))
+            .consumers(population.consumers.iter().cloned())
+            .providers(population.providers.iter().cloned())
+            .run()
+            .unwrap()
+    };
+    let small = run_with_kn(2);
+    let large = run_with_kn(16);
+    assert!(
+        large.final_provider_satisfaction() < small.final_provider_satisfaction(),
+        "kn=16 provider satisfaction {:.3} should be below kn=2's {:.3}",
+        large.final_provider_satisfaction(),
+        small.final_provider_satisfaction()
+    );
+}
