@@ -14,9 +14,7 @@
 //! idle one — this mirrors BOINC's preference for hosts with more spare
 //! computing power.
 
-use sbqa_core::allocator::{
-    AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator,
-};
+use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator};
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
 
@@ -91,13 +89,12 @@ impl QueryAllocator for CapacityAllocator {
             .take(query.replication.min(ranked.len()))
             .map(|s| s.id)
             .collect();
-        let considered_len = self
-            .consideration
-            .max(selected.len())
-            .min(ranked.len());
+        let considered_len = self.consideration.max(selected.len()).min(ranked.len());
         let considered = &ranked[..considered_len];
 
-        Ok(baseline_decision(query, considered, &selected, oracle, None))
+        Ok(baseline_decision(
+            query, considered, &selected, oracle, None,
+        ))
     }
 }
 

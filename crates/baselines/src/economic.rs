@@ -16,9 +16,7 @@
 //! well-provisioned providers — the behaviour the satisfaction analysis of
 //! Scenario 1 is designed to expose.
 
-use sbqa_core::allocator::{
-    AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator,
-};
+use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator};
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
 

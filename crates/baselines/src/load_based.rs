@@ -6,9 +6,7 @@
 //! times, and it is the natural "join the shortest queue" strawman for the
 //! ablation benches.
 
-use sbqa_core::allocator::{
-    AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator,
-};
+use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator};
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
 
@@ -113,7 +111,11 @@ mod tests {
         let mut alloc = LoadBasedAllocator::new();
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
-        let candidates = vec![snapshot(1, 5, 5.0), snapshot(2, 0, 0.0), snapshot(3, 2, 2.0)];
+        let candidates = vec![
+            snapshot(1, 5, 5.0),
+            snapshot(2, 0, 0.0),
+            snapshot(3, 2, 2.0),
+        ];
         let decision = alloc
             .allocate(&query(2), &candidates, &oracle, &satisfaction)
             .unwrap();

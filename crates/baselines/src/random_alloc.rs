@@ -9,9 +9,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use sbqa_core::allocator::{
-    AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator,
-};
+use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator};
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
 

@@ -5,9 +5,7 @@
 //! to provider heterogeneity (a slow volunteer receives as much work as a
 //! fast one), which makes it a useful contrast for the load-balance metrics.
 
-use sbqa_core::allocator::{
-    AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator,
-};
+use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator};
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
 

@@ -40,25 +40,20 @@ fn bench_allocation(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocation_decision");
     let config = SystemConfig::default();
     let satisfaction = SatisfactionRegistry::new(config.satisfaction_window);
-    let oracle = StaticIntentions::new()
-        .with_defaults(Intention::new(0.4), Intention::new(0.3));
+    let oracle = StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.3));
 
     for kind in AllocationPolicyKind::paper_policies() {
         for size in [50usize, 200, 1000] {
             let pool = candidates(size);
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), size),
-                &pool,
-                |b, pool| {
-                    let mut allocator = build_allocator(kind, &config, 42).unwrap();
-                    let q = query(2);
-                    b.iter(|| {
-                        allocator
-                            .allocate(black_box(&q), black_box(pool), &oracle, &satisfaction)
-                            .unwrap()
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), size), &pool, |b, pool| {
+                let mut allocator = build_allocator(kind, &config, 42).unwrap();
+                let q = query(2);
+                b.iter(|| {
+                    allocator
+                        .allocate(black_box(&q), black_box(pool), &oracle, &satisfaction)
+                        .unwrap()
+                });
+            });
         }
     }
 
@@ -67,20 +62,15 @@ fn bench_allocation(c: &mut Criterion) {
     for kn in [2usize, 4, 16, 64] {
         let pool = candidates(1000);
         let config = SystemConfig::default().with_knbest(kn.max(20), kn);
-        group.bench_with_input(
-            BenchmarkId::new("SbQA_by_kn", kn),
-            &pool,
-            |b, pool| {
-                let mut allocator =
-                    build_allocator(AllocationPolicyKind::SbQA, &config, 42).unwrap();
-                let q = query(2);
-                b.iter(|| {
-                    allocator
-                        .allocate(black_box(&q), black_box(pool), &oracle, &satisfaction)
-                        .unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("SbQA_by_kn", kn), &pool, |b, pool| {
+            let mut allocator = build_allocator(AllocationPolicyKind::SbQA, &config, 42).unwrap();
+            let q = query(2);
+            b.iter(|| {
+                allocator
+                    .allocate(black_box(&q), black_box(pool), &oracle, &satisfaction)
+                    .unwrap()
+            });
+        });
     }
 
     group.finish();

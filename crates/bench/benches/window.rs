@@ -22,11 +22,19 @@ fn bench_windows(c: &mut Criterion) {
                 let mut tracker = ProviderSatisfaction::new(*k);
                 // Pre-fill the window so the benchmark measures steady state.
                 for i in 0..*k {
-                    tracker.record_proposal(QueryId::new(i as u64), Intention::new(0.3), i % 2 == 0);
+                    tracker.record_proposal(
+                        QueryId::new(i as u64),
+                        Intention::new(0.3),
+                        i % 2 == 0,
+                    );
                 }
                 let mut next = *k as u64;
                 b.iter(|| {
-                    tracker.record_proposal(QueryId::new(next), black_box(Intention::new(0.4)), true);
+                    tracker.record_proposal(
+                        QueryId::new(next),
+                        black_box(Intention::new(0.4)),
+                        true,
+                    );
                     next += 1;
                     black_box(tracker.satisfaction())
                 });

@@ -106,11 +106,8 @@ impl InteractiveParticipant {
                 for (project, preference) in &self.project_preferences {
                     profile.set_consumer_preference(*project, *preference);
                 }
-                let capabilities: CapabilitySet = population
-                    .projects
-                    .iter()
-                    .map(|p| p.capability)
-                    .collect();
+                let capabilities: CapabilitySet =
+                    population.projects.iter().map(|p| p.capability).collect();
                 population.providers.push(ProviderSpec::new(
                     self.provider_id(),
                     capabilities,
@@ -131,8 +128,12 @@ impl InteractiveParticipant {
                     self.consumer_id(),
                     capability,
                     self.arrival_rate,
-                    Project::demo(self.consumer_id(), crate::project::ProjectKind::Normal, capability)
-                        .mean_work_units,
+                    Project::demo(
+                        self.consumer_id(),
+                        crate::project::ProjectKind::Normal,
+                        capability,
+                    )
+                    .mean_work_units,
                     1,
                     profile,
                 ));
@@ -167,7 +168,10 @@ mod tests {
         );
         assert_eq!(participant.role, InteractiveRole::Provider);
         assert_eq!(participant.project_preferences.len(), 3);
-        assert_eq!(participant.project_preferences[0], (ConsumerId::new(2), Intention::MAX));
+        assert_eq!(
+            participant.project_preferences[0],
+            (ConsumerId::new(2), Intention::MAX)
+        );
         assert!(participant
             .project_preferences
             .iter()
@@ -177,9 +181,8 @@ mod tests {
 
     #[test]
     fn injection_appends_the_right_kind_of_participant() {
-        let mut population = BoincPopulation::generate(
-            &PopulationConfig::default().with_volunteers(10),
-        );
+        let mut population =
+            BoincPopulation::generate(&PopulationConfig::default().with_volunteers(10));
         let providers_before = population.providers.len();
         let consumers_before = population.consumers.len();
 
@@ -200,14 +203,16 @@ mod tests {
         let project = InteractiveParticipant::picky_project(8_888, 2.0);
         project.inject(&mut population);
         assert_eq!(population.consumers.len(), consumers_before + 1);
-        assert_eq!(population.consumers.last().unwrap().id, ConsumerId::new(8_888));
+        assert_eq!(
+            population.consumers.last().unwrap().id,
+            ConsumerId::new(8_888)
+        );
     }
 
     #[test]
     fn satisfaction_lookup_dispatches_on_role() {
-        let mut population = BoincPopulation::generate(
-            &PopulationConfig::default().with_volunteers(5),
-        );
+        let mut population =
+            BoincPopulation::generate(&PopulationConfig::default().with_volunteers(5));
         let volunteer = InteractiveParticipant::devoted_volunteer(
             9_999,
             population.projects[0].id,
@@ -234,11 +239,8 @@ mod tests {
             provider_final_satisfaction: vec![(ProviderId::new(9_999), 0.7)],
         };
         assert_eq!(volunteer.satisfaction_in(&report), Some(0.7));
-        let absent = InteractiveParticipant::devoted_volunteer(
-            1_234,
-            population.projects[0].id,
-            &[],
-        );
+        let absent =
+            InteractiveParticipant::devoted_volunteer(1_234, population.projects[0].id, &[]);
         assert_eq!(absent.satisfaction_in(&report), None);
     }
 }

@@ -3,9 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use sbqa_core::intention::{
-    ConsumerIntentionStrategy, ConsumerProfile, ProviderIntentionStrategy,
-};
+use sbqa_core::intention::{ConsumerIntentionStrategy, ConsumerProfile, ProviderIntentionStrategy};
 use sbqa_sim::{ConsumerSpec, ProviderSpec, SimRng};
 use sbqa_types::{Capability, ConsumerId, Intention};
 
@@ -217,7 +215,8 @@ mod tests {
 
     #[test]
     fn generates_three_projects_and_requested_volunteers() {
-        let population = BoincPopulation::generate(&PopulationConfig::default().with_volunteers(50));
+        let population =
+            BoincPopulation::generate(&PopulationConfig::default().with_volunteers(50));
         assert_eq!(population.projects.len(), 3);
         assert_eq!(population.consumers.len(), 3);
         assert_eq!(population.providers.len(), 50);

@@ -218,9 +218,8 @@ mod tests {
 
     #[test]
     fn replication_is_at_least_one() {
-        let project =
-            Project::demo(ConsumerId::new(1), ProjectKind::Normal, Capability::new(0))
-                .with_replication(0);
+        let project = Project::demo(ConsumerId::new(1), ProjectKind::Normal, Capability::new(0))
+            .with_replication(0);
         assert_eq!(project.replication, 1);
     }
 }

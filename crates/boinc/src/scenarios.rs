@@ -392,19 +392,14 @@ impl Scenario {
             .projects
             .last()
             .map_or(sbqa_types::ConsumerId::new(0), |p| p.id);
-        let participant =
-            InteractiveParticipant::devoted_volunteer(9_999, beloved, &project_ids);
+        let participant = InteractiveParticipant::devoted_volunteer(9_999, beloved, &project_ids);
         participant.inject(&mut population);
 
         let mut results = Vec::new();
         for kind in self.techniques() {
             let allocator = build_allocator(kind, &self.sim.system, self.sim.seed)?;
-            let mut result = self.run_one(
-                kind.label().to_string(),
-                allocator,
-                &population,
-                &self.sim,
-            )?;
+            let mut result =
+                self.run_one(kind.label().to_string(), allocator, &population, &self.sim)?;
             result.focus_satisfaction = participant.satisfaction_in(&result.report);
             results.push(result);
         }
@@ -433,7 +428,12 @@ mod tests {
         for id in [ScenarioId::S1, ScenarioId::S3, ScenarioId::S5] {
             assert!(!Scenario::quick(id).sim.departure.is_autonomous());
         }
-        for id in [ScenarioId::S2, ScenarioId::S4, ScenarioId::S6, ScenarioId::S7] {
+        for id in [
+            ScenarioId::S2,
+            ScenarioId::S4,
+            ScenarioId::S6,
+            ScenarioId::S7,
+        ] {
             assert!(Scenario::quick(id).sim.departure.is_autonomous());
         }
     }

@@ -114,7 +114,14 @@ impl VolunteerGenerator {
         rng: &mut SimRng,
     ) -> Vec<ProviderSpec> {
         (0..count)
-            .map(|i| self.generate(ProviderId::new(first_id + i as u64), projects, strategy, rng))
+            .map(|i| {
+                self.generate(
+                    ProviderId::new(first_id + i as u64),
+                    projects,
+                    strategy,
+                    rng,
+                )
+            })
             .collect()
     }
 
@@ -135,7 +142,11 @@ mod tests {
         vec![
             Project::demo(ConsumerId::new(0), ProjectKind::Popular, Capability::new(0)),
             Project::demo(ConsumerId::new(1), ProjectKind::Normal, Capability::new(1)),
-            Project::demo(ConsumerId::new(2), ProjectKind::Unpopular, Capability::new(2)),
+            Project::demo(
+                ConsumerId::new(2),
+                ProjectKind::Unpopular,
+                Capability::new(2),
+            ),
         ]
     }
 
@@ -222,7 +233,9 @@ mod tests {
         });
         let mut rng = SimRng::new(5);
         let n = 10_000;
-        let malicious = (0..n).filter(|_| generator.draw_malicious(&mut rng)).count();
+        let malicious = (0..n)
+            .filter(|_| generator.draw_malicious(&mut rng))
+            .count();
         let fraction = malicious as f64 / n as f64;
         assert!((fraction - 0.3).abs() < 0.02, "fraction {fraction}");
         assert_eq!(generator.config().malicious_fraction, 0.3);

@@ -264,8 +264,8 @@ mod tests {
 
     #[test]
     fn static_oracle_returns_configured_and_default_intentions() {
-        let mut oracle = StaticIntentions::new()
-            .with_defaults(Intention::new(0.1), Intention::new(-0.2));
+        let mut oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.1), Intention::new(-0.2));
         oracle.set_consumer_intention(ProviderId::new(1), Intention::new(0.9));
         oracle.set_provider_intention(ProviderId::new(1), Intention::new(0.7));
 
@@ -317,8 +317,14 @@ mod tests {
         );
         let provider_view = decision.provider_view();
         assert_eq!(provider_view.len(), 2);
-        assert_eq!(provider_view[0], (ProviderId::new(1), Intention::new(0.5), false));
-        assert_eq!(provider_view[1], (ProviderId::new(2), Intention::new(0.8), true));
+        assert_eq!(
+            provider_view[0],
+            (ProviderId::new(1), Intention::new(0.5), false)
+        );
+        assert_eq!(
+            provider_view[1],
+            (ProviderId::new(2), Intention::new(0.8), true)
+        );
     }
 
     #[test]

@@ -135,11 +135,9 @@ mod tests {
 
     #[test]
     fn preference_strategy_reads_the_preference_map() {
-        let profile = ConsumerProfile::new(
-            ConsumerIntentionStrategy::Preference,
-            Intention::new(-0.2),
-        )
-        .with_preference(ProviderId::new(1), Intention::new(0.9));
+        let profile =
+            ConsumerProfile::new(ConsumerIntentionStrategy::Preference, Intention::new(-0.2))
+                .with_preference(ProviderId::new(1), Intention::new(0.9));
 
         assert_eq!(
             profile.intention_for(&snapshot(1, 100.0)),

@@ -75,11 +75,7 @@ impl ProviderProfile {
 
     /// Builder-style version of [`ProviderProfile::set_consumer_preference`].
     #[must_use]
-    pub fn with_consumer_preference(
-        mut self,
-        consumer: ConsumerId,
-        preference: Intention,
-    ) -> Self {
+    pub fn with_consumer_preference(mut self, consumer: ConsumerId, preference: Intention) -> Self {
         self.set_consumer_preference(consumer, preference);
         self
     }
@@ -145,18 +141,20 @@ mod tests {
     use sbqa_types::{Capability, QueryId};
 
     fn query(consumer: u64, class: QueryClass) -> Query {
-        Query::builder(QueryId::new(1), ConsumerId::new(consumer), Capability::new(0))
-            .class(class)
-            .build()
+        Query::builder(
+            QueryId::new(1),
+            ConsumerId::new(consumer),
+            Capability::new(0),
+        )
+        .class(class)
+        .build()
     }
 
     #[test]
     fn preference_strategy_uses_consumer_preferences() {
-        let profile = ProviderProfile::new(
-            ProviderIntentionStrategy::Preference,
-            Intention::new(-0.3),
-        )
-        .with_consumer_preference(ConsumerId::new(1), Intention::new(0.8));
+        let profile =
+            ProviderProfile::new(ProviderIntentionStrategy::Preference, Intention::new(-0.3))
+                .with_consumer_preference(ConsumerId::new(1), Intention::new(0.8));
 
         assert_eq!(
             profile.intention_for(&query(1, QueryClass::Medium), 1e9),

@@ -34,7 +34,10 @@ impl KnBestSelector {
     #[must_use]
     pub fn new(k: usize, kn: usize) -> Self {
         let k = k.max(1);
-        Self { k, kn: kn.clamp(1, k) }
+        Self {
+            k,
+            kn: kn.clamp(1, k),
+        }
     }
 
     /// Applies KnBest to the candidate set, returning the set `Kn`.
@@ -106,8 +109,7 @@ mod tests {
 
     #[test]
     fn selection_never_exceeds_kn_or_population() {
-        let candidates: Vec<ProviderSnapshot> =
-            (0..10).map(|i| snapshot(i, i as f64)).collect();
+        let candidates: Vec<ProviderSnapshot> = (0..10).map(|i| snapshot(i, i as f64)).collect();
         let mut rng = StdRng::seed_from_u64(7);
 
         let sel = KnBestSelector::new(6, 3);
@@ -160,7 +162,10 @@ mod tests {
             let kn = sel.select(&candidates, &mut rng);
             selected_ids.insert(kn[0].id.raw());
         }
-        assert!(selected_ids.len() > 5, "random step should spread selections");
+        assert!(
+            selected_ids.len() > 5,
+            "random step should spread selections"
+        );
     }
 
     proptest! {

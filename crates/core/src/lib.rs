@@ -44,11 +44,11 @@ pub use intention::{
     ConsumerIntentionStrategy, ConsumerProfile, ProviderIntentionStrategy, ProviderProfile,
 };
 pub use knbest::KnBestSelector;
-pub use mediator::{Mediator, MediationOutcome};
+pub use mediator::{MediationOutcome, Mediator};
 pub use ranking::rank_by_score;
 pub use registry::ProviderRegistry;
-pub use scoring::{provider_score, resolve_omega, ScoreInputs};
 pub use sbqa_types::{OmegaPolicy, SystemConfig};
+pub use scoring::{provider_score, resolve_omega, ScoreInputs};
 
 /// The SbQA allocator itself, implementing [`QueryAllocator`] with KnBest
 /// pre-selection and SQLB scoring. Re-exported from [`mediator`].

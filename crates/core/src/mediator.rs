@@ -16,9 +16,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use sbqa_satisfaction::SatisfactionRegistry;
-use sbqa_types::{
-    CapabilitySet, ProviderId, Query, SbqaError, SbqaResult, SystemConfig,
-};
+use sbqa_types::{CapabilitySet, ProviderId, Query, SbqaError, SbqaResult, SystemConfig};
 
 use crate::allocator::{
     AllocationDecision, IntentionOracle, ProposalRecord, ProviderSnapshot, QueryAllocator,
@@ -174,7 +172,10 @@ impl Mediator {
     /// configuration and seed.
     pub fn sbqa(config: SystemConfig, seed: u64) -> SbqaResult<Self> {
         let window = config.satisfaction_window;
-        Ok(Self::new(Box::new(SbqaAllocator::new(config, seed)?), window))
+        Ok(Self::new(
+            Box::new(SbqaAllocator::new(config, seed)?),
+            window,
+        ))
     }
 
     /// Name of the hosted allocation technique.
@@ -297,8 +298,8 @@ mod tests {
         let config = SystemConfig::default().with_knbest(10, 3);
         let mut alloc = SbqaAllocator::new(config, 42).unwrap();
         let satisfaction = SatisfactionRegistry::new(10);
-        let oracle = StaticIntentions::new()
-            .with_defaults(Intention::new(0.5), Intention::new(0.5));
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
 
         // Replication 2 with kn = 3: two providers selected.
         let decision = alloc
@@ -322,8 +323,8 @@ mod tests {
         let mut alloc = SbqaAllocator::new(config, 7).unwrap();
         let satisfaction = SatisfactionRegistry::new(10);
 
-        let mut oracle = StaticIntentions::new()
-            .with_defaults(Intention::new(-0.5), Intention::new(-0.5));
+        let mut oracle =
+            StaticIntentions::new().with_defaults(Intention::new(-0.5), Intention::new(-0.5));
         oracle.set_consumer_intention(ProviderId::new(3), Intention::new(0.9));
         oracle.set_provider_intention(ProviderId::new(3), Intention::new(0.8));
 
@@ -355,8 +356,8 @@ mod tests {
             .with_knbest(10, 10)
             .with_omega(OmegaPolicy::Adaptive);
         let mut alloc = SbqaAllocator::new(config, 3).unwrap();
-        let oracle = StaticIntentions::new()
-            .with_defaults(Intention::new(0.5), Intention::new(0.5));
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
 
         // A fresh registry: everyone fully satisfied, ω = 0.5.
         let satisfaction = SatisfactionRegistry::new(10);
@@ -394,8 +395,8 @@ mod tests {
             .with_omega(OmegaPolicy::Fixed(0.25));
         let mut alloc = SbqaAllocator::new(config, 3).unwrap();
         let satisfaction = SatisfactionRegistry::new(10);
-        let oracle = StaticIntentions::new()
-            .with_defaults(Intention::new(0.5), Intention::new(0.5));
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
         let decision = alloc
             .allocate(&query(1, 1), &snapshots(4), &oracle, &satisfaction)
             .unwrap();
@@ -419,8 +420,8 @@ mod tests {
         }
         mediator.register_consumer(ConsumerId::new(1));
 
-        let oracle = StaticIntentions::new()
-            .with_defaults(Intention::new(0.8), Intention::new(0.6));
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.8), Intention::new(0.6));
         let outcome = mediator.submit(&query(1, 2), &oracle).unwrap();
         assert_eq!(outcome.selected().len(), 2);
 
@@ -477,8 +478,8 @@ mod tests {
             .update_provider_load(ProviderId::new(1), 5.0, 5)
             .unwrap();
         // Provider 2 stays idle.
-        let oracle = StaticIntentions::new()
-            .with_defaults(Intention::new(0.5), Intention::new(0.5));
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
         let outcome = mediator.submit(&query(1, 1), &oracle).unwrap();
         assert_eq!(outcome.selected(), &[ProviderId::new(2)]);
     }

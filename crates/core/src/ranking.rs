@@ -19,8 +19,16 @@ use sbqa_types::ProviderId;
 pub fn rank_by_score(scored: &[(ProviderId, f64)]) -> Vec<ProviderId> {
     let mut ranked: Vec<(ProviderId, f64)> = scored.to_vec();
     ranked.sort_by(|a, b| {
-        let sa = if a.1.is_finite() { a.1 } else { f64::NEG_INFINITY };
-        let sb = if b.1.is_finite() { b.1 } else { f64::NEG_INFINITY };
+        let sa = if a.1.is_finite() {
+            a.1
+        } else {
+            f64::NEG_INFINITY
+        };
+        let sb = if b.1.is_finite() {
+            b.1
+        } else {
+            f64::NEG_INFINITY
+        };
         sb.partial_cmp(&sa)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.0.cmp(&b.0))

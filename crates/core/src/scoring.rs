@@ -196,15 +196,27 @@ mod tests {
         assert!((w - 0.9).abs() < 1e-12);
         // Fixed values are clamped.
         assert_eq!(
-            resolve_omega(OmegaPolicy::Fixed(0.25), Satisfaction::MAX, Satisfaction::MIN),
+            resolve_omega(
+                OmegaPolicy::Fixed(0.25),
+                Satisfaction::MAX,
+                Satisfaction::MIN
+            ),
             0.25
         );
         assert_eq!(
-            resolve_omega(OmegaPolicy::Fixed(3.0), Satisfaction::MAX, Satisfaction::MIN),
+            resolve_omega(
+                OmegaPolicy::Fixed(3.0),
+                Satisfaction::MAX,
+                Satisfaction::MIN
+            ),
             1.0
         );
         assert_eq!(
-            resolve_omega(OmegaPolicy::Fixed(f64::NAN), Satisfaction::MAX, Satisfaction::MIN),
+            resolve_omega(
+                OmegaPolicy::Fixed(f64::NAN),
+                Satisfaction::MAX,
+                Satisfaction::MIN
+            ),
             0.5
         );
     }

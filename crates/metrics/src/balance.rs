@@ -104,8 +104,7 @@ mod tests {
         // Provider 0 is 4x as powerful and performs 4x the queries: perfectly
         // fair once normalised.
         let raw = LoadBalanceReport::from_loads(&[40.0, 10.0]);
-        let normalised =
-            LoadBalanceReport::from_loads_and_capacities(&[40.0, 10.0], &[4.0, 1.0]);
+        let normalised = LoadBalanceReport::from_loads_and_capacities(&[40.0, 10.0], &[4.0, 1.0]);
         assert!(raw.gini > 0.0);
         assert!(normalised.gini.abs() < 1e-12);
     }

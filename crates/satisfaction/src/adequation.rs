@@ -148,14 +148,10 @@ mod tests {
             Satisfaction::MAX
         );
         // n = 2: best two are 1.0 and 0.5 -> 0.75
-        assert!(
-            (best_attainable_satisfaction(&intentions, 2).value() - 0.75).abs() < 1e-12
-        );
+        assert!((best_attainable_satisfaction(&intentions, 2).value() - 0.75).abs() < 1e-12);
         // n = 4 with only three providers: missing one counts as zero.
         let expected = (1.0 + 0.5 + 0.0) / 4.0;
-        assert!(
-            (best_attainable_satisfaction(&intentions, 4).value() - expected).abs() < 1e-12
-        );
+        assert!((best_attainable_satisfaction(&intentions, 4).value() - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -53,10 +53,7 @@ impl SideSummary {
         let min = raw.iter().copied().fold(f64::INFINITY, f64::min);
         let max = raw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let variance = raw.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-        let below = raw
-            .iter()
-            .filter(|v| **v < departure_threshold)
-            .count() as f64;
+        let below = raw.iter().filter(|v| **v < departure_threshold).count() as f64;
         Self {
             count: values.len(),
             mean,

@@ -178,10 +178,7 @@ mod tests {
         let interaction = ConsumerInteraction::new(
             QueryId::new(1),
             2,
-            vec![
-                (pid(1), Intention::new(1.0)),
-                (pid(2), Intention::new(0.0)),
-            ],
+            vec![(pid(1), Intention::new(1.0)), (pid(2), Intention::new(0.0))],
         );
         assert!((interaction.satisfaction().value() - 0.75).abs() < 1e-12);
     }
@@ -190,11 +187,8 @@ mod tests {
     fn under_served_queries_lose_satisfaction() {
         // Three results required but only one provider (intention 1) performed:
         // δs = (1/3) * 1 = 0.333…
-        let interaction = ConsumerInteraction::new(
-            QueryId::new(1),
-            3,
-            vec![(pid(1), Intention::new(1.0))],
-        );
+        let interaction =
+            ConsumerInteraction::new(QueryId::new(1), 3, vec![(pid(1), Intention::new(1.0))]);
         assert!((interaction.satisfaction().value() - 1.0 / 3.0).abs() < 1e-12);
         assert!(!interaction.fully_served());
     }
@@ -207,18 +201,12 @@ mod tests {
 
     #[test]
     fn negative_intentions_drag_satisfaction_below_half() {
-        let interaction = ConsumerInteraction::new(
-            QueryId::new(1),
-            1,
-            vec![(pid(1), Intention::new(-1.0))],
-        );
+        let interaction =
+            ConsumerInteraction::new(QueryId::new(1), 1, vec![(pid(1), Intention::new(-1.0))]);
         assert_eq!(interaction.satisfaction(), Satisfaction::MIN);
 
-        let interaction = ConsumerInteraction::new(
-            QueryId::new(1),
-            1,
-            vec![(pid(1), Intention::new(-0.5))],
-        );
+        let interaction =
+            ConsumerInteraction::new(QueryId::new(1), 1, vec![(pid(1), Intention::new(-0.5))]);
         assert!((interaction.satisfaction().value() - 0.25).abs() < 1e-12);
     }
 
@@ -246,11 +234,7 @@ mod tests {
         assert_eq!(sat.full_service_rate(), 1.0);
 
         sat.record_outcome(QueryId::new(1), 2, vec![(pid(1), Intention::new(1.0))]);
-        sat.record_outcome(
-            QueryId::new(2),
-            1,
-            vec![(pid(2), Intention::new(0.5))],
-        );
+        sat.record_outcome(QueryId::new(2), 1, vec![(pid(2), Intention::new(0.5))]);
         assert_eq!(sat.full_service_rate(), 0.5);
         assert!(sat.latest_query_satisfaction().is_some());
         assert_eq!(sat.interactions().count(), 2);

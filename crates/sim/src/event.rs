@@ -155,10 +155,7 @@ mod tests {
         let second = q.pop().unwrap();
         assert!(first.seq < second.seq);
         match (first.event, second.event) {
-            (
-                Event::QueryIssued { consumer: c1 },
-                Event::QueryIssued { consumer: c2 },
-            ) => {
+            (Event::QueryIssued { consumer: c1 }, Event::QueryIssued { consumer: c2 }) => {
                 assert_eq!(c1, ConsumerId::new(1));
                 assert_eq!(c2, ConsumerId::new(2));
             }

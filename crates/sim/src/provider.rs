@@ -237,7 +237,9 @@ mod tests {
     fn idle_provider_starts_immediately() {
         let mut p = ProviderState::new(spec(2.0));
         assert!(!p.is_busy());
-        let started = p.accept(query(1, 10.0)).expect("idle provider starts at once");
+        let started = p
+            .accept(query(1, 10.0))
+            .expect("idle provider starts at once");
         assert_eq!(started.query, QueryId::new(1));
         assert_eq!(started.service_time.seconds(), 5.0);
         assert!(p.is_busy());

@@ -70,7 +70,11 @@ impl SimRng {
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        let p = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+        let p = if p.is_finite() {
+            p.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         self.inner.gen::<f64>() < p
     }
 

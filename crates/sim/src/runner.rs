@@ -262,13 +262,13 @@ impl Simulation {
                 let spec = &self.consumers[&id].spec;
                 self.workload.next_arrival(spec, &mut self.arrival_rng)
             };
-            self.events
-                .schedule(VirtualTime::ZERO + delay, Event::QueryIssued { consumer: id });
+            self.events.schedule(
+                VirtualTime::ZERO + delay,
+                Event::QueryIssued { consumer: id },
+            );
         }
-        self.events.schedule(
-            VirtualTime::new(self.config.sample_interval),
-            Event::Sample,
-        );
+        self.events
+            .schedule(VirtualTime::new(self.config.sample_interval), Event::Sample);
 
         while let Some(scheduled) = self.events.pop() {
             if scheduled.at > end {
@@ -474,8 +474,10 @@ impl Simulation {
             consumer_threshold,
             provider_threshold,
         );
-        self.ts_consumer_sat.push(self.clock, snapshot.consumers.mean);
-        self.ts_provider_sat.push(self.clock, snapshot.providers.mean);
+        self.ts_consumer_sat
+            .push(self.clock, snapshot.consumers.mean);
+        self.ts_provider_sat
+            .push(self.clock, snapshot.providers.mean);
         self.ts_online_providers.push(
             self.clock,
             self.providers.values().filter(|p| p.online).count() as f64,
@@ -696,7 +698,11 @@ mod tests {
             .unwrap();
 
         assert_eq!(report.technique, "SbQA");
-        assert!(report.queries_issued > 50, "issued {}", report.queries_issued);
+        assert!(
+            report.queries_issued > 50,
+            "issued {}",
+            report.queries_issued
+        );
         assert!(report.response.completed() > 0);
         assert!(report.response.completion_rate() > 0.8);
         assert!(report.response.mean() > 0.0);
@@ -705,8 +711,14 @@ mod tests {
         assert_eq!(report.participants.final_consumers, 2);
         assert!((report.capacity_retention - 1.0).abs() < 1e-12);
         // Series were sampled.
-        assert!(!report.series_named(series_names::CONSUMER_SATISFACTION).unwrap().is_empty());
-        assert!(!report.series_named(series_names::ONLINE_PROVIDERS).unwrap().is_empty());
+        assert!(!report
+            .series_named(series_names::CONSUMER_SATISFACTION)
+            .unwrap()
+            .is_empty());
+        assert!(!report
+            .series_named(series_names::ONLINE_PROVIDERS)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

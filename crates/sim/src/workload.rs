@@ -75,7 +75,8 @@ impl WorkloadModel {
         now: VirtualTime,
         rng: &mut SimRng,
     ) -> Query {
-        let work = if self.short_fraction == 0.0 && self.long_fraction == 0.0
+        let work = if self.short_fraction == 0.0
+            && self.long_fraction == 0.0
             && self.min_work_units == 0.0
         {
             spec.mean_work_units
@@ -113,7 +114,12 @@ mod tests {
     fn deterministic_model_reproduces_mean_work() {
         let model = WorkloadModel::deterministic();
         let mut rng = SimRng::new(1);
-        let q = model.next_query(QueryId::new(1), &spec(1.0, 3.0), VirtualTime::new(5.0), &mut rng);
+        let q = model.next_query(
+            QueryId::new(1),
+            &spec(1.0, 3.0),
+            VirtualTime::new(5.0),
+            &mut rng,
+        );
         assert_eq!(q.work_units, 3.0);
         assert_eq!(q.class, QueryClass::Medium);
         assert_eq!(q.replication, 2);

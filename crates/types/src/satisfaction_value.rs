@@ -204,8 +204,14 @@ mod tests {
 
     #[test]
     fn arithmetic_saturates_at_domain_bounds() {
-        assert_eq!(Satisfaction::new(0.8) + Satisfaction::new(0.8), Satisfaction::MAX);
-        assert_eq!(Satisfaction::new(0.2) - Satisfaction::new(0.8), Satisfaction::MIN);
+        assert_eq!(
+            Satisfaction::new(0.8) + Satisfaction::new(0.8),
+            Satisfaction::MAX
+        );
+        assert_eq!(
+            Satisfaction::new(0.2) - Satisfaction::new(0.8),
+            Satisfaction::MIN
+        );
     }
 
     proptest! {

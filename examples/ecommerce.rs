@@ -18,9 +18,7 @@ use sbqa::core::intention::{
     ConsumerIntentionStrategy, ConsumerProfile, ProviderIntentionStrategy, ProviderProfile,
 };
 use sbqa::core::SbqaAllocator;
-use sbqa::sim::{
-    ConsumerSpec, NetworkConfig, ProviderSpec, SimulationBuilder, SimulationConfig,
-};
+use sbqa::sim::{ConsumerSpec, NetworkConfig, ProviderSpec, SimulationBuilder, SimulationConfig};
 use sbqa::types::{
     Capability, CapabilitySet, ConsumerId, Intention, ProviderId, QueryClass, SystemConfig,
 };
@@ -71,19 +69,10 @@ fn buyers() -> Vec<ConsumerSpec> {
         .into_iter()
         .enumerate()
         .map(|(i, capability)| {
-            let profile = ConsumerProfile::new(
-                ConsumerIntentionStrategy::Preference,
-                Intention::new(0.3),
-            )
-            .with_preference(ProviderId::new(10), Intention::new(0.6));
-            ConsumerSpec::new(
-                ConsumerId::new(i as u64),
-                capability,
-                8.0,
-                1.0,
-                1,
-                profile,
-            )
+            let profile =
+                ConsumerProfile::new(ConsumerIntentionStrategy::Preference, Intention::new(0.3))
+                    .with_preference(ProviderId::new(10), Intention::new(0.6));
+            ConsumerSpec::new(ConsumerId::new(i as u64), capability, 8.0, 1.0, 1, profile)
         })
         .collect()
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the five criterion micro-benchmarks and collects their results as JSON.
+#
+# Each bench appends JSON lines ({"id": ..., "ns_per_iter": ..., "iters": ...})
+# to bench_results/BENCH_<name>.json via the CRITERION_JSON environment
+# variable understood by the vendored criterion harness. Human-readable
+# `bench: ...` lines still go to stdout.
+#
+# Usage: scripts/bench.sh [output-dir]    (default: bench_results)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs bench binaries with their package directory as
+# CWD, so a relative CRITERION_JSON would land in crates/bench/.
+OUT_DIR="$(pwd)/${1:-bench_results}"
+mkdir -p "$OUT_DIR"
+
+BENCHES=(allocation knbest scoring scenarios window)
+
+for bench in "${BENCHES[@]}"; do
+    out="$OUT_DIR/BENCH_${bench}.json"
+    : > "$out"
+    echo "== bench: $bench -> $out"
+    CRITERION_JSON="$out" cargo bench -p sbqa_bench --bench "$bench"
+done
+
+echo
+echo "Results written to $OUT_DIR/BENCH_*.json:"
+wc -l "$OUT_DIR"/BENCH_*.json

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, the tier-1 verify, and the auxiliary
+# targets (workspace tests, examples, benches).
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== workspace tests (root package already covered by tier-1)"
+cargo test --workspace --exclude sbqa -q
+
+echo "== examples and benches compile"
+cargo build --examples
+cargo bench --no-run -p sbqa_bench
+
+echo "CI OK"

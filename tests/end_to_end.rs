@@ -62,8 +62,16 @@ fn every_technique_completes_queries_on_the_boinc_population() {
         // Satisfaction values stay in the unit interval.
         let consumer = report.final_consumer_satisfaction();
         let provider = report.final_provider_satisfaction();
-        assert!((0.0..=1.0).contains(&consumer), "{}: {consumer}", kind.label());
-        assert!((0.0..=1.0).contains(&provider), "{}: {provider}", kind.label());
+        assert!(
+            (0.0..=1.0).contains(&consumer),
+            "{}: {consumer}",
+            kind.label()
+        );
+        assert!(
+            (0.0..=1.0).contains(&provider),
+            "{}: {provider}",
+            kind.label()
+        );
     }
 }
 
@@ -146,7 +154,10 @@ fn reports_expose_time_series_for_plotting() {
 fn query_accounting_is_conserved_for_every_technique() {
     // Every issued query ends up in exactly one bucket: completed, starved,
     // or still unfinished when the run stops — under both environments.
-    for departure in [DeparturePolicy::Captive, DeparturePolicy::paper_autonomous()] {
+    for departure in [
+        DeparturePolicy::Captive,
+        DeparturePolicy::paper_autonomous(),
+    ] {
         for kind in AllocationPolicyKind::paper_policies() {
             let report = run_technique(kind, departure, 80.0);
             let accounted = report.response.completed()
@@ -177,7 +188,9 @@ fn quick_scenarios_all_run() {
         } else {
             Scenario::sized(id, 25, 50.0, 6.0)
         };
-        let outcome = scenario.run().unwrap_or_else(|e| panic!("scenario {id:?}: {e}"));
+        let outcome = scenario
+            .run()
+            .unwrap_or_else(|e| panic!("scenario {id:?}: {e}"));
         assert!(!outcome.results.is_empty());
         let rendered = outcome.table().render();
         assert!(rendered.contains("technique"));
@@ -199,7 +212,10 @@ fn identical_seeds_reproduce_identical_scenario_outcomes() {
     for (ra, rb) in a.results.iter().zip(b.results.iter()) {
         assert_eq!(ra.label, rb.label);
         assert_eq!(ra.report.queries_issued, rb.report.queries_issued);
-        assert_eq!(ra.report.response.completed(), rb.report.response.completed());
+        assert_eq!(
+            ra.report.response.completed(),
+            rb.report.response.completed()
+        );
         assert!((ra.report.response.mean() - rb.report.response.mean()).abs() < 1e-12);
         assert!(
             (ra.report.final_provider_satisfaction() - rb.report.final_provider_satisfaction())

@@ -14,9 +14,13 @@ fn caps() -> CapabilitySet {
 }
 
 fn query(id: u64, consumer: u64, replication: usize) -> Query {
-    Query::builder(QueryId::new(id), ConsumerId::new(consumer), Capability::new(0))
-        .replication(replication)
-        .build()
+    Query::builder(
+        QueryId::new(id),
+        ConsumerId::new(consumer),
+        Capability::new(0),
+    )
+    .replication(replication)
+    .build()
 }
 
 #[test]
@@ -127,8 +131,8 @@ fn omega_self_adapts_towards_the_dissatisfied_side_over_a_mediation_stream() {
     }
     mediator.register_consumer(ConsumerId::new(1));
 
-    let intentions = StaticIntentions::new()
-        .with_defaults(Intention::new(0.9), Intention::new(-0.8));
+    let intentions =
+        StaticIntentions::new().with_defaults(Intention::new(0.9), Intention::new(-0.8));
 
     let mut omegas = Vec::new();
     for q in 0..30u64 {

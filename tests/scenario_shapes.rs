@@ -13,7 +13,9 @@ use sbqa::boinc::{Scenario, ScenarioId};
 fn economic_baseline_concentrates_load_more_than_capacity_baseline() {
     // Scenario 1's analysis: the bidding technique funnels work to the
     // fastest providers, the capacity technique spreads it.
-    let outcome = Scenario::sized(ScenarioId::S1, 40, 80.0, 10.0).run().unwrap();
+    let outcome = Scenario::sized(ScenarioId::S1, 40, 80.0, 10.0)
+        .run()
+        .unwrap();
     let capacity = outcome.result_for("Capacity").unwrap();
     let economic = outcome.result_for("Economic").unwrap();
     assert!(
@@ -28,8 +30,12 @@ fn economic_baseline_concentrates_load_more_than_capacity_baseline() {
 fn autonomous_baselines_lose_providers_that_captive_ones_keep() {
     // Scenario 2 vs Scenario 1: same techniques, same population; only the
     // departure rule differs.
-    let captive = Scenario::sized(ScenarioId::S1, 40, 120.0, 10.0).run().unwrap();
-    let autonomous = Scenario::sized(ScenarioId::S2, 40, 120.0, 10.0).run().unwrap();
+    let captive = Scenario::sized(ScenarioId::S1, 40, 120.0, 10.0)
+        .run()
+        .unwrap();
+    let autonomous = Scenario::sized(ScenarioId::S2, 40, 120.0, 10.0)
+        .run()
+        .unwrap();
     for label in ["Capacity", "Economic"] {
         let kept_captive = captive
             .result_for(label)
@@ -43,7 +49,10 @@ fn autonomous_baselines_lose_providers_that_captive_ones_keep() {
             .report
             .participants
             .final_providers;
-        assert_eq!(kept_captive, 40, "{label}: captive environments keep everyone");
+        assert_eq!(
+            kept_captive, 40,
+            "{label}: captive environments keep everyone"
+        );
         assert!(
             kept_autonomous < kept_captive,
             "{label}: expected departures in the autonomous environment"
@@ -56,7 +65,9 @@ fn performance_driven_intentions_make_sbqa_balance_load_best() {
     // Scenario 5: when providers only care about their load and consumers
     // about response times, SbQA's interest-following turns into load
     // balancing and beats the economic baseline's concentration.
-    let outcome = Scenario::sized(ScenarioId::S5, 40, 120.0, 10.0).run().unwrap();
+    let outcome = Scenario::sized(ScenarioId::S5, 40, 120.0, 10.0)
+        .run()
+        .unwrap();
     let sbqa = outcome.result_for("SbQA").unwrap();
     let economic = outcome.result_for("Economic").unwrap();
     assert!(
@@ -78,7 +89,9 @@ fn scripted_participant_is_served_by_sbqa() {
     // Scenario 7: the devoted volunteer reaches a high satisfaction under the
     // SQLB mediation; under the interest-blind baselines it either departs or
     // ends up strictly less satisfied.
-    let outcome = Scenario::sized(ScenarioId::S7, 40, 150.0, 10.0).run().unwrap();
+    let outcome = Scenario::sized(ScenarioId::S7, 40, 150.0, 10.0)
+        .run()
+        .unwrap();
     let sbqa = outcome.result_for("SbQA").unwrap();
     let sbqa_focus = sbqa
         .focus_satisfaction
@@ -105,8 +118,8 @@ fn larger_kn_increases_proposal_pressure_on_providers() {
     // providers are never selected, so provider satisfaction (Definition 2)
     // drops relative to a small kn. Checked on the captive Scenario 3 setting
     // to keep the population constant.
-    use sbqa::core::SbqaAllocator;
     use sbqa::boinc::BoincPopulation;
+    use sbqa::core::SbqaAllocator;
     use sbqa::sim::SimulationBuilder;
 
     let base = Scenario::sized(ScenarioId::S3, 40, 100.0, 10.0);

@@ -1,0 +1,242 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Implements the slice of the criterion 0.5 API the workspace benches use
+//! (`Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`, `criterion_main!`) with a
+//! simple calibrated timing loop instead of criterion's statistical engine.
+//!
+//! Results are printed as `bench: <id> ... <ns>/iter` lines, and when the
+//! `CRITERION_JSON` environment variable names a file, appended to it as JSON
+//! lines (`{"id": ..., "ns_per_iter": ..., "iters": ...}`) so scripts such as
+//! `scripts/bench.sh` can collect them.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark. Kept short: the stub is for smoke-level
+/// timing, not statistically rigorous estimation.
+const TARGET_MEASURE: Duration = Duration::from_millis(50);
+const MAX_CALIBRATION: Duration = Duration::from_millis(200);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark (outside any group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().id, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores the sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores throughput settings.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&full, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark, e.g. `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Throughput hint (accepted, ignored by the stub).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of abstract elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    // Calibrate: grow the iteration count until one batch is long enough to
+    // time reliably, or until the calibration budget runs out.
+    let mut iters: u64 = 1;
+    let calibration_start = Instant::now();
+    let per_iter_ns = loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let elapsed = bencher.elapsed;
+        if elapsed >= TARGET_MEASURE || calibration_start.elapsed() >= MAX_CALIBRATION {
+            break elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        }
+        // Aim directly for the target on the next attempt.
+        let scale = if elapsed.is_zero() {
+            100.0
+        } else {
+            (TARGET_MEASURE.as_secs_f64() / elapsed.as_secs_f64()).clamp(2.0, 100.0)
+        };
+        iters = ((iters as f64 * scale) as u64).max(iters + 1);
+    };
+
+    println!("bench: {id:<60} {per_iter_ns:>14.1} ns/iter ({iters} iters)");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\": \"{}\", \"ns_per_iter\": {per_iter_ns:.1}, \"iters\": {iters}}}",
+                    id.replace('"', "'")
+                );
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("stub");
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.bench_function("counts", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(runs > 0, "benchmark closure never executed");
+    }
+}

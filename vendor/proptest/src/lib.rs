@@ -1,0 +1,366 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Supports the subset used by this workspace: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!`, numeric range strategies,
+//! `proptest::collection::vec`, `proptest::bool::ANY`,
+//! `proptest::num::f64::ANY`, and tuple strategies.
+//!
+//! Each property runs a fixed number of randomized cases (deterministically
+//! seeded, so failures are reproducible). There is no shrinking: when a case
+//! fails, the generated inputs are printed instead.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::Rng;
+
+/// How a property test is executed.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` randomized cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the (many) property tests in this
+        // workspace fast while still exercising a varied input set.
+        Self { cases: 64 }
+    }
+}
+
+/// A source of random test values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// The `Just` strategy: always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Produces vectors whose elements come from `element` and whose length
+    /// is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// The strategy producing arbitrary booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Produces `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// Numeric strategies (`proptest::num`).
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+        use rand::{Rng, RngCore};
+
+        /// The strategy producing arbitrary `f64`s, including NaN and the
+        /// infinities.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Produces arbitrary bit patterns plus an over-weighted set of
+        /// special values (NaN, ±inf, ±0, extremes), as tests of clamping
+        /// code expect to see them.
+        pub const ANY: Any = Any;
+
+        const SPECIALS: [f64; 10] = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+            f64::EPSILON,
+        ];
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                if rng.gen_range(0u32..4) == 0 {
+                    SPECIALS[rng.gen_range(0..SPECIALS.len())]
+                } else {
+                    f64::from_bits(rng.next_u64())
+                }
+            }
+        }
+    }
+}
+
+/// Everything `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub mod __private {
+    use super::{ProptestConfig, TestRng};
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Runs `body` for every case, printing the generated inputs when a case
+    /// panics so failures are diagnosable without shrinking.
+    pub fn run_cases<F: FnMut(&mut TestRng)>(
+        config: &ProptestConfig,
+        property_name: &str,
+        mut body: F,
+    ) {
+        for case in 0..config.cases {
+            // Deterministic per-property, per-case seed.
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in property_name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut rng = TestRng::seed_from_u64(hash ^ u64::from(case));
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+            if let Err(panic) = outcome {
+                eprintln!("proptest stub: property `{property_name}` failed on case {case}");
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// The property-test macro. Mirrors proptest's surface syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = (<$crate::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::__private::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)+
+                let __case_inputs = || {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(concat!(stringify!($arg), " = "));
+                        __s.push_str(&format!("{:?}, ", $arg));
+                    )+
+                    __s
+                };
+                let __guard = $crate::__CaseReporter(::std::option::Option::Some(__case_inputs()));
+                $body
+                ::core::mem::forget(__guard);
+            });
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Prints the generated inputs if a property body panics.
+#[doc(hidden)]
+pub struct __CaseReporter(pub Option<String>);
+
+impl Drop for __CaseReporter {
+    fn drop(&mut self) {
+        if let Some(inputs) = self.0.take() {
+            if std::thread::panicking() {
+                eprintln!("proptest stub: failing inputs: {inputs}");
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property, like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property, like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property, like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        for _ in 0..200 {
+            let f = crate::Strategy::sample(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let v = crate::Strategy::sample(&crate::collection::vec(0u8..10, 2..5), &mut rng);
+            assert!(v.len() >= 2 && v.len() < 5);
+            assert!(v.iter().all(|&x| x < 10));
+            let (a, b) = crate::Strategy::sample(&(-1.0f64..=1.0, crate::bool::ANY), &mut rng);
+            assert!((-1.0..=1.0).contains(&a));
+            let _: bool = b;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u64..100, ys in crate::collection::vec(0.0f64..1.0, 0..5)) {
+            prop_assert!(x < 100);
+            prop_assert!(ys.len() < 5);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(b in crate::bool::ANY) {
+            let negated = !b;
+            prop_assert_ne!(b, negated);
+        }
+    }
+}

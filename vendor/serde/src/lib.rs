@@ -1,0 +1,796 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate keeps
+//! the workspace's `#[derive(Serialize, Deserialize)]` annotations and
+//! `use serde::{Deserialize, Serialize}` imports compiling — and genuinely
+//! round-trippable — without the real serde.
+//!
+//! Instead of serde's visitor architecture it uses a single self-describing
+//! [`Value`] tree: [`Serialize`] converts a type into a [`Value`],
+//! [`Deserialize`] reads it back. The derive macros (in `serde_derive`)
+//! generate both impls for structs and enums. [`to_string`] / [`from_str`]
+//! provide a JSON-like text format on top, so round-trip tests and CSV/JSON
+//! emitters have something concrete to exercise.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The unit value (unit structs, unit enum variants, `()`).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A character.
+    Char(char),
+    /// A string.
+    String(String),
+    /// An optional value (`None` / `Some`).
+    Option(Option<Box<Value>>),
+    /// A sequence (vectors, tuples, tuple structs).
+    Seq(Vec<Value>),
+    /// An ordered map (named structs, maps, enum variant wrappers).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Borrows the entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when deserialization finds an unexpected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde stub error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a serialized value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads a value of this type back out of a serialized tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Support functions used by derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Looks up `key` in a struct map. Used by generated `Deserialize` impls.
+pub fn __find<'a>(entries: &'a [(Value, Value)], key: &str) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| matches!(k, Value::String(s) if s == key))
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+}
+
+/// Unwraps the single `variant name -> payload` entry of a serialized enum.
+pub fn __enum_entry(value: &Value) -> Result<(&str, &Value), Error> {
+    let entries = value
+        .as_map()
+        .ok_or_else(|| Error::custom("expected enum map"))?;
+    match entries {
+        [(Value::String(name), payload)] => Ok((name.as_str(), payload)),
+        _ => Err(Error::custom("expected single-entry enum map")),
+    }
+}
+
+/// Fetches element `index` of a serialized tuple. Used by generated impls.
+pub fn __seq_get(items: &[Value], index: usize) -> Result<&Value, Error> {
+    items
+        .get(index)
+        .ok_or_else(|| Error::custom(format!("missing tuple element {index}")))
+}
+
+/// Deserializes a map key. The text format stringifies non-string keys, so if
+/// direct deserialization fails on a string key, the string is re-parsed as an
+/// embedded value and tried again.
+fn key_from_value<K: Deserialize>(key: &Value) -> Result<K, Error> {
+    match K::from_value(key) {
+        Ok(k) => Ok(k),
+        Err(err) => {
+            if let Value::String(text) = key {
+                if let Ok(k) = from_str::<K>(text) {
+                    return Ok(k);
+                }
+            }
+            Err(err)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and std impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Char(*self)
+    }
+}
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Char(c) => Ok(*c),
+            // The text format renders chars as one-character strings.
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected char")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Unit
+    }
+}
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Unit => Ok(()),
+            _ => Err(Error::custom("expected unit")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        Value::Option(self.as_ref().map(|v| Box::new(v.to_value())))
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Option(None) | Value::Unit => Ok(None),
+            Value::Option(Some(inner)) => T::from_value(inner).map(Some),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_value(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_value(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_seq()
+                    .ok_or_else(|| Error::custom("expected tuple sequence"))?;
+                Ok(($($t::from_value(__seq_get(items, $n)?)?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// JSON-like text format over Value.
+// ---------------------------------------------------------------------------
+
+/// Serializes a value to a compact JSON-like string.
+pub fn to_string<T: Serialize>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    out
+}
+
+/// Parses a string produced by [`to_string`] and deserializes `T` from it.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom("trailing characters"));
+    }
+    T::from_value(&value)
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Unit => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            // JSON has no NaN/inf; tag them as single-entry maps (like the
+            // Option encoding) so user strings can never collide with them.
+            if x.is_nan() {
+                out.push_str("{\"__f64\":\"nan\"}");
+            } else if x.is_infinite() {
+                out.push_str(if *x > 0.0 {
+                    "{\"__f64\":\"inf\"}"
+                } else {
+                    "{\"__f64\":\"-inf\"}"
+                });
+            } else {
+                // `{:?}` keeps a decimal point or exponent, so floats stay
+                // distinguishable from integers when parsed back.
+                out.push_str(&format!("{x:?}"));
+            }
+        }
+        Value::Char(c) => write_string(&c.to_string(), out),
+        Value::String(s) => write_string(s, out),
+        Value::Option(None) => out.push_str("null"),
+        Value::Option(Some(inner)) => {
+            out.push_str("{\"__some\":");
+            write_value(inner, out);
+            out.push('}');
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match k {
+                    Value::String(s) => write_string(s, out),
+                    other => {
+                        // Non-string keys (ids, enums) are stringified.
+                        let mut key = String::new();
+                        write_value(other, &mut key);
+                        write_string(&key, out);
+                    }
+                }
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected {:?} at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::custom("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Unit)
+                } else {
+                    Err(Error::custom("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::custom("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::custom("invalid literal"))
+                }
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::custom("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((Value::String(key), value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(Error::custom("expected ',' or '}'")),
+                    }
+                }
+                // `{"__some": v}` is the Option encoding, `{"__f64": "..."}`
+                // the non-finite float encoding.
+                if let [(Value::String(key), inner)] = entries.as_slice() {
+                    if key == "__some" {
+                        return Ok(Value::Option(Some(Box::new(inner.clone()))));
+                    }
+                    if key == "__f64" {
+                        return match inner.as_str() {
+                            Some("nan") => Ok(Value::F64(f64::NAN)),
+                            Some("inf") => Ok(Value::F64(f64::INFINITY)),
+                            Some("-inf") => Ok(Value::F64(f64::NEG_INFINITY)),
+                            _ => Err(Error::custom("bad __f64 tag")),
+                        };
+                    }
+                }
+                Ok(Value::Map(entries))
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(Error::custom("unterminated string"));
+            };
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(escape) = self.peek() else {
+                        return Err(Error::custom("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(Error::custom("bad \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::custom("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: step back and take the full char.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while let Some(byte) = self.peek() {
+            if byte.is_ascii_digit() || matches!(byte, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if text.is_empty() {
+            return Err(Error::custom("expected number"));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let text = to_string(&value);
+        let back: T = from_str(&text).unwrap_or_else(|e| panic!("{e} while parsing {text}"));
+        assert_eq!(back, value, "round-trip through {text}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(-17i64);
+        round_trip(3.25f64);
+        round_trip(f64::NAN.to_bits());
+        round_trip(true);
+        round_trip(String::from("hé\"llo\n"));
+        round_trip(Some(4u32));
+        round_trip(Option::<u32>::None);
+        round_trip(Some(Option::<u32>::None));
+    }
+
+    #[test]
+    fn nan_and_infinity_round_trip() {
+        let text = to_string(&f64::INFINITY);
+        assert_eq!(from_str::<f64>(&text).unwrap(), f64::INFINITY);
+        let text = to_string(&f64::NEG_INFINITY);
+        assert_eq!(from_str::<f64>(&text).unwrap(), f64::NEG_INFINITY);
+        let text = to_string(&f64::NAN);
+        assert!(from_str::<f64>(&text).unwrap().is_nan());
+    }
+
+    #[test]
+    fn strings_resembling_float_tags_round_trip() {
+        for s in ["__nan", "__inf", "__-inf", "nan", "{\"__f64\":\"nan\"}"] {
+            round_trip(s.to_string());
+        }
+    }
+
+    #[test]
+    fn chars_round_trip() {
+        round_trip('a');
+        round_trip('é');
+        round_trip('"');
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(VecDeque::from(vec![1.5f64, -2.5]));
+        round_trip((1u64, -2i64, String::from("x")));
+        let mut map = BTreeMap::new();
+        map.insert(String::from("a"), 1u64);
+        map.insert(String::from("b"), 2u64);
+        round_trip(map);
+    }
+}

@@ -1,0 +1,466 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls (the simplified
+//! value-based traits of the stub, not real serde's visitor traits) for
+//! structs and enums. The item is parsed directly from the proc-macro token
+//! stream — `syn`/`quote` are unavailable offline — which is enough for the
+//! shapes this workspace uses: unit/tuple/named structs, enums with
+//! unit/tuple/named variants, and plain type parameters.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Plain type parameter names (lifetimes and bounds are not supported).
+    type_params: Vec<String>,
+    kind: ItemKind,
+}
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().unwrap()
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    assert!(
+        keyword == "struct" || keyword == "enum",
+        "serde stub derive: expected struct or enum, found `{keyword}`"
+    );
+    let name = expect_ident(&tokens, &mut pos);
+    let type_params = parse_generics(&tokens, &mut pos);
+
+    let kind = if keyword == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::Struct(Fields::Unit),
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(group.stream());
+                ItemKind::Struct(Fields::Tuple(count))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Fields::Named(parse_named_fields(group.stream())))
+            }
+            other => panic!("serde stub derive: unexpected struct body: {other:?}"),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(group.stream()))
+            }
+            other => panic!("serde stub derive: unexpected enum body: {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        type_params,
+        kind,
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(*pos) {
+                    *pos += 1;
+                }
+            }
+            // `pub`, optionally followed by `(crate)` etc.
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(group)) = tokens.get(*pos) {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(ident)) => {
+            *pos += 1;
+            ident.to_string()
+        }
+        other => panic!("serde stub derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` after the item name, returning plain type parameter names.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            *pos += 1;
+        }
+        _ => return params,
+    }
+    let mut depth = 1usize;
+    // True at a position where a fresh parameter may start.
+    let mut at_param_start = true;
+    while let Some(token) = tokens.get(*pos) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                *pos += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                *pos += 1;
+                if depth == 0 {
+                    return params;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                *pos += 1;
+            }
+            TokenTree::Ident(ident) if depth == 1 && at_param_start => {
+                params.push(ident.to_string());
+                at_param_start = false;
+                *pos += 1;
+            }
+            _ => {
+                // Bounds, lifetimes, defaults — irrelevant to codegen.
+                at_param_start = false;
+                *pos += 1;
+            }
+        }
+    }
+    panic!("serde stub derive: unterminated generics");
+}
+
+/// Counts the comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0usize;
+    let mut saw_tokens = false;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Extracts the field names of a named struct / named variant body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        fields.push(name);
+        // Skip `: Type` up to the next top-level comma.
+        let mut depth = 0usize;
+        while let Some(token) = tokens.get(pos) {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(group.stream());
+                pos += 1;
+                Fields::Tuple(count)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(group.stream());
+                pos += 1;
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        while let Some(token) = tokens.get(pos) {
+            pos += 1;
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.type_params.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.type_params.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            plain
+        )
+    }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Unit".to_string(),
+        // Newtype structs serialize transparently, as with real serde_json.
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Struct(Fields::Tuple(count)) => {
+            let elements: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elements.join(", "))
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Value::String(::std::string::String::from(\"{f}\")), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => format!(
+                            "Self::{vname} => ::serde::Value::Map(vec![(\
+                             ::serde::Value::String(::std::string::String::from(\"{vname}\")), \
+                             ::serde::Value::Unit)]),"
+                        ),
+                        Fields::Tuple(count) => {
+                            let binders: Vec<String> =
+                                (0..*count).map(|i| format!("__f{i}")).collect();
+                            let elements: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "Self::{vname}({}) => ::serde::Value::Map(vec![(\
+                                 ::serde::Value::String(::std::string::String::from(\"{vname}\")), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binders.join(", "),
+                                elements.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::serde::Value::String(::std::string::String::from(\"{f}\")), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vname} {{ {} }} => ::serde::Value::Map(vec![(\
+                                 ::serde::Value::String(::std::string::String::from(\"{vname}\")), \
+                                 ::serde::Value::Map(vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!(
+            "match __value {{ ::serde::Value::Unit => ::core::result::Result::Ok({}), \
+             _ => ::core::result::Result::Err(::serde::Error::custom(\"expected unit\")) }}",
+            item.name
+        ),
+        // Newtype structs deserialize transparently, as with real serde_json.
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            "::core::result::Result::Ok(Self(::serde::Deserialize::from_value(__value)?))"
+                .to_string()
+        }
+        ItemKind::Struct(Fields::Tuple(count)) => {
+            let elements: Vec<String> = (0..*count)
+                .map(|i| {
+                    format!("::serde::Deserialize::from_value(::serde::__seq_get(__items, {i})?)?")
+                })
+                .collect();
+            format!(
+                "let __items = __value.as_seq()\
+                 .ok_or_else(|| ::serde::Error::custom(\"expected sequence\"))?; \
+                 ::core::result::Result::Ok(Self({}))",
+                elements.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let assignments: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__find(__entries, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __entries = __value.as_map()\
+                 .ok_or_else(|| ::serde::Error::custom(\"expected map\"))?; \
+                 ::core::result::Result::Ok(Self {{ {} }})",
+                assignments.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => {
+                            format!("\"{vname}\" => ::core::result::Result::Ok(Self::{vname}),")
+                        }
+                        Fields::Tuple(count) => {
+                            let elements: Vec<String> = (0..*count)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         ::serde::__seq_get(__items, {i})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ let __items = __payload.as_seq()\
+                                 .ok_or_else(|| ::serde::Error::custom(\"expected sequence\"))?; \
+                                 ::core::result::Result::Ok(Self::{vname}({})) }}",
+                                elements.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let assignments: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::__find(__entries, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ let __entries = __payload.as_map()\
+                                 .ok_or_else(|| ::serde::Error::custom(\"expected map\"))?; \
+                                 ::core::result::Result::Ok(Self::{vname} {{ {} }}) }}",
+                                assignments.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__name, __payload) = ::serde::__enum_entry(__value)?; \
+                 match __name {{ {} __other => ::core::result::Result::Err(\
+                 ::serde::Error::custom(format!(\"unknown variant {{}}\", __other))) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__value: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde_json`, backed by the vendored serde stub's
+//! JSON-like text format. Provides the `to_string` / `from_str` pair with
+//! real-serde_json-compatible `Result` signatures.
+
+pub use serde::{Error, Value};
+
+/// Serializes `value` to a compact JSON-like string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::to_string(value))
+}
+
+/// Deserializes `T` from a string produced by [`to_string`].
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    serde::from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips_scalars() {
+        let json = super::to_string(&42u64).unwrap();
+        assert_eq!(json, "42");
+        let back: u64 = super::from_str(&json).unwrap();
+        assert_eq!(back, 42);
+    }
+}
