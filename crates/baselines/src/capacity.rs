@@ -14,11 +14,13 @@
 //! idle one — this mirrors BOINC's preference for hosts with more spare
 //! computing power.
 
-use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator};
+use sbqa_core::allocator::{
+    AllocationDecision, Candidates, IntentionOracle, ProviderSnapshot, QueryAllocator,
+};
 use sbqa_satisfaction::SatisfactionRegistry;
-use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
+use sbqa_types::{Query, SbqaError, SbqaResult};
 
-use crate::{baseline_decision, DEFAULT_CONSIDERATION};
+use crate::{fill_baseline_decision, DEFAULT_CONSIDERATION};
 
 /// Capacity-based allocator: least relative utilization first.
 #[derive(Debug, Clone)]
@@ -26,12 +28,15 @@ pub struct CapacityAllocator {
     /// Number of providers reported as "considered" for satisfaction
     /// accounting (the technique's analogue of `Kn`).
     consideration: usize,
+    /// Candidate positions in rank order, reused across queries.
+    order: Vec<u32>,
 }
 
 impl Default for CapacityAllocator {
     fn default() -> Self {
         Self {
             consideration: DEFAULT_CONSIDERATION,
+            order: Vec::new(),
         }
     }
 }
@@ -65,36 +70,49 @@ impl QueryAllocator for CapacityAllocator {
         "Capacity"
     }
 
-    fn allocate(
+    fn allocate_into(
         &mut self,
         query: &Query,
-        candidates: &[ProviderSnapshot],
+        candidates: Candidates<'_>,
         oracle: &dyn IntentionOracle,
         _satisfaction: &SatisfactionRegistry,
-    ) -> SbqaResult<AllocationDecision> {
+        decision: &mut AllocationDecision,
+    ) -> SbqaResult<()> {
         if candidates.is_empty() {
             return Err(SbqaError::NoProviderOnline { query: query.id });
         }
 
-        let mut ranked: Vec<ProviderSnapshot> = candidates.to_vec();
-        ranked.sort_by(|a, b| {
-            Self::relative_utilization(a)
-                .partial_cmp(&Self::relative_utilization(b))
+        let by_spare_capacity = |&a: &u32, &b: &u32| {
+            let pa = candidates.get(a as usize);
+            let pb = candidates.get(b as usize);
+            Self::relative_utilization(pa)
+                .partial_cmp(&Self::relative_utilization(pb))
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
+                .then_with(|| pa.id.cmp(&pb.id))
+        };
+        let selected_count = query.replication.min(candidates.len());
+        let considered_len = self.consideration.max(selected_count).min(candidates.len());
 
-        let selected: Vec<ProviderId> = ranked
-            .iter()
-            .take(query.replication.min(ranked.len()))
-            .map(|s| s.id)
-            .collect();
-        let considered_len = self.consideration.max(selected.len()).min(ranked.len());
-        let considered = &ranked[..considered_len];
-
-        Ok(baseline_decision(
-            query, considered, &selected, oracle, None,
-        ))
+        // Only the considered prefix is ever read: partition it out first so
+        // the full sort pays O(c·log c) on c candidates, not O(n·log n).
+        self.order.clear();
+        self.order.extend(0..candidates.len() as u32);
+        if considered_len < self.order.len() {
+            self.order
+                .select_nth_unstable_by(considered_len - 1, by_spare_capacity);
+            self.order.truncate(considered_len);
+        }
+        self.order.sort_unstable_by(by_spare_capacity);
+        fill_baseline_decision(
+            query,
+            candidates,
+            &self.order[..considered_len],
+            selected_count,
+            oracle,
+            None,
+            decision,
+        );
+        Ok(())
     }
 }
 
@@ -102,7 +120,7 @@ impl QueryAllocator for CapacityAllocator {
 mod tests {
     use super::*;
     use sbqa_core::allocator::StaticIntentions;
-    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, ProviderId, QueryId};
 
     fn query(replication: usize) -> Query {
         Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0))
@@ -132,7 +150,12 @@ mod tests {
             snapshot(3, 0.5, 1.0),  // relative 0.5
         ];
         let decision = alloc
-            .allocate(&query(2), &candidates, &oracle, &satisfaction)
+            .allocate(
+                &query(2),
+                Candidates::from_slice(&candidates),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(
             decision.selected,
@@ -149,7 +172,12 @@ mod tests {
         // Provider 2: utilization 1 over capacity 1  -> 1.0.
         let candidates = vec![snapshot(1, 2.0, 10.0), snapshot(2, 1.0, 1.0)];
         let decision = alloc
-            .allocate(&query(1), &candidates, &oracle, &satisfaction)
+            .allocate(
+                &query(1),
+                Candidates::from_slice(&candidates),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.selected, vec![ProviderId::new(1)]);
     }
@@ -162,7 +190,12 @@ mod tests {
         let candidates: Vec<ProviderSnapshot> =
             (0..10).map(|i| snapshot(i, i as f64, 1.0)).collect();
         let decision = alloc
-            .allocate(&query(1), &candidates, &oracle, &satisfaction)
+            .allocate(
+                &query(1),
+                Candidates::from_slice(&candidates),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.proposals.len(), 2);
         assert_eq!(decision.selected.len(), 1);
@@ -170,7 +203,12 @@ mod tests {
         // Replication larger than the consideration window still reports every
         // selected provider as considered.
         let decision = alloc
-            .allocate(&query(5), &candidates, &oracle, &satisfaction)
+            .allocate(
+                &query(5),
+                Candidates::from_slice(&candidates),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.selected.len(), 5);
         assert_eq!(decision.proposals.len(), 5);
@@ -182,7 +220,12 @@ mod tests {
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
         assert!(alloc
-            .allocate(&query(1), &[], &oracle, &satisfaction)
+            .allocate(
+                &query(1),
+                Candidates::from_slice(&[]),
+                &oracle,
+                &satisfaction
+            )
             .is_err());
     }
 

@@ -16,11 +16,13 @@
 //! well-provisioned providers — the behaviour the satisfaction analysis of
 //! Scenario 1 is designed to expose.
 
-use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator};
+use sbqa_core::allocator::{
+    AllocationDecision, Candidates, IntentionOracle, ProviderSnapshot, QueryAllocator,
+};
 use sbqa_satisfaction::SatisfactionRegistry;
-use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
+use sbqa_types::{Query, SbqaError, SbqaResult};
 
-use crate::{baseline_decision, DEFAULT_CONSIDERATION};
+use crate::{fill_baseline_decision, DEFAULT_CONSIDERATION};
 
 /// Economic (bidding) allocator: cheapest bid wins.
 #[derive(Debug, Clone)]
@@ -31,6 +33,12 @@ pub struct EconomicAllocator {
     /// Number of providers reported as "considered" for satisfaction
     /// accounting.
     consideration: usize,
+    /// Per-candidate bids, indexed by candidate position.
+    bids: Vec<f64>,
+    /// Candidate positions in ascending-bid order.
+    order: Vec<u32>,
+    /// Negated bids of the considered prefix (the reported scores).
+    scores: Vec<f64>,
 }
 
 impl Default for EconomicAllocator {
@@ -38,6 +46,9 @@ impl Default for EconomicAllocator {
         Self {
             backlog_weight: 1.0,
             consideration: DEFAULT_CONSIDERATION,
+            bids: Vec::new(),
+            order: Vec::new(),
+            scores: Vec::new(),
         }
     }
 }
@@ -83,51 +94,66 @@ impl QueryAllocator for EconomicAllocator {
         "Economic"
     }
 
-    fn allocate(
+    fn allocate_into(
         &mut self,
         query: &Query,
-        candidates: &[ProviderSnapshot],
+        candidates: Candidates<'_>,
         oracle: &dyn IntentionOracle,
         _satisfaction: &SatisfactionRegistry,
-    ) -> SbqaResult<AllocationDecision> {
+        decision: &mut AllocationDecision,
+    ) -> SbqaResult<()> {
         if candidates.is_empty() {
             return Err(SbqaError::NoProviderOnline { query: query.id });
         }
 
-        let mut bids: Vec<(ProviderSnapshot, f64)> = candidates
-            .iter()
-            .map(|snapshot| (*snapshot, self.bid(snapshot, query)))
-            .collect();
-        bids.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
+        self.bids.clear();
+        for snapshot in candidates.iter() {
+            self.bids.push(self.bid(snapshot, query));
+        }
+        let bids = &self.bids;
+        let by_cheapest_bid = |&a: &u32, &b: &u32| {
+            bids[a as usize]
+                .partial_cmp(&bids[b as usize])
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.id.cmp(&b.0.id))
-        });
+                .then_with(|| {
+                    candidates
+                        .get(a as usize)
+                        .id
+                        .cmp(&candidates.get(b as usize).id)
+                })
+        };
+        let selected_count = query.replication.min(candidates.len());
+        let considered_len = self.consideration.max(selected_count).min(candidates.len());
 
-        let selected: Vec<ProviderId> = bids
-            .iter()
-            .take(query.replication.min(bids.len()))
-            .map(|(s, _)| s.id)
-            .collect();
-
-        let considered_len = self.consideration.max(selected.len()).min(bids.len());
-        let considered: Vec<ProviderSnapshot> =
-            bids[..considered_len].iter().map(|(s, _)| *s).collect();
+        // Only the considered prefix is ever read: partition it out first so
+        // the full sort pays O(c·log c) on c candidates, not O(n·log n).
+        self.order.clear();
+        self.order.extend(0..candidates.len() as u32);
+        if considered_len < self.order.len() {
+            self.order
+                .select_nth_unstable_by(considered_len - 1, by_cheapest_bid);
+            self.order.truncate(considered_len);
+        }
+        self.order.sort_unstable_by(by_cheapest_bid);
         // Report the (negated) bid as the technique's score so that higher
         // is better, consistent with the other techniques' score columns.
-        let scores: Vec<(ProviderId, f64)> = bids
-            .iter()
-            .take(considered_len)
-            .map(|(s, bid)| (s.id, -bid))
-            .collect();
+        self.scores.clear();
+        self.scores.extend(
+            self.order[..considered_len]
+                .iter()
+                .map(|&pos| -self.bids[pos as usize]),
+        );
 
-        Ok(baseline_decision(
+        fill_baseline_decision(
             query,
-            &considered,
-            &selected,
+            candidates,
+            &self.order[..considered_len],
+            selected_count,
             oracle,
-            Some(&scores),
-        ))
+            Some(&self.scores),
+            decision,
+        );
+        Ok(())
     }
 }
 
@@ -135,7 +161,7 @@ impl QueryAllocator for EconomicAllocator {
 mod tests {
     use super::*;
     use sbqa_core::allocator::StaticIntentions;
-    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, ProviderId, QueryId};
 
     fn query(replication: usize, work: f64) -> Query {
         Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0))
@@ -177,7 +203,12 @@ mod tests {
             snapshot(3, 0.5, 5.0),  // bid 2.5
         ];
         let decision = alloc
-            .allocate(&query(2, 10.0), &candidates, &oracle, &satisfaction)
+            .allocate(
+                &query(2, 10.0),
+                Candidates::from_slice(&candidates),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(
             decision.selected,
@@ -210,7 +241,12 @@ mod tests {
         let oracle = StaticIntentions::new();
         let candidates = vec![snapshot(1, 0.0, 1.0), snapshot(2, 0.5, 10.0)];
         let decision = alloc
-            .allocate(&query(1, 10.0), &candidates, &oracle, &satisfaction)
+            .allocate(
+                &query(1, 10.0),
+                Candidates::from_slice(&candidates),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.selected, vec![ProviderId::new(2)]);
     }
@@ -228,7 +264,12 @@ mod tests {
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
         assert!(alloc
-            .allocate(&query(1, 1.0), &[], &oracle, &satisfaction)
+            .allocate(
+                &query(1, 1.0),
+                Candidates::from_slice(&[]),
+                &oracle,
+                &satisfaction
+            )
             .is_err());
         assert_eq!(alloc.name(), "Economic");
     }

@@ -39,44 +39,41 @@ pub use load_based::LoadBasedAllocator;
 pub use random_alloc::RandomAllocator;
 pub use round_robin::RoundRobinAllocator;
 
-use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProposalRecord, ProviderSnapshot};
-use sbqa_types::{ProviderId, Query};
+use sbqa_core::allocator::{AllocationDecision, Candidates, IntentionOracle, ProposalRecord};
+use sbqa_types::Query;
 
-/// Builds an [`AllocationDecision`] for a baseline technique.
+/// Fills an [`AllocationDecision`] for a baseline technique without
+/// allocating (beyond growing the reused decision's buffers).
 ///
-/// `considered` is the subset of providers the technique examined closely
-/// (its analogue of SbQA's `Kn`), `selected` the winners among them. The
+/// `considered` holds candidate positions in the technique's rank order —
+/// its analogue of SbQA's `Kn` — and the first `selected_count` of them are
+/// the winners. `scores`, when present, is aligned with `considered`. The
 /// function resolves both sides' intentions through the oracle so that the
 /// satisfaction model can judge the technique, even though the technique
 /// itself ignored those intentions.
-pub(crate) fn baseline_decision(
+pub(crate) fn fill_baseline_decision(
     query: &Query,
-    considered: &[ProviderSnapshot],
-    selected: &[ProviderId],
+    candidates: Candidates<'_>,
+    considered: &[u32],
+    selected_count: usize,
     oracle: &dyn IntentionOracle,
-    scores: Option<&[(ProviderId, f64)]>,
-) -> AllocationDecision {
-    let proposals: Vec<ProposalRecord> = considered
-        .iter()
-        .map(|snapshot| {
-            let score = scores.and_then(|s| {
-                s.iter()
-                    .find(|(id, _)| *id == snapshot.id)
-                    .map(|(_, value)| *value)
-            });
-            ProposalRecord {
-                provider: snapshot.id,
-                provider_intention: oracle.provider_intention(snapshot.id, query),
-                consumer_intention: oracle.consumer_intention(query, snapshot.id),
-                score,
-                selected: selected.contains(&snapshot.id),
-            }
-        })
-        .collect();
-    AllocationDecision {
-        selected: selected.to_vec(),
-        proposals,
-        omega: None,
+    scores: Option<&[f64]>,
+    decision: &mut AllocationDecision,
+) {
+    decision.clear();
+    for (rank, &pos) in considered.iter().enumerate() {
+        let snapshot = candidates.get(pos as usize);
+        let selected = rank < selected_count;
+        if selected {
+            decision.selected.push(snapshot.id);
+        }
+        decision.proposals.push(ProposalRecord {
+            provider: snapshot.id,
+            provider_intention: oracle.provider_intention(snapshot.id, query),
+            consumer_intention: oracle.consumer_intention(query, snapshot.id),
+            score: scores.map(|s| s[rank]),
+            selected,
+        });
     }
 }
 
@@ -89,25 +86,29 @@ pub(crate) const DEFAULT_CONSIDERATION: usize = 4;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbqa_core::allocator::StaticIntentions;
-    use sbqa_types::{Capability, CapabilitySet, ConsumerId, Intention, QueryId};
+    use sbqa_core::allocator::{ProviderSnapshot, StaticIntentions};
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, Intention, ProviderId, QueryId};
 
     #[test]
-    fn baseline_decision_resolves_intentions_for_all_considered() {
+    fn fill_baseline_decision_resolves_intentions_for_all_considered() {
         let query = Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0)).build();
-        let considered: Vec<ProviderSnapshot> = (0..3)
+        let pool: Vec<ProviderSnapshot> = (0..3)
             .map(|i| ProviderSnapshot::idle(ProviderId::new(i), CapabilitySet::ALL, 1.0))
             .collect();
         let mut oracle = StaticIntentions::new();
         oracle.set_consumer_intention(ProviderId::new(1), Intention::new(0.7));
         oracle.set_provider_intention(ProviderId::new(2), Intention::new(-0.4));
 
-        let decision = baseline_decision(
+        // Rank order 1, 2, 0 with the first as the single winner.
+        let mut decision = AllocationDecision::default();
+        fill_baseline_decision(
             &query,
-            &considered,
-            &[ProviderId::new(1)],
+            Candidates::from_slice(&pool),
+            &[1, 2, 0],
+            1,
             &oracle,
-            Some(&[(ProviderId::new(1), 0.9)]),
+            Some(&[0.9, 0.4, 0.1]),
+            &mut decision,
         );
         assert_eq!(decision.selected, vec![ProviderId::new(1)]);
         assert_eq!(decision.proposals.len(), 3);
@@ -129,6 +130,20 @@ mod tests {
             .unwrap();
         assert!(!p2.selected);
         assert_eq!(p2.provider_intention, Intention::new(-0.4));
-        assert_eq!(p2.score, None);
+        assert_eq!(p2.score, Some(0.4));
+
+        // Refilling a used decision starts from a clean slate.
+        fill_baseline_decision(
+            &query,
+            Candidates::from_slice(&pool),
+            &[0],
+            1,
+            &oracle,
+            None,
+            &mut decision,
+        );
+        assert_eq!(decision.selected, vec![ProviderId::new(0)]);
+        assert_eq!(decision.proposals.len(), 1);
+        assert_eq!(decision.proposals[0].score, None);
     }
 }

@@ -6,22 +6,25 @@
 //! times, and it is the natural "join the shortest queue" strawman for the
 //! ablation benches.
 
-use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator};
+use sbqa_core::allocator::{AllocationDecision, Candidates, IntentionOracle, QueryAllocator};
 use sbqa_satisfaction::SatisfactionRegistry;
-use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
+use sbqa_types::{Query, SbqaError, SbqaResult};
 
-use crate::{baseline_decision, DEFAULT_CONSIDERATION};
+use crate::{fill_baseline_decision, DEFAULT_CONSIDERATION};
 
 /// Shortest-queue-first allocator.
 #[derive(Debug, Clone)]
 pub struct LoadBasedAllocator {
     consideration: usize,
+    /// Candidate positions in rank order, reused across queries.
+    order: Vec<u32>,
 }
 
 impl Default for LoadBasedAllocator {
     fn default() -> Self {
         Self {
             consideration: DEFAULT_CONSIDERATION,
+            order: Vec::new(),
         }
     }
 }
@@ -46,18 +49,20 @@ impl QueryAllocator for LoadBasedAllocator {
         "LoadBased"
     }
 
-    fn allocate(
+    fn allocate_into(
         &mut self,
         query: &Query,
-        candidates: &[ProviderSnapshot],
+        candidates: Candidates<'_>,
         oracle: &dyn IntentionOracle,
         _satisfaction: &SatisfactionRegistry,
-    ) -> SbqaResult<AllocationDecision> {
+        decision: &mut AllocationDecision,
+    ) -> SbqaResult<()> {
         if candidates.is_empty() {
             return Err(SbqaError::NoProviderOnline { query: query.id });
         }
-        let mut ranked: Vec<ProviderSnapshot> = candidates.to_vec();
-        ranked.sort_by(|a, b| {
+        let by_backlog = |&x: &u32, &y: &u32| {
+            let a = candidates.get(x as usize);
+            let b = candidates.get(y as usize);
             a.queue_length
                 .cmp(&b.queue_length)
                 .then_with(|| {
@@ -66,28 +71,38 @@ impl QueryAllocator for LoadBasedAllocator {
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .then_with(|| a.id.cmp(&b.id))
-        });
-        let selected: Vec<ProviderId> = ranked
-            .iter()
-            .take(query.replication.min(ranked.len()))
-            .map(|s| s.id)
-            .collect();
-        let considered_len = self.consideration.max(selected.len()).min(ranked.len());
-        Ok(baseline_decision(
+        };
+        let selected_count = query.replication.min(candidates.len());
+        let considered_len = self.consideration.max(selected_count).min(candidates.len());
+
+        // Only the considered prefix is ever read: partition it out first so
+        // the full sort pays O(c·log c) on c candidates, not O(n·log n).
+        self.order.clear();
+        self.order.extend(0..candidates.len() as u32);
+        if considered_len < self.order.len() {
+            self.order
+                .select_nth_unstable_by(considered_len - 1, by_backlog);
+            self.order.truncate(considered_len);
+        }
+        self.order.sort_unstable_by(by_backlog);
+        fill_baseline_decision(
             query,
-            &ranked[..considered_len],
-            &selected,
+            candidates,
+            &self.order[..considered_len],
+            selected_count,
             oracle,
             None,
-        ))
+            decision,
+        );
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbqa_core::allocator::StaticIntentions;
-    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
+    use sbqa_core::allocator::{ProviderSnapshot, StaticIntentions};
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, ProviderId, QueryId};
 
     fn query(replication: usize) -> Query {
         Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0))
@@ -117,7 +132,12 @@ mod tests {
             snapshot(3, 2, 2.0),
         ];
         let decision = alloc
-            .allocate(&query(2), &candidates, &oracle, &satisfaction)
+            .allocate(
+                &query(2),
+                Candidates::from_slice(&candidates),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(
             decision.selected,
@@ -132,7 +152,12 @@ mod tests {
         let oracle = StaticIntentions::new();
         let candidates = vec![snapshot(1, 1, 9.0), snapshot(2, 1, 0.5)];
         let decision = alloc
-            .allocate(&query(1), &candidates, &oracle, &satisfaction)
+            .allocate(
+                &query(1),
+                Candidates::from_slice(&candidates),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.selected, vec![ProviderId::new(2)]);
     }
@@ -145,7 +170,12 @@ mod tests {
         let candidates: Vec<ProviderSnapshot> =
             (0..10).map(|i| snapshot(i, i as usize, i as f64)).collect();
         let decision = alloc
-            .allocate(&query(1), &candidates, &oracle, &satisfaction)
+            .allocate(
+                &query(1),
+                Candidates::from_slice(&candidates),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.proposals.len(), 3);
     }
@@ -156,7 +186,12 @@ mod tests {
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
         assert!(alloc
-            .allocate(&query(1), &[], &oracle, &satisfaction)
+            .allocate(
+                &query(1),
+                Candidates::from_slice(&[]),
+                &oracle,
+                &satisfaction
+            )
             .is_err());
         assert_eq!(alloc.name(), "LoadBased");
     }

@@ -5,20 +5,22 @@
 //! response time, and its satisfaction profile shows what "pure chance"
 //! fairness looks like.
 
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator};
+use sbqa_core::allocator::{AllocationDecision, Candidates, IntentionOracle, QueryAllocator};
+use sbqa_core::knbest::IndexPool;
 use sbqa_satisfaction::SatisfactionRegistry;
-use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
+use sbqa_types::{Query, SbqaError, SbqaResult};
 
-use crate::baseline_decision;
+use crate::fill_baseline_decision;
 
 /// Random allocator: `q.n` providers drawn uniformly without replacement.
 #[derive(Debug, Clone)]
 pub struct RandomAllocator {
     rng: ChaCha8Rng,
+    /// O(q.n) draw scratch, reused across queries.
+    pool: IndexPool,
 }
 
 impl RandomAllocator {
@@ -27,6 +29,7 @@ impl RandomAllocator {
     pub fn new(seed: u64) -> Self {
         Self {
             rng: ChaCha8Rng::seed_from_u64(seed),
+            pool: IndexPool::new(),
         }
     }
 }
@@ -36,29 +39,38 @@ impl QueryAllocator for RandomAllocator {
         "Random"
     }
 
-    fn allocate(
+    fn allocate_into(
         &mut self,
         query: &Query,
-        candidates: &[ProviderSnapshot],
+        candidates: Candidates<'_>,
         oracle: &dyn IntentionOracle,
         _satisfaction: &SatisfactionRegistry,
-    ) -> SbqaResult<AllocationDecision> {
+        decision: &mut AllocationDecision,
+    ) -> SbqaResult<()> {
         if candidates.is_empty() {
             return Err(SbqaError::NoProviderOnline { query: query.id });
         }
-        let mut pool: Vec<ProviderSnapshot> = candidates.to_vec();
-        pool.shuffle(&mut self.rng);
-        pool.truncate(query.replication.min(candidates.len()));
-        let selected: Vec<ProviderId> = pool.iter().map(|s| s.id).collect();
-        Ok(baseline_decision(query, &pool, &selected, oracle, None))
+        let drawn = self
+            .pool
+            .draw(candidates.len(), query.replication, &mut self.rng);
+        fill_baseline_decision(
+            query,
+            candidates,
+            drawn,
+            drawn.len(),
+            oracle,
+            None,
+            decision,
+        );
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbqa_core::allocator::StaticIntentions;
-    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
+    use sbqa_core::allocator::{ProviderSnapshot, StaticIntentions};
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, ProviderId, QueryId};
 
     fn query(replication: usize) -> Query {
         Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0))
@@ -78,7 +90,12 @@ mod tests {
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
         let decision = alloc
-            .allocate(&query(3), &candidates(10), &oracle, &satisfaction)
+            .allocate(
+                &query(3),
+                Candidates::from_slice(&candidates(10)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.selected.len(), 3);
         let mut ids: Vec<u64> = decision.selected.iter().map(|p| p.raw()).collect();
@@ -93,7 +110,12 @@ mod tests {
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
         let decision = alloc
-            .allocate(&query(10), &candidates(3), &oracle, &satisfaction)
+            .allocate(
+                &query(10),
+                Candidates::from_slice(&candidates(3)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.selected.len(), 3);
     }
@@ -107,7 +129,12 @@ mod tests {
             (0..20)
                 .map(|_| {
                     alloc
-                        .allocate(&query(1), &candidates(10), &oracle, &satisfaction)
+                        .allocate(
+                            &query(1),
+                            Candidates::from_slice(&candidates(10)),
+                            &oracle,
+                            &satisfaction,
+                        )
                         .unwrap()
                         .selected[0]
                 })
@@ -125,7 +152,12 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
             let d = alloc
-                .allocate(&query(1), &candidates(10), &oracle, &satisfaction)
+                .allocate(
+                    &query(1),
+                    Candidates::from_slice(&candidates(10)),
+                    &oracle,
+                    &satisfaction,
+                )
                 .unwrap();
             seen.insert(d.selected[0].raw());
         }
@@ -138,7 +170,12 @@ mod tests {
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
         assert!(alloc
-            .allocate(&query(1), &[], &oracle, &satisfaction)
+            .allocate(
+                &query(1),
+                Candidates::from_slice(&[]),
+                &oracle,
+                &satisfaction
+            )
             .is_err());
         assert_eq!(alloc.name(), "Random");
     }

@@ -5,16 +5,20 @@
 //! to provider heterogeneity (a slow volunteer receives as much work as a
 //! fast one), which makes it a useful contrast for the load-balance metrics.
 
-use sbqa_core::allocator::{AllocationDecision, IntentionOracle, ProviderSnapshot, QueryAllocator};
+use sbqa_core::allocator::{AllocationDecision, Candidates, IntentionOracle, QueryAllocator};
 use sbqa_satisfaction::SatisfactionRegistry;
-use sbqa_types::{ProviderId, Query, SbqaError, SbqaResult};
+use sbqa_types::{Query, SbqaError, SbqaResult};
 
-use crate::baseline_decision;
+use crate::fill_baseline_decision;
 
 /// Round-robin allocator: cycles through capable providers in id order.
 #[derive(Debug, Clone, Default)]
 pub struct RoundRobinAllocator {
     cursor: u64,
+    /// Candidate positions in ascending-id order, reused across queries.
+    order: Vec<u32>,
+    /// The ring slice handed to this query, reused across queries.
+    turn: Vec<u32>,
 }
 
 impl RoundRobinAllocator {
@@ -30,43 +34,41 @@ impl QueryAllocator for RoundRobinAllocator {
         "RoundRobin"
     }
 
-    fn allocate(
+    fn allocate_into(
         &mut self,
         query: &Query,
-        candidates: &[ProviderSnapshot],
+        candidates: Candidates<'_>,
         oracle: &dyn IntentionOracle,
         _satisfaction: &SatisfactionRegistry,
-    ) -> SbqaResult<AllocationDecision> {
+        decision: &mut AllocationDecision,
+    ) -> SbqaResult<()> {
         if candidates.is_empty() {
             return Err(SbqaError::NoProviderOnline { query: query.id });
         }
-        let mut ordered: Vec<ProviderSnapshot> = candidates.to_vec();
-        ordered.sort_by_key(|s| s.id);
+        self.order.clear();
+        self.order.extend(0..candidates.len() as u32);
+        self.order
+            .sort_unstable_by_key(|&pos| candidates.get(pos as usize).id);
 
-        let count = query.replication.min(ordered.len());
-        let start = (self.cursor as usize) % ordered.len();
-        let mut selected_snapshots: Vec<ProviderSnapshot> = Vec::with_capacity(count);
+        let count = query.replication.min(self.order.len());
+        let start = (self.cursor as usize) % self.order.len();
+        self.turn.clear();
         for offset in 0..count {
-            selected_snapshots.push(ordered[(start + offset) % ordered.len()]);
+            self.turn
+                .push(self.order[(start + offset) % self.order.len()]);
         }
         self.cursor = self.cursor.wrapping_add(count as u64);
 
-        let selected: Vec<ProviderId> = selected_snapshots.iter().map(|s| s.id).collect();
-        Ok(baseline_decision(
-            query,
-            &selected_snapshots,
-            &selected,
-            oracle,
-            None,
-        ))
+        fill_baseline_decision(query, candidates, &self.turn, count, oracle, None, decision);
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbqa_core::allocator::StaticIntentions;
-    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
+    use sbqa_core::allocator::{ProviderSnapshot, StaticIntentions};
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, ProviderId, QueryId};
 
     fn query(id: u64, replication: usize) -> Query {
         Query::builder(QueryId::new(id), ConsumerId::new(1), Capability::new(0))
@@ -88,7 +90,12 @@ mod tests {
         let picks: Vec<u64> = (0..6)
             .map(|i| {
                 alloc
-                    .allocate(&query(i, 1), &candidates(3), &oracle, &satisfaction)
+                    .allocate(
+                        &query(i, 1),
+                        Candidates::from_slice(&candidates(3)),
+                        &oracle,
+                        &satisfaction,
+                    )
                     .unwrap()
                     .selected[0]
                     .raw()
@@ -103,14 +110,24 @@ mod tests {
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
         let decision = alloc
-            .allocate(&query(1, 2), &candidates(3), &oracle, &satisfaction)
+            .allocate(
+                &query(1, 2),
+                Candidates::from_slice(&candidates(3)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(
             decision.selected,
             vec![ProviderId::new(0), ProviderId::new(1)]
         );
         let decision = alloc
-            .allocate(&query(2, 2), &candidates(3), &oracle, &satisfaction)
+            .allocate(
+                &query(2, 2),
+                Candidates::from_slice(&candidates(3)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(
             decision.selected,
@@ -124,7 +141,12 @@ mod tests {
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
         let decision = alloc
-            .allocate(&query(1, 9), &candidates(3), &oracle, &satisfaction)
+            .allocate(
+                &query(1, 9),
+                Candidates::from_slice(&candidates(3)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.selected.len(), 3);
     }
@@ -135,7 +157,12 @@ mod tests {
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
         assert!(alloc
-            .allocate(&query(1, 1), &[], &oracle, &satisfaction)
+            .allocate(
+                &query(1, 1),
+                Candidates::from_slice(&[]),
+                &oracle,
+                &satisfaction
+            )
             .is_err());
         assert_eq!(alloc.name(), "RoundRobin");
     }

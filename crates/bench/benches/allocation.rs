@@ -9,7 +9,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sbqa_baselines::build_allocator;
-use sbqa_core::allocator::{ProviderSnapshot, StaticIntentions};
+use sbqa_core::allocator::{AllocationDecision, Candidates, ProviderSnapshot, StaticIntentions};
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{
     AllocationPolicyKind, Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query,
@@ -47,11 +47,19 @@ fn bench_allocation(c: &mut Criterion) {
             let pool = candidates(size);
             group.bench_with_input(BenchmarkId::new(kind.label(), size), &pool, |b, pool| {
                 let mut allocator = build_allocator(kind, &config, 42).unwrap();
+                let mut decision = AllocationDecision::default();
                 let q = query(2);
                 b.iter(|| {
                     allocator
-                        .allocate(black_box(&q), black_box(pool), &oracle, &satisfaction)
-                        .unwrap()
+                        .allocate_into(
+                            black_box(&q),
+                            Candidates::from_slice(black_box(pool)),
+                            &oracle,
+                            &satisfaction,
+                            &mut decision,
+                        )
+                        .unwrap();
+                    black_box(&decision);
                 });
             });
         }
@@ -64,11 +72,19 @@ fn bench_allocation(c: &mut Criterion) {
         let config = SystemConfig::default().with_knbest(kn.max(20), kn);
         group.bench_with_input(BenchmarkId::new("SbQA_by_kn", kn), &pool, |b, pool| {
             let mut allocator = build_allocator(AllocationPolicyKind::SbQA, &config, 42).unwrap();
+            let mut decision = AllocationDecision::default();
             let q = query(2);
             b.iter(|| {
                 allocator
-                    .allocate(black_box(&q), black_box(pool), &oracle, &satisfaction)
-                    .unwrap()
+                    .allocate_into(
+                        black_box(&q),
+                        Candidates::from_slice(black_box(pool)),
+                        &oracle,
+                        &satisfaction,
+                        &mut decision,
+                    )
+                    .unwrap();
+                black_box(&decision);
             });
         });
     }

@@ -8,8 +8,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sbqa_core::allocator::ProviderSnapshot;
-use sbqa_core::knbest::KnBestSelector;
+use sbqa_core::allocator::{Candidates, ProviderSnapshot};
+use sbqa_core::knbest::{KnBestScratch, KnBestSelector};
 use sbqa_types::{CapabilitySet, ProviderId};
 
 fn population(n: usize) -> Vec<ProviderSnapshot> {
@@ -36,7 +36,15 @@ fn bench_knbest(c: &mut Criterion) {
             |b, candidates| {
                 let selector = KnBestSelector::new(20, 4);
                 let mut rng = StdRng::seed_from_u64(7);
-                b.iter(|| selector.select(black_box(candidates), &mut rng));
+                let mut scratch = KnBestScratch::new();
+                b.iter(|| {
+                    let kn = selector.select_into(
+                        Candidates::from_slice(black_box(candidates)),
+                        &mut rng,
+                        &mut scratch,
+                    );
+                    black_box(kn.len())
+                });
             },
         );
     }
@@ -49,7 +57,15 @@ fn bench_knbest(c: &mut Criterion) {
             |b, candidates| {
                 let selector = KnBestSelector::new(k, kn);
                 let mut rng = StdRng::seed_from_u64(7);
-                b.iter(|| selector.select(black_box(candidates), &mut rng));
+                let mut scratch = KnBestScratch::new();
+                b.iter(|| {
+                    let kn = selector.select_into(
+                        Candidates::from_slice(black_box(candidates)),
+                        &mut rng,
+                        &mut scratch,
+                    );
+                    black_box(kn.len())
+                });
             },
         );
     }

@@ -1,0 +1,193 @@
+//! Micro-benchmark: the capability-indexed registry against the pre-refactor
+//! clone-and-scan path, at realistic population sizes.
+//!
+//! Before the indexed engine, every mediation (1) scanned the whole provider
+//! `HashMap`, cloning each capable snapshot into a fresh `Vec` and sorting it
+//! (`capable_of`), then (2) cloned that vector *again* inside KnBest and
+//! full-shuffled it to draw `k` — O(|P|) time and O(|P|) allocations per
+//! query even when `kn = 4`. The `legacy` series below reproduces that path
+//! verbatim so the `indexed` series (postings-list lookup + O(k) partial
+//! Fisher–Yates into reused scratch) can be compared against it on the same
+//! populations. The `mediate` group measures the full `Mediator` hot path —
+//! `Pq` + KnBest + scoring + ranking + satisfaction bookkeeping — via
+//! `submit_in_place` and `submit_batch`.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sbqa_core::allocator::{ProviderSnapshot, StaticIntentions};
+use sbqa_core::knbest::{KnBestScratch, KnBestSelector};
+use sbqa_core::{Mediator, ProviderRegistry};
+use sbqa_types::{
+    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+};
+
+/// Number of capability classes the synthetic population spreads over.
+const CLASSES: u8 = 8;
+
+fn query(class: u8) -> Query {
+    Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(class))
+        .replication(2)
+        .build()
+}
+
+fn capabilities(i: usize) -> CapabilitySet {
+    CapabilitySet::singleton(Capability::new((i % CLASSES as usize) as u8))
+}
+
+fn snapshot(i: usize) -> ProviderSnapshot {
+    ProviderSnapshot {
+        id: ProviderId::new(i as u64),
+        capabilities: capabilities(i),
+        capacity: 1.0 + (i % 4) as f64,
+        utilization: (i % 13) as f64 * 0.5,
+        queue_length: i % 7,
+        online: true,
+    }
+}
+
+fn indexed_registry(n: usize) -> ProviderRegistry {
+    let mut registry = ProviderRegistry::new();
+    for i in 0..n {
+        registry.register(ProviderId::new(i as u64), capabilities(i), 1.0);
+    }
+    registry
+}
+
+/// The pre-refactor representation: snapshots in a `HashMap`, `Pq` by scan.
+fn legacy_registry(n: usize) -> HashMap<ProviderId, ProviderSnapshot> {
+    (0..n)
+        .map(|i| (ProviderId::new(i as u64), snapshot(i)))
+        .collect()
+}
+
+/// The pre-refactor `capable_of`: scan, clone, sort.
+fn legacy_capable_of(
+    providers: &HashMap<ProviderId, ProviderSnapshot>,
+    q: &Query,
+) -> Vec<ProviderSnapshot> {
+    let mut capable: Vec<ProviderSnapshot> = providers
+        .values()
+        .filter(|p| p.online && p.capabilities.contains(q.required_capability))
+        .copied()
+        .collect();
+    capable.sort_by_key(|p| p.id);
+    capable
+}
+
+/// The pre-refactor KnBest: clone the candidates again, full-shuffle, sort.
+fn legacy_knbest(
+    candidates: &[ProviderSnapshot],
+    k: usize,
+    kn: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<ProviderSnapshot> {
+    let mut pool: Vec<ProviderSnapshot> = candidates.to_vec();
+    pool.shuffle(rng);
+    pool.truncate(k);
+    pool.sort_by(|a, b| {
+        a.utilization
+            .partial_cmp(&b.utilization)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    pool.truncate(kn);
+    pool
+}
+
+fn bench_capable_of(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+    let q = query(3);
+
+    for size in [1_000usize, 10_000, 100_000] {
+        let legacy = legacy_registry(size);
+        group.bench_with_input(
+            BenchmarkId::new("capable_of/legacy_scan_clone", size),
+            &legacy,
+            |b, legacy| {
+                let mut rng = ChaCha8Rng::seed_from_u64(42);
+                b.iter(|| {
+                    let candidates = legacy_capable_of(black_box(legacy), &q);
+                    let kn = legacy_knbest(&candidates, 20, 4, &mut rng);
+                    black_box(kn.len())
+                });
+            },
+        );
+
+        let indexed = indexed_registry(size);
+        group.bench_with_input(
+            BenchmarkId::new("capable_of/indexed_zero_clone", size),
+            &indexed,
+            |b, indexed| {
+                let mut rng = ChaCha8Rng::seed_from_u64(42);
+                let selector = KnBestSelector::new(20, 4);
+                let mut scratch = KnBestScratch::new();
+                b.iter(|| {
+                    let candidates = black_box(indexed).candidates(&q);
+                    let kn = selector.select_into(candidates, &mut rng, &mut scratch);
+                    black_box(kn.len())
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+fn bench_mediate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mediate");
+    let oracle = StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.3));
+
+    for size in [10_000usize, 100_000] {
+        let build = |size: usize| {
+            let mut mediator = Mediator::sbqa(SystemConfig::default(), 42).unwrap();
+            for i in 0..size {
+                mediator.register_provider(ProviderId::new(i as u64), capabilities(i), 1.0);
+            }
+            mediator.register_consumer(ConsumerId::new(1));
+            mediator
+        };
+
+        let mut mediator = build(size);
+        group.bench_function(BenchmarkId::new("submit_in_place", size), |b| {
+            let q = query(3);
+            b.iter(|| {
+                let decision = mediator.submit_in_place(black_box(&q), &oracle).unwrap();
+                black_box(decision.selected.len())
+            });
+        });
+
+        let mut mediator = build(size);
+        let batch: Vec<Query> = (0..64u8)
+            .map(|i| {
+                Query::builder(
+                    QueryId::new(u64::from(i)),
+                    ConsumerId::new(1),
+                    Capability::new(i % CLASSES),
+                )
+                .replication(2)
+                .build()
+            })
+            .collect();
+        group.bench_function(BenchmarkId::new("submit_batch/64", size), |b| {
+            b.iter(|| {
+                let mut selected = 0usize;
+                let report = mediator.submit_batch(black_box(&batch), &oracle, |_, _, result| {
+                    if let Ok(decision) = result {
+                        selected += decision.selected.len();
+                    }
+                });
+                black_box((report.mediated, selected))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_capable_of, bench_mediate);
+criterion_main!(benches);

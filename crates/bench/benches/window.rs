@@ -50,7 +50,7 @@ fn bench_windows(c: &mut Criterion) {
                     tracker.record_outcome(
                         QueryId::new(i as u64),
                         1,
-                        vec![(ProviderId::new(1), Intention::new(0.5))],
+                        &[(ProviderId::new(1), Intention::new(0.5))],
                     );
                 }
                 let mut next = *k as u64;
@@ -58,7 +58,7 @@ fn bench_windows(c: &mut Criterion) {
                     tracker.record_outcome(
                         QueryId::new(next),
                         1,
-                        vec![(ProviderId::new(1), black_box(Intention::new(0.6)))],
+                        &[(ProviderId::new(1), black_box(Intention::new(0.6)))],
                     );
                     next += 1;
                     black_box(tracker.satisfaction())

@@ -8,8 +8,9 @@
 //!
 //! * `--quick` — run the reduced preset (40 volunteers, 80 virtual seconds)
 //!   instead of the full one (200 volunteers, 300 virtual seconds);
-//! * `--volunteers N`, `--duration SECONDS`, `--arrival RATE`, `--seed SEED`
-//!   — override individual scale parameters;
+//! * `--volunteers N` (alias `--providers N`, e.g. `--providers 100000` for
+//!   the large-population stress preset), `--duration SECONDS`,
+//!   `--arrival RATE`, `--seed SEED` — override individual scale parameters;
 //! * `--csv PATH` — additionally dump every time series (the analogue of the
 //!   demo's live plots) as long-format CSV.
 
@@ -51,6 +52,12 @@ impl HarnessOptions {
                 "--volunteers" => {
                     options.volunteers = Some(Self::parse_value(&mut iter, "--volunteers")?);
                 }
+                // The providers of the paper are BOINC volunteers; the alias
+                // makes large-population runs read naturally
+                // (`--providers 100000`).
+                "--providers" => {
+                    options.volunteers = Some(Self::parse_value(&mut iter, "--providers")?);
+                }
                 "--duration" => {
                     options.duration = Some(Self::parse_value(&mut iter, "--duration")?);
                 }
@@ -66,8 +73,8 @@ impl HarnessOptions {
                 }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: scenarioN [--quick] [--volunteers N] [--duration S] \
-                         [--arrival RATE] [--seed SEED] [--csv PATH]"
+                        "usage: scenarioN [--quick] [--volunteers N | --providers N] \
+                         [--duration S] [--arrival RATE] [--seed SEED] [--csv PATH]"
                             .to_string(),
                     );
                 }
@@ -198,6 +205,13 @@ mod tests {
         assert!(HarnessOptions::parse(args(&["--volunteers"])).is_err());
         assert!(HarnessOptions::parse(args(&["--volunteers", "many"])).is_err());
         assert!(HarnessOptions::parse(args(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn providers_flag_is_a_volunteers_alias() {
+        let options = HarnessOptions::parse(args(&["--providers", "100000"])).unwrap();
+        assert_eq!(options.volunteers, Some(100_000));
+        assert!(HarnessOptions::parse(args(&["--providers"])).is_err());
     }
 
     #[test]

@@ -3,17 +3,22 @@
 //! An allocation technique sees three things when a query arrives:
 //!
 //! * the [`Query`] itself,
-//! * a snapshot of every *capable and online* provider (`Pq`) — identity,
-//!   capacity, current utilization and queue length ([`ProviderSnapshot`]),
+//! * a borrowed [`Candidates`] view of every *capable and online* provider
+//!   (`Pq`) — identity, capacity, current utilization and queue length
+//!   ([`ProviderSnapshot`]), without cloning the population,
 //! * an [`IntentionOracle`] it may consult to learn the consumer's intention
 //!   towards a provider and a provider's intention towards the query, and
 //! * the mediator's [`SatisfactionRegistry`](sbqa_satisfaction::SatisfactionRegistry)
 //!   for techniques (like SbQA) that balance the two sides by satisfaction.
 //!
-//! It returns an [`AllocationDecision`]: which providers to allocate the
+//! It fills an [`AllocationDecision`]: which providers to allocate the
 //! query to, and the full list of proposals made (needed to update provider
 //! satisfaction — a provider that was consulted but not selected becomes less
-//! satisfied, exactly as in Definition 2).
+//! satisfied, exactly as in Definition 2). Techniques implement
+//! [`QueryAllocator::allocate_into`], which writes into a caller-provided
+//! decision so steady-state mediation can reuse buffers instead of
+//! allocating; the provided [`QueryAllocator::allocate`] wrapper returns an
+//! owned decision for tests and one-off callers.
 
 use std::collections::HashMap;
 
@@ -63,6 +68,86 @@ impl ProviderSnapshot {
     #[must_use]
     pub fn can_perform(&self, query: &Query) -> bool {
         self.online && self.capabilities.contains(query.required_capability)
+    }
+}
+
+/// A borrowed, zero-clone view of the candidate set `Pq`.
+///
+/// The view either covers a contiguous slice of snapshots
+/// ([`Candidates::from_slice`], used by tests and ad-hoc callers) or a
+/// capability postings list into the registry's dense slab
+/// ([`Candidates::from_postings`], the zero-copy path the mediator uses).
+/// Positions `0..len()` address candidates in a deterministic order — for
+/// registry-backed views that order is ascending provider id by
+/// construction.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidates<'a> {
+    providers: &'a [ProviderSnapshot],
+    /// When `Some`, positions into `providers` forming the candidate set;
+    /// when `None`, every entry of `providers` is a candidate.
+    postings: Option<&'a [u32]>,
+}
+
+impl<'a> Candidates<'a> {
+    /// A view over a contiguous slice: every snapshot is a candidate.
+    #[must_use]
+    pub fn from_slice(providers: &'a [ProviderSnapshot]) -> Self {
+        Self {
+            providers,
+            postings: None,
+        }
+    }
+
+    /// A view over a postings list: `postings` holds positions into the
+    /// `providers` slab, in the order candidates should be enumerated.
+    #[must_use]
+    pub fn from_postings(providers: &'a [ProviderSnapshot], postings: &'a [u32]) -> Self {
+        Self {
+            providers,
+            postings: Some(postings),
+        }
+    }
+
+    /// Number of candidates in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.postings.map_or(self.providers.len(), <[u32]>::len)
+    }
+
+    /// `true` if the candidate set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The candidate at position `pos` (`0 <= pos < len()`).
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of bounds.
+    #[must_use]
+    pub fn get(&self, pos: usize) -> &'a ProviderSnapshot {
+        match self.postings {
+            Some(postings) => &self.providers[postings[pos] as usize],
+            None => &self.providers[pos],
+        }
+    }
+
+    /// Iterates over the candidates in position order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a ProviderSnapshot> + 'a {
+        let view = *self;
+        (0..view.len()).map(move |pos| view.get(pos))
+    }
+}
+
+impl<'a> From<&'a [ProviderSnapshot]> for Candidates<'a> {
+    fn from(providers: &'a [ProviderSnapshot]) -> Self {
+        Self::from_slice(providers)
+    }
+}
+
+impl<'a> From<&'a Vec<ProviderSnapshot>> for Candidates<'a> {
+    fn from(providers: &'a Vec<ProviderSnapshot>) -> Self {
+        Self::from_slice(providers.as_slice())
     }
 }
 
@@ -170,32 +255,54 @@ impl AllocationDecision {
         self.selected.is_empty()
     }
 
+    /// Empties the decision while keeping the vector capacities, so a reused
+    /// decision performs no allocation once warmed up.
+    pub fn clear(&mut self) {
+        self.selected.clear();
+        self.proposals.clear();
+        self.omega = None;
+    }
+
     /// The consumer-side view of the allocation: the selected providers with
     /// the consumer's intention towards each, in ranking order. This is what
     /// feeds Definition 1.
     #[must_use]
     pub fn consumer_view(&self) -> Vec<(ProviderId, Intention)> {
-        self.selected
-            .iter()
-            .map(|id| {
-                let intention = self
-                    .proposals
-                    .iter()
-                    .find(|p| p.provider == *id)
-                    .map_or(Intention::NEUTRAL, |p| p.consumer_intention);
-                (*id, intention)
-            })
-            .collect()
+        let mut view = Vec::new();
+        self.consumer_view_into(&mut view);
+        view
+    }
+
+    /// Fills `out` with the consumer-side view, reusing its capacity.
+    pub fn consumer_view_into(&self, out: &mut Vec<(ProviderId, Intention)>) {
+        out.clear();
+        out.extend(self.selected.iter().map(|id| {
+            let intention = self
+                .proposals
+                .iter()
+                .find(|p| p.provider == *id)
+                .map_or(Intention::NEUTRAL, |p| p.consumer_intention);
+            (*id, intention)
+        }));
     }
 
     /// The provider-side view: every consulted provider with its expressed
     /// intention and selection flag. This is what feeds Definition 2.
     #[must_use]
     pub fn provider_view(&self) -> Vec<(ProviderId, Intention, bool)> {
-        self.proposals
-            .iter()
-            .map(|p| (p.provider, p.provider_intention, p.selected))
-            .collect()
+        let mut view = Vec::new();
+        self.provider_view_into(&mut view);
+        view
+    }
+
+    /// Fills `out` with the provider-side view, reusing its capacity.
+    pub fn provider_view_into(&self, out: &mut Vec<(ProviderId, Intention, bool)>) {
+        out.clear();
+        out.extend(
+            self.proposals
+                .iter()
+                .map(|p| (p.provider, p.provider_intention, p.selected)),
+        );
     }
 }
 
@@ -204,19 +311,37 @@ pub trait QueryAllocator: Send {
     /// Human-readable name used in experiment tables.
     fn name(&self) -> &'static str;
 
-    /// Decides which providers should perform `query`.
+    /// Decides which providers should perform `query`, writing the decision
+    /// into `decision` (which is cleared first, retaining its capacity).
     ///
     /// `candidates` is the set `Pq` restricted to online providers; it is
     /// never empty (the mediator short-circuits starvation before calling the
     /// allocator). `oracle` answers intention questions and `satisfaction` is
-    /// the mediator's registry.
+    /// the mediator's registry. Implementations are expected to keep their
+    /// working state in internal scratch buffers so that steady-state calls
+    /// perform no heap allocation.
+    fn allocate_into(
+        &mut self,
+        query: &Query,
+        candidates: Candidates<'_>,
+        oracle: &dyn IntentionOracle,
+        satisfaction: &SatisfactionRegistry,
+        decision: &mut AllocationDecision,
+    ) -> SbqaResult<()>;
+
+    /// Convenience wrapper over [`QueryAllocator::allocate_into`] that
+    /// returns a freshly allocated decision.
     fn allocate(
         &mut self,
         query: &Query,
-        candidates: &[ProviderSnapshot],
+        candidates: Candidates<'_>,
         oracle: &dyn IntentionOracle,
         satisfaction: &SatisfactionRegistry,
-    ) -> SbqaResult<AllocationDecision>;
+    ) -> SbqaResult<AllocationDecision> {
+        let mut decision = AllocationDecision::default();
+        self.allocate_into(query, candidates, oracle, satisfaction, &mut decision)?;
+        Ok(decision)
+    }
 }
 
 #[cfg(test)]
@@ -346,5 +471,64 @@ mod tests {
     #[test]
     fn empty_decision_is_starved() {
         assert!(AllocationDecision::default().is_starved());
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_resets_fields() {
+        let mut decision = AllocationDecision {
+            selected: vec![ProviderId::new(1)],
+            proposals: vec![ProposalRecord {
+                provider: ProviderId::new(1),
+                provider_intention: Intention::NEUTRAL,
+                consumer_intention: Intention::NEUTRAL,
+                score: None,
+                selected: true,
+            }],
+            omega: Some(0.5),
+        };
+        let selected_cap = decision.selected.capacity();
+        decision.clear();
+        assert!(decision.selected.is_empty());
+        assert!(decision.proposals.is_empty());
+        assert!(decision.omega.is_none());
+        assert_eq!(decision.selected.capacity(), selected_cap);
+    }
+
+    fn slab(n: u64) -> Vec<ProviderSnapshot> {
+        (0..n)
+            .map(|i| ProviderSnapshot::idle(ProviderId::new(i), CapabilitySet::ALL, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn candidates_slice_view_covers_everything() {
+        let snapshots = slab(4);
+        let view = Candidates::from_slice(&snapshots);
+        assert_eq!(view.len(), 4);
+        assert!(!view.is_empty());
+        assert_eq!(view.get(2).id, ProviderId::new(2));
+        let ids: Vec<u64> = view.iter().map(|s| s.id.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn candidates_postings_view_restricts_and_orders() {
+        let snapshots = slab(5);
+        let postings = [4u32, 1, 3];
+        let view = Candidates::from_postings(&snapshots, &postings);
+        assert_eq!(view.len(), 3);
+        let ids: Vec<u64> = view.iter().map(|s| s.id.raw()).collect();
+        assert_eq!(ids, vec![4, 1, 3]);
+        assert_eq!(view.get(1).id, ProviderId::new(1));
+    }
+
+    #[test]
+    fn candidates_empty_views() {
+        let view = Candidates::from_slice(&[]);
+        assert!(view.is_empty());
+        let snapshots = slab(2);
+        let view = Candidates::from_postings(&snapshots, &[]);
+        assert!(view.is_empty());
+        assert_eq!(view.iter().count(), 0);
     }
 }

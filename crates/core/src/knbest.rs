@@ -13,11 +13,81 @@
 //! allocation to the application by varying `kn`: a small `kn` behaves almost
 //! like pure load balancing, a large `kn` gives the intention-based scoring
 //! more freedom.
+//!
+//! ## Cost model
+//!
+//! The draw is a *partial* Fisher–Yates over a persistent identity
+//! permutation ([`IndexPool`]): `k` swaps forward, `k` swaps undone, so one
+//! selection costs O(k) — independent of `|Pq|` — and, once the pool has
+//! grown to the population size, performs zero heap allocation. The
+//! utilization filter is a `select_nth_unstable` partition of the `k` drawn
+//! positions followed by a full sort of only the `kn` survivors.
 
-use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::allocator::ProviderSnapshot;
+use crate::allocator::{Candidates, ProviderSnapshot};
+
+/// A persistent identity permutation used to draw `count` distinct positions
+/// out of `0..population` uniformly at random in O(count) time.
+///
+/// The pool keeps a `Vec<u32>` that is always the identity permutation
+/// between draws: a draw performs `count` Fisher–Yates swaps, copies the
+/// drawn prefix out, then undoes the swaps in reverse. Growing to a larger
+/// population extends the identity lazily, so steady-state draws allocate
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct IndexPool {
+    identity: Vec<u32>,
+    swaps: Vec<u32>,
+    drawn: Vec<u32>,
+}
+
+impl IndexPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws `min(count, population)` distinct positions from
+    /// `0..population`, uniformly at random, returning them in draw order.
+    /// The returned slice is valid until the next call.
+    pub fn draw<R: Rng>(&mut self, population: usize, count: usize, rng: &mut R) -> &[u32] {
+        let count = count.min(population);
+        if self.identity.len() < population {
+            let start = self.identity.len() as u32;
+            self.identity.extend(start..population as u32);
+        }
+        self.swaps.clear();
+        self.drawn.clear();
+        for i in 0..count {
+            let j = rng.gen_range(i..population);
+            self.identity.swap(i, j);
+            self.swaps.push(j as u32);
+        }
+        self.drawn.extend_from_slice(&self.identity[..count]);
+        // Restore the identity so the next draw starts from a clean pool.
+        for i in (0..count).rev() {
+            self.identity.swap(i, self.swaps[i] as usize);
+        }
+        &self.drawn
+    }
+}
+
+/// Reusable working memory for [`KnBestSelector::select_into`]. One scratch
+/// per allocator instance keeps steady-state selection allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct KnBestScratch {
+    pool: IndexPool,
+}
+
+impl KnBestScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Configurable KnBest selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,35 +110,62 @@ impl KnBestSelector {
         }
     }
 
-    /// Applies KnBest to the candidate set, returning the set `Kn`.
+    /// Applies KnBest to the candidate view, returning the positions (into
+    /// `candidates`) of the set `Kn`, sorted by ascending utilization with
+    /// provider id as the tie-breaker — deterministic for a given RNG stream
+    /// and candidate order.
     ///
-    /// The result preserves no particular order except that it is sorted by
-    /// ascending utilization with provider id as the tie-breaker, which keeps
-    /// the selection deterministic for a given RNG stream.
+    /// Costs O(k + kn·log kn) regardless of `|Pq|` and performs no heap
+    /// allocation once `scratch` has warmed up to the population size.
+    pub fn select_into<'s, R: Rng>(
+        &self,
+        candidates: Candidates<'_>,
+        rng: &mut R,
+        scratch: &'s mut KnBestScratch,
+    ) -> &'s [u32] {
+        let n = candidates.len();
+        if n == 0 {
+            scratch.pool.drawn.clear();
+            return &scratch.pool.drawn;
+        }
+
+        // Step 1: the random subset K of size min(k, |Pq|), as positions.
+        scratch.pool.draw(n, self.k, rng);
+        let drawn = &mut scratch.pool.drawn;
+
+        // Step 2: the kn least-utilized providers of K. Partition first so
+        // only the kn survivors pay for a full (deterministic) sort.
+        let by_load = |&a: &u32, &b: &u32| {
+            let pa = candidates.get(a as usize);
+            let pb = candidates.get(b as usize);
+            pa.utilization
+                .partial_cmp(&pb.utilization)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| pa.id.cmp(&pb.id))
+        };
+        let kn = self.kn.min(drawn.len());
+        if kn < drawn.len() {
+            drawn.select_nth_unstable_by(kn - 1, by_load);
+            drawn.truncate(kn);
+        }
+        drawn.sort_unstable_by(by_load);
+        drawn
+    }
+
+    /// Applies KnBest to a candidate slice, returning the snapshots of the
+    /// set `Kn` — an allocating convenience wrapper over
+    /// [`KnBestSelector::select_into`] for tests and one-off callers.
     #[must_use]
-    pub fn select<R: Rng + ?Sized>(
+    pub fn select<R: Rng>(
         &self,
         candidates: &[ProviderSnapshot],
         rng: &mut R,
     ) -> Vec<ProviderSnapshot> {
-        if candidates.is_empty() {
-            return Vec::new();
-        }
-
-        // Step 1: the random subset K of size min(k, |Pq|).
-        let mut pool: Vec<ProviderSnapshot> = candidates.to_vec();
-        pool.shuffle(rng);
-        pool.truncate(self.k);
-
-        // Step 2: the kn least-utilized providers of K.
-        pool.sort_by(|a, b| {
-            a.utilization
-                .partial_cmp(&b.utilization)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        pool.truncate(self.kn);
-        pool
+        let mut scratch = KnBestScratch::new();
+        self.select_into(Candidates::from_slice(candidates), rng, &mut scratch)
+            .iter()
+            .map(|&pos| candidates[pos as usize])
+            .collect()
     }
 }
 
@@ -89,6 +186,70 @@ mod tests {
             queue_length: 0,
             online: true,
         }
+    }
+
+    #[test]
+    fn index_pool_draws_distinct_positions_and_restores_identity() {
+        let mut pool = IndexPool::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let drawn: Vec<u32> = pool.draw(20, 7, &mut rng).to_vec();
+            assert_eq!(drawn.len(), 7);
+            let mut sorted = drawn.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 7, "duplicates in {drawn:?}");
+            assert!(drawn.iter().all(|&p| p < 20));
+        }
+        // The identity invariant must hold between draws.
+        assert!(pool
+            .identity
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn index_pool_caps_count_at_population_and_grows() {
+        let mut pool = IndexPool::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut all: Vec<u32> = pool.draw(4, 99, &mut rng).to_vec();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        // Growing to a larger population works on the same pool.
+        let drawn = pool.draw(100, 5, &mut rng);
+        assert_eq!(drawn.len(), 5);
+        assert!(drawn.iter().all(|&p| p < 100));
+    }
+
+    #[test]
+    fn select_into_returns_positions_into_the_view() {
+        let candidates: Vec<ProviderSnapshot> = vec![
+            snapshot(10, 5.0),
+            snapshot(11, 0.5),
+            snapshot(12, 3.0),
+            snapshot(13, 0.1),
+        ];
+        let sel = KnBestSelector::new(10, 2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut scratch = KnBestScratch::new();
+        let positions =
+            sel.select_into(Candidates::from_slice(&candidates), &mut rng, &mut scratch);
+        let ids: Vec<u64> = positions
+            .iter()
+            .map(|&p| candidates[p as usize].id.raw())
+            .collect();
+        assert_eq!(ids, vec![13, 11]);
+    }
+
+    #[test]
+    fn select_into_on_empty_view_is_empty() {
+        let sel = KnBestSelector::new(5, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut scratch = KnBestScratch::new();
+        assert!(sel
+            .select_into(Candidates::from_slice(&[]), &mut rng, &mut scratch)
+            .is_empty());
     }
 
     #[test]

@@ -37,14 +37,14 @@ pub mod registry;
 pub mod scoring;
 
 pub use allocator::{
-    AllocationDecision, IntentionOracle, ProposalRecord, ProviderSnapshot, QueryAllocator,
-    StaticIntentions,
+    AllocationDecision, Candidates, IntentionOracle, ProposalRecord, ProviderSnapshot,
+    QueryAllocator, StaticIntentions,
 };
 pub use intention::{
     ConsumerIntentionStrategy, ConsumerProfile, ProviderIntentionStrategy, ProviderProfile,
 };
-pub use knbest::KnBestSelector;
-pub use mediator::{MediationOutcome, Mediator};
+pub use knbest::{IndexPool, KnBestScratch, KnBestSelector};
+pub use mediator::{BatchReport, MediationOutcome, MediationScratch, Mediator};
 pub use ranking::rank_by_score;
 pub use registry::ProviderRegistry;
 pub use sbqa_types::{OmegaPolicy, SystemConfig};

@@ -10,19 +10,31 @@
 //! mediation result back to the consumer and all consulted providers (which,
 //! in this in-process reproduction, means updating the satisfaction registry
 //! and reporting the decision to the caller).
+//!
+//! ## Steady-state cost
+//!
+//! The hot path is allocation-free once warmed up: `Pq` is a borrowed
+//! [`Candidates`] view into the registry slab, the KnBest draw works in the
+//! allocator's [`KnBestScratch`], the decision and the satisfaction views are
+//! reused buffers in the mediator's [`MediationScratch`]. Use
+//! [`Mediator::submit_in_place`] (or [`Mediator::submit_batch`] to drain a
+//! queue) for the zero-allocation path; [`Mediator::submit`] clones the
+//! decision into an owned [`MediationOutcome`] for callers that want one.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use sbqa_satisfaction::SatisfactionRegistry;
-use sbqa_types::{CapabilitySet, ProviderId, Query, SbqaError, SbqaResult, SystemConfig};
+use sbqa_types::{
+    CapabilitySet, Intention, ProviderId, Query, SbqaError, SbqaResult, SystemConfig,
+};
 
 use crate::allocator::{
-    AllocationDecision, IntentionOracle, ProposalRecord, ProviderSnapshot, QueryAllocator,
+    AllocationDecision, Candidates, IntentionOracle, ProposalRecord, QueryAllocator,
 };
-use crate::knbest::KnBestSelector;
-use crate::ranking::rank_by_score;
+use crate::knbest::{KnBestScratch, KnBestSelector};
+use crate::ranking::rank_indices_by_score;
 use crate::registry::ProviderRegistry;
 use crate::scoring::{provider_score, resolve_omega};
 
@@ -32,6 +44,12 @@ pub struct SbqaAllocator {
     config: SystemConfig,
     selector: KnBestSelector,
     rng: ChaCha8Rng,
+    /// Working memory for the KnBest draw, reused across queries.
+    knbest: KnBestScratch,
+    /// Scores aligned with the proposals of the current decision.
+    scores: Vec<f64>,
+    /// Proposal indices in ranking order (the vector `R`).
+    ranking: Vec<u32>,
 }
 
 impl SbqaAllocator {
@@ -44,6 +62,9 @@ impl SbqaAllocator {
             config,
             selector,
             rng: ChaCha8Rng::seed_from_u64(seed),
+            knbest: KnBestScratch::new(),
+            scores: Vec::new(),
+            ranking: Vec::new(),
         })
     }
 
@@ -65,29 +86,33 @@ impl QueryAllocator for SbqaAllocator {
         "SbQA"
     }
 
-    fn allocate(
+    fn allocate_into(
         &mut self,
         query: &Query,
-        candidates: &[ProviderSnapshot],
+        candidates: Candidates<'_>,
         oracle: &dyn IntentionOracle,
         satisfaction: &SatisfactionRegistry,
-    ) -> SbqaResult<AllocationDecision> {
+        decision: &mut AllocationDecision,
+    ) -> SbqaResult<()> {
         if candidates.is_empty() {
             return Err(SbqaError::NoProviderOnline { query: query.id });
         }
+        decision.clear();
 
         // Step 1 — KnBest: the kn least-utilized of k random capable providers.
-        let kn = self.selector.select(candidates, &mut self.rng);
+        let kn = self
+            .selector
+            .select_into(candidates, &mut self.rng, &mut self.knbest);
 
         // Step 2 — gather intentions from the consumer and the Kn providers,
         // and score each pair with a per-pair ω (Equation 2 compares the
         // consumer's satisfaction with *that provider's* satisfaction).
         let consumer_sat = satisfaction.consumer_satisfaction(query.consumer);
-        let mut scored: Vec<(ProviderId, f64)> = Vec::with_capacity(kn.len());
-        let mut proposals: Vec<ProposalRecord> = Vec::with_capacity(kn.len());
+        self.scores.clear();
         let mut omega_sum = 0.0;
 
-        for snapshot in &kn {
+        for &pos in kn {
+            let snapshot = candidates.get(pos as usize);
             let consumer_intention = oracle.consumer_intention(query, snapshot.id);
             let provider_intention = oracle.provider_intention(snapshot.id, query);
             let provider_sat = satisfaction.provider_satisfaction(snapshot.id);
@@ -99,8 +124,8 @@ impl QueryAllocator for SbqaAllocator {
                 self.config.epsilon,
             );
             omega_sum += omega;
-            scored.push((snapshot.id, score));
-            proposals.push(ProposalRecord {
+            self.scores.push(score);
+            decision.proposals.push(ProposalRecord {
                 provider: snapshot.id,
                 provider_intention,
                 consumer_intention,
@@ -110,24 +135,25 @@ impl QueryAllocator for SbqaAllocator {
         }
 
         // Step 3 — ranking vector R and allocation to the min(q.n, kn) best.
-        let ranking = rank_by_score(&scored);
-        let winners: Vec<ProviderId> = ranking
-            .into_iter()
-            .take(query.replication.min(kn.len()))
-            .collect();
-        for proposal in &mut proposals {
-            proposal.selected = winners.contains(&proposal.provider);
+        // Winners are marked through their ranking indices, so the marking is
+        // O(kn·log kn) overall instead of the O(kn²) a membership scan of
+        // the winner list would cost.
+        let proposals = &decision.proposals;
+        rank_indices_by_score(&self.scores, |i| proposals[i].provider, &mut self.ranking);
+        let winner_count = query.replication.min(kn.len());
+        for &idx in self.ranking.iter().take(winner_count) {
+            decision.proposals[idx as usize].selected = true;
+            decision
+                .selected
+                .push(decision.proposals[idx as usize].provider);
         }
 
-        Ok(AllocationDecision {
-            selected: winners,
-            proposals,
-            omega: if kn.is_empty() {
-                None
-            } else {
-                Some(omega_sum / kn.len() as f64)
-            },
-        })
+        decision.omega = if kn.is_empty() {
+            None
+        } else {
+            Some(omega_sum / kn.len() as f64)
+        };
+        Ok(())
     }
 }
 
@@ -148,12 +174,40 @@ impl MediationOutcome {
     }
 }
 
+/// Reusable per-mediator working memory: the decision buffer and the two
+/// satisfaction views derived from it. One scratch per mediator makes
+/// steady-state mediation allocation-free.
+#[derive(Debug, Default)]
+pub struct MediationScratch {
+    decision: AllocationDecision,
+    consumer_view: Vec<(ProviderId, Intention)>,
+    provider_view: Vec<(ProviderId, Intention, bool)>,
+}
+
+/// Tallies of one [`Mediator::submit_batch`] drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchReport {
+    /// Queries successfully mediated.
+    pub mediated: usize,
+    /// Queries that starved (no capable provider online).
+    pub starved: usize,
+}
+
+impl BatchReport {
+    /// Total number of queries the batch contained.
+    #[must_use]
+    pub fn submitted(&self) -> usize {
+        self.mediated + self.starved
+    }
+}
+
 /// The mediator of Figure 1: provider registry + satisfaction registry + an
 /// allocation technique.
 pub struct Mediator {
     allocator: Box<dyn QueryAllocator>,
     providers: ProviderRegistry,
     satisfaction: SatisfactionRegistry,
+    scratch: MediationScratch,
 }
 
 impl Mediator {
@@ -165,6 +219,7 @@ impl Mediator {
             allocator,
             providers: ProviderRegistry::new(),
             satisfaction: SatisfactionRegistry::new(satisfaction_window),
+            scratch: MediationScratch::default(),
         }
     }
 
@@ -227,37 +282,103 @@ impl Mediator {
         &self.satisfaction
     }
 
+    /// Mutable access to the satisfaction registry, for hosts that manage
+    /// participant churn themselves (e.g. the simulator's departure model).
+    pub fn satisfaction_mut(&mut self) -> &mut SatisfactionRegistry {
+        &mut self.satisfaction
+    }
+
+    /// The shared mediation core: computes `Pq` as a borrowed view, lets the
+    /// allocation technique fill the scratch decision, and records the
+    /// mediation result on both sides' satisfaction — all without allocating
+    /// in steady state.
+    fn mediate(&mut self, query: &Query, oracle: &dyn IntentionOracle) -> SbqaResult<()> {
+        let candidates = self.providers.candidates(query);
+        if candidates.is_empty() {
+            return Err(self.providers.starvation_error(query));
+        }
+
+        self.allocator.allocate_into(
+            query,
+            candidates,
+            oracle,
+            &self.satisfaction,
+            &mut self.scratch.decision,
+        )?;
+
+        // "…sends the mediation result to the consumer and all providers in
+        // set Kn": both sides update their satisfaction windows.
+        let MediationScratch {
+            decision,
+            consumer_view,
+            provider_view,
+        } = &mut self.scratch;
+        decision.consumer_view_into(consumer_view);
+        decision.provider_view_into(provider_view);
+        self.satisfaction.record_mediation(
+            query.id,
+            query.consumer,
+            query.replication,
+            consumer_view,
+            provider_view,
+        );
+        Ok(())
+    }
+
     /// Mediates one query: computes `Pq`, lets the allocation technique pick
     /// providers, records the mediation result on both sides' satisfaction
-    /// and returns the outcome.
+    /// and returns an owned outcome.
     pub fn submit(
         &mut self,
         query: &Query,
         oracle: &dyn IntentionOracle,
     ) -> SbqaResult<MediationOutcome> {
-        let candidates = self.providers.capable_of(query);
-        if candidates.is_empty() {
-            return Err(self.providers.starvation_error(query));
-        }
-
-        let decision = self
-            .allocator
-            .allocate(query, &candidates, oracle, &self.satisfaction)?;
-
-        // "…sends the mediation result to the consumer and all providers in
-        // set Kn": both sides update their satisfaction windows.
-        self.satisfaction.record_mediation(
-            query.id,
-            query.consumer,
-            query.replication,
-            &decision.consumer_view(),
-            &decision.provider_view(),
-        );
-
+        self.mediate(query, oracle)?;
         Ok(MediationOutcome {
             query: query.clone(),
-            decision,
+            decision: self.scratch.decision.clone(),
         })
+    }
+
+    /// Mediates one query without allocating: the returned decision borrows
+    /// the mediator's scratch and is valid until the next mediation.
+    pub fn submit_in_place(
+        &mut self,
+        query: &Query,
+        oracle: &dyn IntentionOracle,
+    ) -> SbqaResult<&AllocationDecision> {
+        self.mediate(query, oracle)?;
+        Ok(&self.scratch.decision)
+    }
+
+    /// Drains a batch of queries through the mediation pipeline, amortizing
+    /// the scratch buffers and satisfaction-registry lookups over the whole
+    /// drain. `on_result` is invoked once per query, in order, with the
+    /// query's position in the batch and either the borrowed decision or the
+    /// starvation error. Returns the batch tallies.
+    pub fn submit_batch<F>(
+        &mut self,
+        queries: &[Query],
+        oracle: &dyn IntentionOracle,
+        mut on_result: F,
+    ) -> BatchReport
+    where
+        F: FnMut(usize, &Query, SbqaResult<&AllocationDecision>),
+    {
+        let mut report = BatchReport::default();
+        for (position, query) in queries.iter().enumerate() {
+            match self.mediate(query, oracle) {
+                Ok(()) => {
+                    report.mediated += 1;
+                    on_result(position, query, Ok(&self.scratch.decision));
+                }
+                Err(err) => {
+                    report.starved += 1;
+                    on_result(position, query, Err(err));
+                }
+            }
+        }
+        report
     }
 }
 
@@ -274,7 +395,7 @@ impl std::fmt::Debug for Mediator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::allocator::StaticIntentions;
+    use crate::allocator::{ProviderSnapshot, StaticIntentions};
     use sbqa_types::{Capability, ConsumerId, Intention, OmegaPolicy, QueryId, Satisfaction};
 
     fn caps() -> CapabilitySet {
@@ -303,14 +424,24 @@ mod tests {
 
         // Replication 2 with kn = 3: two providers selected.
         let decision = alloc
-            .allocate(&query(1, 2), &snapshots(20), &oracle, &satisfaction)
+            .allocate(
+                &query(1, 2),
+                Candidates::from_slice(&snapshots(20)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.selected.len(), 2);
         assert_eq!(decision.proposals.len(), 3);
 
         // Replication 5 with kn = 3: capped at 3.
         let decision = alloc
-            .allocate(&query(2, 5), &snapshots(20), &oracle, &satisfaction)
+            .allocate(
+                &query(2, 5),
+                Candidates::from_slice(&snapshots(20)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.selected.len(), 3);
     }
@@ -329,7 +460,12 @@ mod tests {
         oracle.set_provider_intention(ProviderId::new(3), Intention::new(0.8));
 
         let decision = alloc
-            .allocate(&query(1, 1), &snapshots(5), &oracle, &satisfaction)
+            .allocate(
+                &query(1, 1),
+                Candidates::from_slice(&snapshots(5)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert_eq!(decision.selected, vec![ProviderId::new(3)]);
         // The scores are recorded on the proposals.
@@ -345,7 +481,12 @@ mod tests {
         let satisfaction = SatisfactionRegistry::new(10);
         let oracle = StaticIntentions::new();
         let err = alloc
-            .allocate(&query(1, 1), &[], &oracle, &satisfaction)
+            .allocate(
+                &query(1, 1),
+                Candidates::from_slice(&[]),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap_err();
         assert!(err.is_starvation());
     }
@@ -362,7 +503,12 @@ mod tests {
         // A fresh registry: everyone fully satisfied, ω = 0.5.
         let satisfaction = SatisfactionRegistry::new(10);
         let decision = alloc
-            .allocate(&query(1, 1), &snapshots(3), &oracle, &satisfaction)
+            .allocate(
+                &query(1, 1),
+                Candidates::from_slice(&snapshots(3)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert!((decision.omega.unwrap() - 0.5).abs() < 1e-9);
 
@@ -383,7 +529,12 @@ mod tests {
             Satisfaction::MAX
         );
         let decision = alloc
-            .allocate(&query(2, 1), &snapshots(3), &oracle, &satisfaction)
+            .allocate(
+                &query(2, 1),
+                Candidates::from_slice(&snapshots(3)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert!(decision.omega.unwrap() > 0.9);
     }
@@ -398,7 +549,12 @@ mod tests {
         let oracle =
             StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
         let decision = alloc
-            .allocate(&query(1, 1), &snapshots(4), &oracle, &satisfaction)
+            .allocate(
+                &query(1, 1),
+                Candidates::from_slice(&snapshots(4)),
+                &oracle,
+                &satisfaction,
+            )
             .unwrap();
         assert!((decision.omega.unwrap() - 0.25).abs() < 1e-12);
     }
@@ -489,5 +645,96 @@ mod tests {
         let mediator = Mediator::sbqa(SystemConfig::default(), 1).unwrap();
         let text = format!("{mediator:?}");
         assert!(text.contains("SbQA"));
+    }
+
+    #[test]
+    fn submit_in_place_matches_submit() {
+        let build = || {
+            let config = SystemConfig::default().with_knbest(10, 5);
+            let mut mediator = Mediator::sbqa(config, 21).unwrap();
+            for p in 0..8u64 {
+                mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+            }
+            mediator.register_consumer(ConsumerId::new(1));
+            mediator
+        };
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
+
+        let mut owned = build();
+        let mut in_place = build();
+        for q in 0..50u64 {
+            let query = query(q, 2);
+            let outcome = owned.submit(&query, &oracle).unwrap();
+            let decision = in_place.submit_in_place(&query, &oracle).unwrap();
+            assert_eq!(&outcome.decision, decision, "query {q}");
+        }
+    }
+
+    #[test]
+    fn submit_batch_drains_a_queue_and_reports_tallies() {
+        let config = SystemConfig::default().with_knbest(10, 4);
+        let mut mediator = Mediator::sbqa(config, 9).unwrap();
+        for p in 0..6u64 {
+            mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+        }
+        mediator.register_consumer(ConsumerId::new(1));
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
+
+        // Query 2 requires a capability nobody advertises: it starves, the
+        // others mediate, and the callback sees every result in order.
+        let queries = vec![
+            query(1, 1),
+            Query::builder(QueryId::new(2), ConsumerId::new(1), Capability::new(9)).build(),
+            query(3, 2),
+        ];
+        let mut seen = Vec::new();
+        let report = mediator.submit_batch(&queries, &oracle, |position, q, result| {
+            seen.push((position, q.id, result.is_ok()));
+            if let Ok(decision) = result {
+                assert!(!decision.is_starved());
+            }
+        });
+        assert_eq!(report.mediated, 2);
+        assert_eq!(report.starved, 1);
+        assert_eq!(report.submitted(), 3);
+        assert_eq!(
+            seen,
+            vec![
+                (0, QueryId::new(1), true),
+                (1, QueryId::new(2), false),
+                (2, QueryId::new(3), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn submit_batch_matches_sequential_submits() {
+        let build = || {
+            let config = SystemConfig::default().with_knbest(8, 3);
+            let mut mediator = Mediator::sbqa(config, 77).unwrap();
+            for p in 0..10u64 {
+                mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+            }
+            mediator.register_consumer(ConsumerId::new(1));
+            mediator
+        };
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.3), Intention::new(0.6));
+        let queries: Vec<Query> = (0..40u64).map(|q| query(q, 1)).collect();
+
+        let mut sequential = build();
+        let expected: Vec<Vec<ProviderId>> = queries
+            .iter()
+            .map(|q| sequential.submit(q, &oracle).unwrap().decision.selected)
+            .collect();
+
+        let mut batched = build();
+        let mut got = Vec::new();
+        batched.submit_batch(&queries, &oracle, |_, _, result| {
+            got.push(result.unwrap().selected.clone());
+        });
+        assert_eq!(expected, got);
     }
 }

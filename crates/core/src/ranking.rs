@@ -10,30 +10,49 @@
 
 use sbqa_types::ProviderId;
 
-/// Ranks `(provider, score)` pairs from the highest to the lowest score and
-/// returns the ordered provider ids (the vector `R`).
+/// Maps non-finite scores to the bottom of the ranking (they should not
+/// occur — Definition 3 is total — but a baseline plugged into the same
+/// interface could misbehave).
+fn finite_or_bottom(score: f64) -> f64 {
+    if score.is_finite() {
+        score
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// Fills `order` with the indices `0..scores.len()` ranked from the highest
+/// to the lowest score — the index form of the vector `R`, used by the
+/// zero-allocation mediation path (the caller reuses `order` as scratch).
 ///
-/// Non-finite scores are ranked last (they should not occur — Definition 3 is
-/// total — but a baseline plugged into the same interface could misbehave).
-#[must_use]
-pub fn rank_by_score(scored: &[(ProviderId, f64)]) -> Vec<ProviderId> {
-    let mut ranked: Vec<(ProviderId, f64)> = scored.to_vec();
-    ranked.sort_by(|a, b| {
-        let sa = if a.1.is_finite() {
-            a.1
-        } else {
-            f64::NEG_INFINITY
-        };
-        let sb = if b.1.is_finite() {
-            b.1
-        } else {
-            f64::NEG_INFINITY
-        };
+/// Non-finite scores rank last; ties break by `tie_key(index)` ascending, so
+/// the ranking is deterministic whenever the keys are distinct (the engine
+/// passes the provider id).
+pub fn rank_indices_by_score<K, F>(scores: &[f64], tie_key: F, order: &mut Vec<u32>)
+where
+    K: Ord,
+    F: Fn(usize) -> K,
+{
+    order.clear();
+    order.extend(0..scores.len() as u32);
+    order.sort_unstable_by(|&a, &b| {
+        let sa = finite_or_bottom(scores[a as usize]);
+        let sb = finite_or_bottom(scores[b as usize]);
         sb.partial_cmp(&sa)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0))
+            .then_with(|| tie_key(a as usize).cmp(&tie_key(b as usize)))
     });
-    ranked.into_iter().map(|(id, _)| id).collect()
+}
+
+/// Ranks `(provider, score)` pairs from the highest to the lowest score and
+/// returns the ordered provider ids (the vector `R`) — the allocating
+/// convenience form of [`rank_indices_by_score`].
+#[must_use]
+pub fn rank_by_score(scored: &[(ProviderId, f64)]) -> Vec<ProviderId> {
+    let scores: Vec<f64> = scored.iter().map(|(_, score)| *score).collect();
+    let mut order = Vec::new();
+    rank_indices_by_score(&scores, |i| scored[i].0, &mut order);
+    order.into_iter().map(|i| scored[i as usize].0).collect()
 }
 
 #[cfg(test)]

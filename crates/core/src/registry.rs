@@ -4,19 +4,52 @@
 //! they can do and how loaded they currently are. It answers the only
 //! question the allocation process needs from it: *which providers are able
 //! to perform this query right now* (the set `Pq`).
+//!
+//! ## Representation
+//!
+//! Snapshots live in a dense slab (`Vec<ProviderSnapshot>`) addressed through
+//! an id→slot map, and one postings list per capability class holds the slots
+//! of every *online* provider advertising that capability, kept sorted by
+//! provider id. `Pq` is therefore a single postings-list lookup returning a
+//! borrowed [`Candidates`] view — no scan over the population, no clone of
+//! any snapshot — and candidate order is ascending provider id *by
+//! construction*, which makes every downstream random draw deterministic per
+//! seed. The lists are maintained incrementally on
+//! [`register`](ProviderRegistry::register),
+//! [`unregister`](ProviderRegistry::unregister) and
+//! [`set_online`](ProviderRegistry::set_online); load updates touch only the
+//! slab.
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
-use sbqa_types::{CapabilitySet, ProviderId, Query, SbqaError, SbqaResult};
+use sbqa_types::{CapabilitySet, ProviderId, Query, SbqaError, SbqaResult, MAX_CAPABILITY_CLASSES};
 
-use crate::allocator::ProviderSnapshot;
+use crate::allocator::{Candidates, ProviderSnapshot};
 
-/// Mediator-side registry of provider state.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Mediator-side registry of provider state: a dense snapshot slab plus a
+/// per-capability index of online providers.
+#[derive(Debug, Clone)]
 pub struct ProviderRegistry {
-    providers: HashMap<ProviderId, ProviderSnapshot>,
+    /// Dense slab of snapshots; slots are compacted with `swap_remove` on
+    /// unregister, so a slot index is only stable between mutations.
+    slots: Vec<ProviderSnapshot>,
+    /// id → slot position in `slots`.
+    index: HashMap<ProviderId, u32>,
+    /// For each capability class, the slots of online providers advertising
+    /// it, sorted by ascending provider id.
+    postings: Vec<Vec<u32>>,
+}
+
+impl Default for ProviderRegistry {
+    fn default() -> Self {
+        Self {
+            slots: Vec::new(),
+            index: HashMap::new(),
+            postings: vec![Vec::new(); MAX_CAPABILITY_CLASSES as usize],
+        }
+    }
 }
 
 impl ProviderRegistry {
@@ -26,28 +59,118 @@ impl ProviderRegistry {
         Self::default()
     }
 
+    /// Position of `slot`'s entry in the postings list of `class`, by binary
+    /// search on the (sorted) provider ids.
+    fn posting_position(&self, class: u8, id: ProviderId) -> Result<usize, usize> {
+        let slots = &self.slots;
+        self.postings[class as usize].binary_search_by_key(&id, |&s| slots[s as usize].id)
+    }
+
+    /// Inserts `slot` into the postings lists of every capability the
+    /// snapshot advertises. The snapshot must be online.
+    fn index_slot(&mut self, slot: u32) {
+        let snapshot = self.slots[slot as usize];
+        debug_assert!(snapshot.online);
+        for cap in snapshot.capabilities.iter() {
+            if let Err(at) = self.posting_position(cap.class(), snapshot.id) {
+                self.postings[cap.class() as usize].insert(at, slot);
+            }
+        }
+    }
+
+    /// Removes `slot`'s entries from the postings lists of every capability
+    /// the snapshot advertises.
+    fn unindex_slot(&mut self, slot: u32) {
+        let snapshot = self.slots[slot as usize];
+        for cap in snapshot.capabilities.iter() {
+            if let Ok(at) = self.posting_position(cap.class(), snapshot.id) {
+                self.postings[cap.class() as usize].remove(at);
+            }
+        }
+    }
+
+    /// Inserts a snapshot into the slab and indexes it if online. Replaces
+    /// any existing provider with the same id.
+    fn insert_snapshot(&mut self, snapshot: ProviderSnapshot) {
+        if let Some(&slot) = self.index.get(&snapshot.id) {
+            if self.slots[slot as usize].online {
+                self.unindex_slot(slot);
+            }
+            self.slots[slot as usize] = snapshot;
+            if snapshot.online {
+                self.index_slot(slot);
+            }
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("provider population fits in u32");
+            self.slots.push(snapshot);
+            self.index.insert(snapshot.id, slot);
+            if snapshot.online {
+                self.index_slot(slot);
+            }
+        }
+    }
+
     /// Registers (or replaces) a provider with the given capabilities and
     /// capacity, initially online and idle.
     pub fn register(&mut self, id: ProviderId, capabilities: CapabilitySet, capacity: f64) {
-        self.providers
-            .insert(id, ProviderSnapshot::idle(id, capabilities, capacity));
+        self.insert_snapshot(ProviderSnapshot::idle(id, capabilities, capacity));
     }
 
     /// Removes a provider entirely (it left the system for good).
     /// Returns `true` if the provider existed.
     pub fn unregister(&mut self, id: ProviderId) -> bool {
-        self.providers.remove(&id).is_some()
+        let Some(slot) = self.index.remove(&id) else {
+            return false;
+        };
+        if self.slots[slot as usize].online {
+            self.unindex_slot(slot);
+        }
+        let last = (self.slots.len() - 1) as u32;
+        self.slots.swap_remove(slot as usize);
+        if slot != last {
+            // The former last snapshot moved into `slot`: re-point its index
+            // entry and every postings entry that referenced `last`. The
+            // postings stay sorted because the provider id did not change,
+            // but the stale entry still holds the out-of-range value `last`,
+            // so the id-keyed search must map it to the moved id itself.
+            let moved = self.slots[slot as usize];
+            self.index.insert(moved.id, slot);
+            if moved.online {
+                let slots = &self.slots;
+                for cap in moved.capabilities.iter() {
+                    let list = &mut self.postings[cap.class() as usize];
+                    if let Ok(at) = list.binary_search_by_key(&moved.id, |&s| {
+                        if s == last {
+                            moved.id
+                        } else {
+                            slots[s as usize].id
+                        }
+                    }) {
+                        list[at] = slot;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Marks a provider online or offline. Unknown providers are an error.
     pub fn set_online(&mut self, id: ProviderId, online: bool) -> SbqaResult<()> {
-        match self.providers.get_mut(&id) {
-            Some(p) => {
-                p.online = online;
-                Ok(())
-            }
-            None => Err(SbqaError::UnknownProvider { provider: id }),
+        let Some(&slot) = self.index.get(&id) else {
+            return Err(SbqaError::UnknownProvider { provider: id });
+        };
+        let was_online = self.slots[slot as usize].online;
+        if was_online == online {
+            return Ok(());
         }
+        if was_online {
+            self.unindex_slot(slot);
+        }
+        self.slots[slot as usize].online = online;
+        if online {
+            self.index_slot(slot);
+        }
+        Ok(())
     }
 
     /// Updates a provider's load state (utilization in virtual seconds of
@@ -58,8 +181,9 @@ impl ProviderRegistry {
         utilization: f64,
         queue_length: usize,
     ) -> SbqaResult<()> {
-        match self.providers.get_mut(&id) {
-            Some(p) => {
+        match self.index.get(&id) {
+            Some(&slot) => {
+                let p = &mut self.slots[slot as usize];
                 p.utilization = if utilization.is_finite() && utilization > 0.0 {
                     utilization
                 } else {
@@ -75,44 +199,48 @@ impl ProviderRegistry {
     /// Looks up one provider's snapshot.
     #[must_use]
     pub fn get(&self, id: ProviderId) -> Option<&ProviderSnapshot> {
-        self.providers.get(&id)
+        self.index.get(&id).map(|&slot| &self.slots[slot as usize])
     }
 
     /// Number of registered providers.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.providers.len()
+        self.slots.len()
     }
 
     /// `true` if no provider is registered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.providers.is_empty()
+        self.slots.is_empty()
     }
 
     /// Number of providers currently online.
     #[must_use]
     pub fn online_count(&self) -> usize {
-        self.providers.values().filter(|p| p.online).count()
+        self.slots.iter().filter(|p| p.online).count()
     }
 
-    /// Iterates over all provider snapshots (online or not).
+    /// Iterates over all provider snapshots (online or not), in slab order.
     pub fn iter(&self) -> impl Iterator<Item = &ProviderSnapshot> {
-        self.providers.values()
+        self.slots.iter()
     }
 
-    /// The set `Pq`: every online provider able to perform `query`, sorted by
-    /// id for determinism.
+    /// The set `Pq` as a borrowed, zero-clone view: every online provider
+    /// able to perform `query`, in ascending id order. This is a postings
+    /// lookup — O(1), no scan, no clone.
+    #[must_use]
+    pub fn candidates(&self, query: &Query) -> Candidates<'_> {
+        Candidates::from_postings(
+            &self.slots,
+            &self.postings[query.required_capability.class() as usize],
+        )
+    }
+
+    /// The set `Pq` as an owned vector, sorted by id — an allocating
+    /// convenience wrapper over [`ProviderRegistry::candidates`].
     #[must_use]
     pub fn capable_of(&self, query: &Query) -> Vec<ProviderSnapshot> {
-        let mut capable: Vec<ProviderSnapshot> = self
-            .providers
-            .values()
-            .filter(|p| p.can_perform(query))
-            .copied()
-            .collect();
-        capable.sort_by_key(|p| p.id);
-        capable
+        self.candidates(query).iter().copied().collect()
     }
 
     /// Classifies a starvation: distinguishes "nobody can ever perform this"
@@ -120,14 +248,33 @@ impl ProviderRegistry {
     #[must_use]
     pub fn starvation_error(&self, query: &Query) -> SbqaError {
         let any_capable = self
-            .providers
-            .values()
+            .slots
+            .iter()
             .any(|p| p.capabilities.contains(query.required_capability));
         if any_capable {
             SbqaError::NoProviderOnline { query: query.id }
         } else {
             SbqaError::NoCapableProvider { query: query.id }
         }
+    }
+}
+
+// The slab's index and postings are derived data: serialize only the
+// snapshots and rebuild the indexes on the way back in.
+impl Serialize for ProviderRegistry {
+    fn to_value(&self) -> Value {
+        self.slots.to_value()
+    }
+}
+
+impl Deserialize for ProviderRegistry {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let slots = Vec::<ProviderSnapshot>::from_value(value)?;
+        let mut registry = Self::new();
+        for snapshot in slots {
+            registry.insert_snapshot(snapshot);
+        }
+        Ok(registry)
     }
 }
 
@@ -222,5 +369,110 @@ mod tests {
         reg.register(ProviderId::new(1), caps(0), 1.0);
         assert!(reg.unregister(ProviderId::new(1)));
         assert!(reg.capable_of(&query(0)).is_empty());
+    }
+
+    #[test]
+    fn candidates_view_is_sorted_by_id_regardless_of_registration_order() {
+        let mut reg = ProviderRegistry::new();
+        for id in [9u64, 2, 7, 4, 1] {
+            reg.register(ProviderId::new(id), caps(0), 1.0);
+        }
+        let view = reg.candidates(&query(0));
+        let ids: Vec<u64> = view.iter().map(|p| p.id.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 4, 7, 9]);
+        // The owned wrapper agrees with the view.
+        let owned: Vec<u64> = reg
+            .capable_of(&query(0))
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(owned, ids);
+    }
+
+    #[test]
+    fn set_online_maintains_postings_incrementally() {
+        let mut reg = ProviderRegistry::new();
+        for id in 1..=4u64 {
+            reg.register(ProviderId::new(id), caps(0), 1.0);
+        }
+        reg.set_online(ProviderId::new(2), false).unwrap();
+        reg.set_online(ProviderId::new(4), false).unwrap();
+        let ids: Vec<u64> = reg
+            .candidates(&query(0))
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(ids, vec![1, 3]);
+        // Toggling back reinserts at the right sorted position; re-setting
+        // the same state is a no-op.
+        reg.set_online(ProviderId::new(2), true).unwrap();
+        reg.set_online(ProviderId::new(2), true).unwrap();
+        let ids: Vec<u64> = reg
+            .candidates(&query(0))
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unregister_patches_the_moved_slots_postings() {
+        // Unregistering a middle provider swap-removes the slab: the last
+        // snapshot moves into the freed slot and its postings entries must
+        // follow, or the index would point at stale (or out-of-range) slots.
+        let mut reg = ProviderRegistry::new();
+        for id in 1..=5u64 {
+            reg.register(ProviderId::new(id), caps(0), id as f64);
+        }
+        assert!(reg.unregister(ProviderId::new(2)));
+        let view = reg.candidates(&query(0));
+        let ids: Vec<u64> = view.iter().map(|p| p.id.raw()).collect();
+        assert_eq!(ids, vec![1, 3, 4, 5]);
+        // The moved provider (id 5) is still addressable and intact.
+        assert_eq!(reg.get(ProviderId::new(5)).unwrap().capacity, 5.0);
+        assert!(reg.unregister(ProviderId::new(5)));
+        let ids: Vec<u64> = reg
+            .candidates(&query(0))
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn multi_capability_providers_appear_in_every_postings_list() {
+        let mut reg = ProviderRegistry::new();
+        let both = CapabilitySet::from_capabilities([Capability::new(0), Capability::new(1)]);
+        reg.register(ProviderId::new(1), both, 1.0);
+        reg.register(ProviderId::new(2), caps(1), 1.0);
+        assert_eq!(reg.capable_of(&query(0)).len(), 1);
+        assert_eq!(reg.capable_of(&query(1)).len(), 2);
+        // Re-registering with different capabilities moves the postings.
+        reg.register(ProviderId::new(1), caps(1), 1.0);
+        assert!(reg.capable_of(&query(0)).is_empty());
+        assert_eq!(reg.capable_of(&query(1)).len(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_the_index() {
+        let mut reg = ProviderRegistry::new();
+        for id in [3u64, 1, 2] {
+            reg.register(ProviderId::new(id), caps(0), 1.0);
+        }
+        reg.set_online(ProviderId::new(2), false).unwrap();
+        reg.update_load(ProviderId::new(1), 4.5, 2).unwrap();
+
+        let text = serde::to_string(&reg);
+        let back: ProviderRegistry = serde::from_str(&text).unwrap();
+
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.online_count(), 2);
+        assert_eq!(back.get(ProviderId::new(1)).unwrap().utilization, 4.5);
+        let ids: Vec<u64> = back
+            .candidates(&query(0))
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(ids, vec![1, 3]);
     }
 }

@@ -1,0 +1,91 @@
+//! Proof that steady-state mediation performs zero per-query heap
+//! allocation.
+//!
+//! A counting global allocator wraps the system allocator; after warming the
+//! mediator's scratch buffers (KnBest pool, decision, satisfaction views,
+//! recycled interaction windows), a sustained run of `submit_in_place` and
+//! `submit_batch` must not allocate or reallocate at all.
+//!
+//! This file deliberately contains a single test: the counter is
+//! process-global, so a parallel test could pollute the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use sbqa_core::{Mediator, StaticIntentions};
+use sbqa_types::{
+    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+};
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn query(id: u64) -> Query {
+    Query::builder(QueryId::new(id), ConsumerId::new(1), Capability::new(0))
+        .replication(2)
+        .build()
+}
+
+#[test]
+fn steady_state_mediation_does_not_allocate() {
+    let config = SystemConfig::default().with_knbest(20, 4);
+    let mut mediator = Mediator::sbqa(config, 42).unwrap();
+    for p in 0..256u64 {
+        mediator.register_provider(
+            ProviderId::new(p),
+            CapabilitySet::singleton(Capability::new(0)),
+            1.0,
+        );
+    }
+    mediator.register_consumer(ConsumerId::new(1));
+    let oracle = StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
+
+    // Warm-up: fill every satisfaction window and grow all scratch buffers.
+    for id in 0..2_000u64 {
+        mediator.submit_in_place(&query(id), &oracle).unwrap();
+    }
+    let batch: Vec<Query> = (10_000..10_064u64).map(query).collect();
+
+    // Measured steady state.
+    COUNTING.store(true, Ordering::SeqCst);
+    for id in 2_000..3_000u64 {
+        let decision = mediator.submit_in_place(&query(id), &oracle).unwrap();
+        assert_eq!(decision.selected.len(), 2);
+    }
+    let report = mediator.submit_batch(&batch, &oracle, |_, _, result| {
+        assert!(result.is_ok());
+    });
+    COUNTING.store(false, Ordering::SeqCst);
+
+    assert_eq!(report.mediated, batch.len());
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocations, 0,
+        "steady-state mediation must not touch the heap ({allocations} allocations observed)"
+    );
+}

@@ -204,7 +204,7 @@ mod tests {
         tracker.record_outcome(
             QueryId::new(1),
             1,
-            vec![(sbqa_types::ProviderId::new(1), Intention::new(0.0))],
+            &[(sbqa_types::ProviderId::new(1), Intention::new(0.0))],
         );
         // Got 0.5, could have had 1.0 -> efficiency 0.5.
         let eff = consumer_allocation_efficiency(&tracker, &[Satisfaction::MAX]);

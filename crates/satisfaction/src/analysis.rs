@@ -89,10 +89,18 @@ impl SatisfactionSnapshot {
         consumer_threshold: f64,
         provider_threshold: f64,
     ) -> Self {
-        let consumer_values: Vec<Satisfaction> =
-            registry.consumer_satisfactions().map(|(_, s)| s).collect();
-        let provider_values: Vec<Satisfaction> =
-            registry.provider_satisfactions().map(|(_, s)| s).collect();
+        // Order the values by participant id before aggregating: the
+        // registry iterates hash maps, and float summation in hasher order
+        // would make the aggregate means differ in their last bits between
+        // identically-seeded runs.
+        let mut consumers: Vec<(sbqa_types::ConsumerId, Satisfaction)> =
+            registry.consumer_satisfactions().collect();
+        consumers.sort_unstable_by_key(|(id, _)| *id);
+        let consumer_values: Vec<Satisfaction> = consumers.into_iter().map(|(_, s)| s).collect();
+        let mut providers: Vec<(sbqa_types::ProviderId, Satisfaction)> =
+            registry.provider_satisfactions().collect();
+        providers.sort_unstable_by_key(|(id, _)| *id);
+        let provider_values: Vec<Satisfaction> = providers.into_iter().map(|(_, s)| s).collect();
         Self {
             at,
             consumers: SideSummary::from_values(&consumer_values, consumer_threshold),

@@ -102,18 +102,27 @@ impl ConsumerSatisfaction {
         self.window.record(interaction);
     }
 
-    /// Convenience wrapper over [`ConsumerSatisfaction::record`].
+    /// Convenience wrapper over [`ConsumerSatisfaction::record`] that copies
+    /// the performed-by pairs out of a slice.
+    ///
+    /// When the window is full — the steady state — the evicted
+    /// interaction's buffer is recycled for the new record, so recording
+    /// allocates nothing once the buffer has grown to the typical
+    /// replication factor.
     pub fn record_outcome(
         &mut self,
         query: QueryId,
         required_results: usize,
-        performed_by: Vec<(ProviderId, Intention)>,
+        performed_by: &[(ProviderId, Intention)],
     ) {
-        self.record(ConsumerInteraction::new(
-            query,
-            required_results,
-            performed_by,
-        ));
+        let mut storage = self
+            .window
+            .take_oldest_if_full()
+            .map(|evicted| evicted.performed_by)
+            .unwrap_or_default();
+        storage.clear();
+        storage.extend_from_slice(performed_by);
+        self.record(ConsumerInteraction::new(query, required_results, storage));
     }
 
     /// Long-run satisfaction `δs(c)`: the mean of the per-query satisfactions
@@ -215,13 +224,13 @@ mod tests {
         let mut sat = ConsumerSatisfaction::new(2);
         assert_eq!(sat.satisfaction(), Satisfaction::MAX);
 
-        sat.record_outcome(QueryId::new(1), 1, vec![(pid(1), Intention::new(1.0))]);
-        sat.record_outcome(QueryId::new(2), 1, vec![(pid(2), Intention::new(-1.0))]);
+        sat.record_outcome(QueryId::new(1), 1, &[(pid(1), Intention::new(1.0))]);
+        sat.record_outcome(QueryId::new(2), 1, &[(pid(2), Intention::new(-1.0))]);
         // (1.0 + 0.0) / 2
         assert!((sat.satisfaction().value() - 0.5).abs() < 1e-12);
 
         // Window of 2: the oldest (fully satisfying) query is evicted.
-        sat.record_outcome(QueryId::new(3), 1, vec![(pid(3), Intention::new(-1.0))]);
+        sat.record_outcome(QueryId::new(3), 1, &[(pid(3), Intention::new(-1.0))]);
         assert_eq!(sat.satisfaction(), Satisfaction::MIN);
         assert_eq!(sat.observed_queries(), 2);
         assert_eq!(sat.window_size(), 2);
@@ -233,8 +242,8 @@ mod tests {
         assert_eq!(sat.latest_query_satisfaction(), None);
         assert_eq!(sat.full_service_rate(), 1.0);
 
-        sat.record_outcome(QueryId::new(1), 2, vec![(pid(1), Intention::new(1.0))]);
-        sat.record_outcome(QueryId::new(2), 1, vec![(pid(2), Intention::new(0.5))]);
+        sat.record_outcome(QueryId::new(1), 2, &[(pid(1), Intention::new(1.0))]);
+        sat.record_outcome(QueryId::new(2), 1, &[(pid(2), Intention::new(0.5))]);
         assert_eq!(sat.full_service_rate(), 0.5);
         assert!(sat.latest_query_satisfaction().is_some());
         assert_eq!(sat.interactions().count(), 2);
@@ -285,7 +294,7 @@ mod tests {
                 sat.record_outcome(
                     QueryId::new(i as u64),
                     1,
-                    vec![(pid(0), Intention::new(*v))],
+                    &[(pid(0), Intention::new(*v))],
                 );
             }
             let s = sat.satisfaction().value();

@@ -99,16 +99,18 @@ impl ProviderSatisfaction {
         if self.window.is_empty() {
             return Satisfaction::MAX;
         }
-        let performed: Vec<&ProviderInteraction> =
-            self.window.iter().filter(|i| i.performed).collect();
-        if performed.is_empty() {
+        // Single allocation-free pass: this sits on the mediation hot path
+        // (SbQA reads every candidate's satisfaction to resolve ω).
+        let mut sum = 0.0;
+        let mut performed = 0usize;
+        for interaction in self.window.iter().filter(|i| i.performed) {
+            sum += interaction.intention.to_unit().value();
+            performed += 1;
+        }
+        if performed == 0 {
             return Satisfaction::MIN;
         }
-        let sum: f64 = performed
-            .iter()
-            .map(|i| i.intention.to_unit().value())
-            .sum();
-        Satisfaction::new(sum / performed.len() as f64)
+        Satisfaction::new(sum / performed as f64)
     }
 
     /// Number of remembered proposals the provider actually performed

@@ -142,7 +142,7 @@ impl SatisfactionRegistry {
     ) {
         self.register_consumer(consumer);
         if let Some(tracker) = self.consumers.get_mut(&consumer) {
-            tracker.record_outcome(query, required_results, performed_by.to_vec());
+            tracker.record_outcome(query, required_results, performed_by);
         }
         for (provider, intention, performed) in proposals {
             self.register_provider(*provider);

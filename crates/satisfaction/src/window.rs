@@ -66,6 +66,20 @@ impl<T> InteractionWindow<T> {
         self.total_recorded
     }
 
+    /// Removes and returns the oldest interaction if the window is full.
+    ///
+    /// This is the eviction half of [`InteractionWindow::record`], split out
+    /// so callers can recycle the evicted record's buffers when building the
+    /// next one (the registry's zero-allocation steady-state path). It does
+    /// not count as a recorded interaction.
+    pub fn take_oldest_if_full(&mut self) -> Option<T> {
+        if self.items.len() == self.capacity {
+            self.items.pop_front()
+        } else {
+            None
+        }
+    }
+
     /// Records a new interaction, evicting the oldest one if the window is
     /// full. Returns the evicted interaction, if any.
     pub fn record(&mut self, item: T) -> Option<T> {

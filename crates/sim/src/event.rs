@@ -97,6 +97,13 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// Peeks at the earliest event without removing it. The runner uses this
+    /// to coalesce simultaneous query arrivals into one mediation batch.
+    #[must_use]
+    pub fn peek(&self) -> Option<&ScheduledEvent> {
+        self.heap.peek()
+    }
+
     /// Peeks at the time of the earliest event without removing it.
     #[must_use]
     pub fn next_time(&self) -> Option<VirtualTime> {

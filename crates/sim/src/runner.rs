@@ -1,11 +1,22 @@
 //! The simulation runner: builds the world, drives the event loop, produces
 //! the report.
+//!
+//! The runner hosts a full [`Mediator`] (provider registry + satisfaction
+//! registry + the allocation technique) and drives it through
+//! [`Mediator::submit_batch`]: query arrivals that land on the same virtual
+//! instant are coalesced into one batch, so the mediation scratch and
+//! registry lookups are amortized over the drain exactly as they would be in
+//! a production ingest queue. Provider load changes (accept/complete) and
+//! departures are mirrored into the mediator's capability-indexed registry
+//! incrementally, which keeps the per-query candidate computation an index
+//! lookup instead of a population scan.
 
 use std::collections::{BTreeMap, HashMap};
 
-use sbqa_core::allocator::{IntentionOracle, ProviderSnapshot, QueryAllocator};
+use sbqa_core::allocator::{IntentionOracle, QueryAllocator};
+use sbqa_core::Mediator;
 use sbqa_metrics::{ResponseTimeStats, TimeSeries};
-use sbqa_satisfaction::{SatisfactionAnalysis, SatisfactionRegistry, SatisfactionSnapshot};
+use sbqa_satisfaction::{SatisfactionAnalysis, SatisfactionSnapshot};
 use sbqa_types::{
     ConsumerId, IdGenerator, Intention, ProviderId, Query, QueryId, QueryOutcome, SbqaError,
     SbqaResult, VirtualTime,
@@ -168,8 +179,7 @@ impl IntentionOracle for SimOracle<'_> {
 pub struct Simulation {
     config: SimulationConfig,
     technique: String,
-    allocator: Box<dyn QueryAllocator>,
-    satisfaction: SatisfactionRegistry,
+    mediator: Mediator,
     consumers: BTreeMap<ConsumerId, ConsumerState>,
     providers: BTreeMap<ProviderId, ProviderState>,
     workload: WorkloadModel,
@@ -181,6 +191,10 @@ pub struct Simulation {
     workload_rng: SimRng,
     query_ids: IdGenerator,
     pending: HashMap<QueryId, PendingQuery>,
+    /// Queries staged for the next mediation batch (arrivals at one instant).
+    batch: Vec<Query>,
+    /// Per-batch-entry outcome: the selected providers, or `None` if starved.
+    batch_outcomes: Vec<Option<Vec<ProviderId>>>,
     // Metrics.
     response: ResponseTimeStats,
     analysis: SatisfactionAnalysis,
@@ -202,17 +216,17 @@ impl Simulation {
     ) -> Self {
         let technique = allocator.name().to_string();
         let master = SimRng::new(config.seed);
-        let mut satisfaction = SatisfactionRegistry::new(config.system.satisfaction_window);
+        let mut mediator = Mediator::new(allocator, config.system.satisfaction_window);
 
         let mut consumers = BTreeMap::new();
         for spec in consumer_specs {
-            satisfaction.register_consumer(spec.id);
+            mediator.register_consumer(spec.id);
             consumers.insert(spec.id, ConsumerState::new(spec));
         }
         let mut providers = BTreeMap::new();
         let mut initial_capacity = 0.0;
         for spec in provider_specs {
-            satisfaction.register_provider(spec.id);
+            mediator.register_provider(spec.id, spec.capabilities, spec.capacity);
             initial_capacity += spec.capacity;
             providers.insert(spec.id, ProviderState::new(spec));
         }
@@ -225,8 +239,7 @@ impl Simulation {
             workload_rng: master.derive(3),
             config,
             technique,
-            allocator,
-            satisfaction,
+            mediator,
             consumers,
             providers,
             workload,
@@ -234,6 +247,8 @@ impl Simulation {
             clock: VirtualTime::ZERO,
             query_ids: IdGenerator::new(),
             pending: HashMap::new(),
+            batch: Vec::new(),
+            batch_outcomes: Vec::new(),
             response: ResponseTimeStats::new(),
             analysis,
             ts_consumer_sat: TimeSeries::new(series_names::CONSUMER_SATISFACTION),
@@ -276,7 +291,26 @@ impl Simulation {
             }
             self.clock = scheduled.at;
             match scheduled.event {
-                Event::QueryIssued { consumer } => self.on_query_issued(consumer),
+                Event::QueryIssued { consumer } => {
+                    // Coalesce every arrival at this instant into one batch:
+                    // FIFO order among simultaneous events is preserved, and
+                    // the mediation scratch is amortized over the drain.
+                    self.stage_query(consumer);
+                    while matches!(
+                        self.events.peek(),
+                        Some(next) if next.at == self.clock
+                            && matches!(next.event, Event::QueryIssued { .. })
+                    ) {
+                        let Some(next) = self.events.pop() else {
+                            break;
+                        };
+                        let Event::QueryIssued { consumer } = next.event else {
+                            unreachable!("peeked a QueryIssued event");
+                        };
+                        self.stage_query(consumer);
+                    }
+                    self.flush_batch();
+                }
                 Event::QueryReceived { provider, query } => {
                     self.on_query_received(provider, query);
                 }
@@ -293,7 +327,9 @@ impl Simulation {
         self.finish()
     }
 
-    fn on_query_issued(&mut self, consumer_id: ConsumerId) {
+    /// Builds the consumer's next query, schedules the one after it, and
+    /// stages the query for the current mediation batch.
+    fn stage_query(&mut self, consumer_id: ConsumerId) {
         let Some(consumer) = self.consumers.get(&consumer_id) else {
             return;
         };
@@ -301,7 +337,6 @@ impl Simulation {
             return;
         }
 
-        // Build the query and schedule the consumer's next one.
         let query = self.workload.next_query(
             self.query_ids.next_query(),
             &consumer.spec,
@@ -322,66 +357,75 @@ impl Simulation {
         if let Some(state) = self.consumers.get_mut(&consumer_id) {
             state.queries_issued += 1;
         }
+        self.batch.push(query);
+    }
 
-        // The set Pq: online providers able to perform the query.
-        let candidates: Vec<ProviderSnapshot> = self
-            .providers
-            .values()
-            .filter(|p| p.online && p.snapshot().can_perform(&query))
-            .map(|p| p.snapshot())
-            .collect();
-
-        if candidates.is_empty() {
-            self.record_starved(&query);
+    /// Drains the staged queries through `Mediator::submit_batch` and turns
+    /// each decision into simulator events.
+    fn flush_batch(&mut self) {
+        if self.batch.is_empty() {
             return;
         }
-
-        let oracle = SimOracle {
-            consumers: &self.consumers,
-            providers: &self.providers,
-        };
-        let decision =
-            match self
-                .allocator
-                .allocate(&query, &candidates, &oracle, &self.satisfaction)
-            {
-                Ok(decision) if !decision.is_starved() => decision,
-                _ => {
-                    self.record_starved(&query);
-                    return;
-                }
+        let mut batch = std::mem::take(&mut self.batch);
+        self.batch_outcomes.clear();
+        {
+            let oracle = SimOracle {
+                consumers: &self.consumers,
+                providers: &self.providers,
             };
-
-        // Mediation result goes to the consumer and all consulted providers.
-        self.satisfaction.record_mediation(
-            query.id,
-            query.consumer,
-            query.replication,
-            &decision.consumer_view(),
-            &decision.provider_view(),
-        );
-
-        // Ship the query to every selected provider.
-        for provider in &decision.selected {
-            let latency = self.network.sample_latency(&mut self.network_rng);
-            self.events.schedule(
-                self.clock + latency,
-                Event::QueryReceived {
-                    provider: *provider,
-                    query: query.clone(),
-                },
-            );
+            let outcomes = &mut self.batch_outcomes;
+            self.mediator.submit_batch(&batch, &oracle, |_, _, result| {
+                outcomes.push(match result {
+                    Ok(decision) if !decision.is_starved() => Some(decision.selected.clone()),
+                    _ => None,
+                });
+            });
         }
 
-        self.pending.insert(
-            query.id,
-            PendingQuery {
-                allocated_to: decision.selected.clone(),
-                received: 0,
-                completed: false,
-                query,
-            },
-        );
+        for (position, query) in batch.drain(..).enumerate() {
+            match self.batch_outcomes[position].take() {
+                Some(selected) => {
+                    // Ship the query to every selected provider.
+                    for provider in &selected {
+                        let latency = self.network.sample_latency(&mut self.network_rng);
+                        self.events.schedule(
+                            self.clock + latency,
+                            Event::QueryReceived {
+                                provider: *provider,
+                                query: query.clone(),
+                            },
+                        );
+                    }
+                    self.pending.insert(
+                        query.id,
+                        PendingQuery {
+                            allocated_to: selected,
+                            received: 0,
+                            completed: false,
+                            query,
+                        },
+                    );
+                }
+                None => self.record_starved(&query),
+            }
+        }
+        // Hand the (now empty) buffer back so its capacity is reused by the
+        // next arrival instant.
+        self.batch = batch;
+    }
+
+    /// Mirrors a provider's current load into the mediator's registry so the
+    /// next mediation sees it. Called on every accept/complete transition.
+    fn sync_provider_load(&mut self, provider_id: ProviderId) {
+        if let Some(provider) = self.providers.get(&provider_id) {
+            self.mediator
+                .update_provider_load(
+                    provider_id,
+                    provider.backlog_seconds(),
+                    provider.queue_length(),
+                )
+                .expect("provider is registered with the mediator");
+        }
     }
 
     fn on_query_received(&mut self, provider_id: ProviderId, query: Query) {
@@ -403,6 +447,7 @@ impl Simulation {
                 },
             );
         }
+        self.sync_provider_load(provider_id);
     }
 
     fn on_query_completed(&mut self, provider_id: ProviderId, query: QueryId) {
@@ -421,6 +466,7 @@ impl Simulation {
                 },
             );
         }
+        self.sync_provider_load(provider_id);
         let latency = self.network.sample_latency(&mut self.network_rng);
         self.events.schedule(
             self.clock + latency,
@@ -469,7 +515,7 @@ impl Simulation {
         };
 
         let snapshot = SatisfactionSnapshot::capture(
-            &self.satisfaction,
+            self.mediator.satisfaction(),
             self.clock,
             consumer_threshold,
             provider_threshold,
@@ -492,19 +538,24 @@ impl Simulation {
             &self.config.departure,
             self.consumers.values(),
             self.providers.values(),
-            &self.satisfaction,
+            self.mediator.satisfaction(),
         );
         for consumer in round.consumers {
             if let Some(state) = self.consumers.get_mut(&consumer) {
                 state.depart(self.clock);
             }
-            self.satisfaction.remove_consumer(consumer);
+            self.mediator.satisfaction_mut().remove_consumer(consumer);
         }
         for provider in round.providers {
             if let Some(state) = self.providers.get_mut(&provider) {
                 state.depart(self.clock);
             }
-            self.satisfaction.remove_provider(provider);
+            // The provider leaves the candidate index and the satisfaction
+            // bookkeeping; its slab entry stays for final reporting.
+            self.mediator
+                .set_provider_online(provider, false)
+                .expect("departing provider is registered with the mediator");
+            self.mediator.satisfaction_mut().remove_provider(provider);
         }
 
         let next = self.clock + sbqa_types::Duration::new(self.config.sample_interval);
@@ -555,7 +606,10 @@ impl Simulation {
             .map(|c| {
                 (
                     c.id(),
-                    self.satisfaction.consumer_satisfaction(c.id()).value(),
+                    self.mediator
+                        .satisfaction()
+                        .consumer_satisfaction(c.id())
+                        .value(),
                 )
             })
             .collect();
@@ -566,7 +620,10 @@ impl Simulation {
             .map(|p| {
                 (
                     p.id(),
-                    self.satisfaction.provider_satisfaction(p.id()).value(),
+                    self.mediator
+                        .satisfaction()
+                        .provider_satisfaction(p.id())
+                        .value(),
                 )
             })
             .collect();

@@ -24,4 +24,11 @@ echo "== examples and benches compile"
 cargo build --examples
 cargo bench --no-run -p sbqa_bench
 
+echo "== bench smoke: scenario1 --quick and the registry bench"
+# Exercises the allocation hot path end-to-end (golden-output protected by
+# tests/golden_scenario1.rs) and the capability-index micro-bench, so a
+# hot-path regression that only shows up at runtime still fails CI.
+cargo run --release -p sbqa_bench --bin scenario1 -- --quick > /dev/null
+cargo bench -p sbqa_bench --bench registry > /dev/null
+
 echo "CI OK"

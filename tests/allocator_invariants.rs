@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use sbqa::baselines::build_allocator;
-use sbqa::core::allocator::{ProviderSnapshot, StaticIntentions};
+use sbqa::core::allocator::{Candidates, ProviderSnapshot, StaticIntentions};
 use sbqa::satisfaction::SatisfactionRegistry;
 use sbqa::types::{
     AllocationPolicyKind, Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query,
@@ -59,7 +59,7 @@ proptest! {
         for kind in AllocationPolicyKind::all() {
             let mut allocator = build_allocator(kind, &config, seed).unwrap();
             let decision = allocator
-                .allocate(&q, &pool, &oracle, &satisfaction)
+                .allocate(&q, Candidates::from_slice(&pool), &oracle, &satisfaction)
                 .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
 
             // Never starved on a non-empty candidate set.
@@ -113,7 +113,7 @@ proptest! {
         let satisfaction = SatisfactionRegistry::new(config.satisfaction_window);
         let oracle = StaticIntentions::new();
         let mut allocator = build_allocator(AllocationPolicyKind::Capacity, &config, seed).unwrap();
-        let decision = allocator.allocate(&q, &pool, &oracle, &satisfaction).unwrap();
+        let decision = allocator.allocate(&q, Candidates::from_slice(&pool), &oracle, &satisfaction).unwrap();
         let chosen = decision.selected[0];
         let relative = |s: &ProviderSnapshot| s.utilization / s.capacity;
         let chosen_rel = relative(pool.iter().find(|s| s.id == chosen).unwrap());
@@ -142,7 +142,7 @@ proptest! {
             Intention::new(provider_default),
         );
         let mut allocator = build_allocator(AllocationPolicyKind::SbQA, &config, seed).unwrap();
-        let decision = allocator.allocate(&q, &pool, &oracle, &satisfaction).unwrap();
+        let decision = allocator.allocate(&q, Candidates::from_slice(&pool), &oracle, &satisfaction).unwrap();
         let omega = decision.omega.expect("SbQA reports omega");
         prop_assert!((0.0..=1.0).contains(&omega));
         for proposal in &decision.proposals {

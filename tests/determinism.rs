@@ -1,0 +1,113 @@
+//! Determinism regression tests for the allocation engine.
+//!
+//! The README promises byte-identical runs per seed. Before the
+//! capability-indexed registry, the candidate set was collected by scanning a
+//! `HashMap`, so candidate order — and with it the KnBest draw — depended on
+//! hasher state rather than being deterministic by construction. The slab
+//! registry keeps each capability's postings list sorted by provider id, so
+//! two mediators built *in any registration order* must produce identical
+//! selections for the same seed.
+
+use sbqa::core::{Mediator, StaticIntentions};
+use sbqa::types::{
+    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+};
+
+const PROVIDERS: u64 = 200;
+const QUERIES: u64 = 1_000;
+
+fn mediator_with_registration_order(seed: u64, ids: impl Iterator<Item = u64>) -> Mediator {
+    let config = SystemConfig::default().with_knbest(20, 4);
+    let mut mediator = Mediator::sbqa(config, seed).unwrap();
+    for p in ids {
+        mediator.register_provider(
+            ProviderId::new(p),
+            CapabilitySet::singleton(Capability::new((p % 4) as u8)),
+            1.0 + (p % 3) as f64,
+        );
+    }
+    mediator.register_consumer(ConsumerId::new(1));
+    mediator
+}
+
+fn query(id: u64) -> Query {
+    Query::builder(
+        QueryId::new(id),
+        ConsumerId::new(1),
+        Capability::new((id % 4) as u8),
+    )
+    .replication(1 + (id % 2) as usize)
+    .build()
+}
+
+/// Renders the full selection trace of one run as a byte string.
+fn selection_trace(mediator: &mut Mediator) -> String {
+    let oracle = StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
+    let mut trace = String::new();
+    for id in 0..QUERIES {
+        let q = query(id);
+        match mediator.submit_in_place(&q, &oracle) {
+            Ok(decision) => {
+                trace.push_str(&format!("{id}:"));
+                for provider in &decision.selected {
+                    trace.push_str(&format!("{},", provider.raw()));
+                }
+            }
+            Err(_) => trace.push_str(&format!("{id}:starved")),
+        }
+        trace.push('\n');
+    }
+    trace
+}
+
+#[test]
+fn identical_mediators_produce_byte_identical_selections() {
+    let mut forward = mediator_with_registration_order(42, 0..PROVIDERS);
+    let mut reversed = mediator_with_registration_order(42, (0..PROVIDERS).rev());
+    // An adversarial interleaved order for good measure.
+    let interleaved = (0..PROVIDERS / 2).flat_map(|i| [i, PROVIDERS - 1 - i]);
+    let mut shuffled = mediator_with_registration_order(42, interleaved);
+
+    let reference = selection_trace(&mut forward);
+    assert_eq!(
+        reference,
+        selection_trace(&mut reversed),
+        "registration order must not influence selections"
+    );
+    assert_eq!(
+        reference,
+        selection_trace(&mut shuffled),
+        "registration order must not influence selections"
+    );
+    assert!(reference.len() > QUERIES as usize * 3);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mut a = mediator_with_registration_order(1, 0..PROVIDERS);
+    let mut b = mediator_with_registration_order(2, 0..PROVIDERS);
+    assert_ne!(selection_trace(&mut a), selection_trace(&mut b));
+}
+
+#[test]
+fn churn_preserves_determinism() {
+    // Unregistering compacts the slab with swap-remove; the candidate order
+    // exposed to KnBest must stay id-sorted regardless of the slot layout.
+    let build = |removal_order: &[u64]| {
+        let mut mediator = mediator_with_registration_order(7, 0..PROVIDERS);
+        for &p in removal_order {
+            mediator
+                .set_provider_online(ProviderId::new(p), false)
+                .unwrap();
+        }
+        for &p in removal_order {
+            mediator
+                .set_provider_online(ProviderId::new(p), true)
+                .unwrap();
+        }
+        mediator
+    };
+    let mut a = build(&[3, 9, 27, 81]);
+    let mut b = build(&[81, 27, 9, 3]);
+    assert_eq!(selection_trace(&mut a), selection_trace(&mut b));
+}

@@ -1,0 +1,84 @@
+//! Golden-output regression test for `scenario1 --quick --seed 42`.
+//!
+//! Pins the selection counts and mean satisfaction produced by the paper's
+//! first demonstration scenario so that refactors of the allocation engine
+//! (registry layout, KnBest draw, scratch reuse, batching) provably preserve
+//! observable behavior. If a change legitimately alters the allocation
+//! trajectory — e.g. a different RNG consumption pattern — these constants
+//! must be re-pinned deliberately, with the change called out in review.
+
+use sbqa::boinc::{Scenario, ScenarioId};
+
+/// Expected per-technique outcomes: (label, queries issued, completed,
+/// queries performed across providers, mean consumer satisfaction, mean
+/// provider satisfaction).
+const GOLDEN: &[(&str, u64, u64, u64, f64, f64)] = &[
+    ("Capacity", 2447, 2422, 2423, 0.748368046577, 0.747714129276),
+    ("Economic", 2447, 2431, 2432, 0.822142341096, 0.800008051693),
+];
+
+fn quick_seeded_scenario1() -> Scenario {
+    // Mirrors `scenario1 --quick --seed 42` (the harness derives the
+    // population seed as seed + 1).
+    let mut scenario = Scenario::quick(ScenarioId::S1);
+    scenario.sim = scenario.sim.clone().with_seed(42);
+    scenario.population = scenario.population.clone().with_seed(43);
+    scenario
+}
+
+#[test]
+fn scenario1_quick_seed42_matches_golden_outputs() {
+    let outcome = quick_seeded_scenario1().run().unwrap();
+    // On drift, this dump is the replacement for the GOLDEN table.
+    for result in &outcome.results {
+        let report = &result.report;
+        let total_performed: u64 = report.queries_per_provider.iter().map(|(_, n)| n).sum();
+        println!(
+            "(\"{}\", {}, {}, {}, {:.12}, {:.12}),",
+            result.label,
+            report.queries_issued,
+            report.response.completed(),
+            total_performed,
+            report.satisfaction.mean_consumer_satisfaction(),
+            report.satisfaction.mean_provider_satisfaction(),
+        );
+    }
+    assert_eq!(outcome.results.len(), GOLDEN.len());
+
+    for (result, golden) in outcome.results.iter().zip(GOLDEN) {
+        let (label, issued, completed, performed, consumer_sat, provider_sat) = *golden;
+        let report = &result.report;
+        let total_performed: u64 = report.queries_per_provider.iter().map(|(_, n)| n).sum();
+        assert_eq!(result.label, label);
+        assert_eq!(report.queries_issued, issued, "{label}: queries issued");
+        assert_eq!(report.response.completed(), completed, "{label}: completed");
+        assert_eq!(total_performed, performed, "{label}: selection counts");
+        assert!(
+            (report.satisfaction.mean_consumer_satisfaction() - consumer_sat).abs() < 1e-9,
+            "{label}: mean consumer satisfaction drifted to {}",
+            report.satisfaction.mean_consumer_satisfaction()
+        );
+        assert!(
+            (report.satisfaction.mean_provider_satisfaction() - provider_sat).abs() < 1e-9,
+            "{label}: mean provider satisfaction drifted to {}",
+            report.satisfaction.mean_provider_satisfaction()
+        );
+    }
+}
+
+#[test]
+fn scenario1_quick_seed42_is_reproducible() {
+    let a = quick_seeded_scenario1().run().unwrap();
+    let b = quick_seeded_scenario1().run().unwrap();
+    for (ra, rb) in a.results.iter().zip(&b.results) {
+        assert_eq!(ra.report.queries_issued, rb.report.queries_issued);
+        assert_eq!(
+            ra.report.response.completed(),
+            rb.report.response.completed()
+        );
+        assert_eq!(
+            ra.report.satisfaction.mean_provider_satisfaction(),
+            rb.report.satisfaction.mean_provider_satisfaction()
+        );
+    }
+}
