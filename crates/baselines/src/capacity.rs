@@ -93,16 +93,12 @@ impl QueryAllocator for CapacityAllocator {
         let selected_count = query.replication.min(candidates.len());
         let considered_len = self.consideration.max(selected_count).min(candidates.len());
 
-        // Only the considered prefix is ever read: partition it out first so
-        // the full sort pays O(c·log c) on c candidates, not O(n·log n).
-        self.order.clear();
-        self.order.extend(0..candidates.len() as u32);
-        if considered_len < self.order.len() {
-            self.order
-                .select_nth_unstable_by(considered_len - 1, by_spare_capacity);
-            self.order.truncate(considered_len);
-        }
-        self.order.sort_unstable_by(by_spare_capacity);
+        crate::rank_considered_prefix(
+            &mut self.order,
+            candidates.len(),
+            considered_len,
+            by_spare_capacity,
+        );
         fill_baseline_decision(
             query,
             candidates,

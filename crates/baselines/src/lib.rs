@@ -83,6 +83,28 @@ pub(crate) fn fill_baseline_decision(
 /// dissatisfaction is comparable across techniques.
 pub(crate) const DEFAULT_CONSIDERATION: usize = 4;
 
+/// Fills `order` with the positions `0..candidate_count` ranked by `compare`,
+/// keeping only the `considered_len` best. Only the considered prefix is ever
+/// read by the ranking baselines, so the prefix is partitioned out with
+/// `select_nth_unstable_by` first and the full sort pays O(c·log c) on the
+/// `c = considered_len` survivors, not O(n·log n) on the population. Shared
+/// by the capacity, economic and load-based baselines so their ranking
+/// mechanics cannot drift apart.
+pub(crate) fn rank_considered_prefix(
+    order: &mut Vec<u32>,
+    candidate_count: usize,
+    considered_len: usize,
+    mut compare: impl FnMut(&u32, &u32) -> std::cmp::Ordering,
+) {
+    order.clear();
+    order.extend(0..candidate_count as u32);
+    if considered_len > 0 && considered_len < order.len() {
+        order.select_nth_unstable_by(considered_len - 1, &mut compare);
+        order.truncate(considered_len);
+    }
+    order.sort_unstable_by(compare);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -75,16 +75,12 @@ impl QueryAllocator for LoadBasedAllocator {
         let selected_count = query.replication.min(candidates.len());
         let considered_len = self.consideration.max(selected_count).min(candidates.len());
 
-        // Only the considered prefix is ever read: partition it out first so
-        // the full sort pays O(c·log c) on c candidates, not O(n·log n).
-        self.order.clear();
-        self.order.extend(0..candidates.len() as u32);
-        if considered_len < self.order.len() {
-            self.order
-                .select_nth_unstable_by(considered_len - 1, by_backlog);
-            self.order.truncate(considered_len);
-        }
-        self.order.sort_unstable_by(by_backlog);
+        crate::rank_considered_prefix(
+            &mut self.order,
+            candidates.len(),
+            considered_len,
+            by_backlog,
+        );
         fill_baseline_decision(
             query,
             candidates,

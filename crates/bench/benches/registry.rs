@@ -8,9 +8,12 @@
 //! query even when `kn = 4`. The `legacy` series below reproduces that path
 //! verbatim so the `indexed` series (postings-list lookup + O(k) partial
 //! Fisher–Yates into reused scratch) can be compared against it on the same
-//! populations. The `mediate` group measures the full `Mediator` hot path —
-//! `Pq` + KnBest + scoring + ranking + satisfaction bookkeeping — via
-//! `submit_in_place` and `submit_batch`.
+//! populations. The `candidates/*` series compare the single-capability
+//! lookup against 2- and 4-way postings merges (`All` intersection / `Any`
+//! union) so regressions in the merge cost — which should scale with
+//! Σ|postings|, not |P| — are visible. The `mediate` group measures the full
+//! `Mediator` hot path — `Pq` + KnBest + scoring + ranking + satisfaction
+//! bookkeeping — via `submit_in_place` and `submit_batch`.
 
 use std::collections::HashMap;
 
@@ -23,7 +26,8 @@ use sbqa_core::allocator::{ProviderSnapshot, StaticIntentions};
 use sbqa_core::knbest::{KnBestScratch, KnBestSelector};
 use sbqa_core::{Mediator, ProviderRegistry};
 use sbqa_types::{
-    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+    Capability, CapabilityRequirement, CapabilitySet, ConsumerId, Intention, ProviderId, Query,
+    QueryId, SystemConfig,
 };
 
 /// Number of capability classes the synthetic population spreads over.
@@ -35,8 +39,39 @@ fn query(class: u8) -> Query {
         .build()
 }
 
+/// A query requiring `width` consecutive classes starting at 3, with `All`
+/// (intersection) or `Any` (union) semantics.
+fn merge_query(width: u8, conjunctive: bool) -> Query {
+    let set = CapabilitySet::from_capabilities(
+        (0..width).map(|offset| Capability::new((3 + offset) % CLASSES)),
+    );
+    let required = if conjunctive {
+        CapabilityRequirement::All(set)
+    } else {
+        CapabilityRequirement::Any(set)
+    };
+    Query::requiring(QueryId::new(1), ConsumerId::new(1), required)
+        .replication(2)
+        .build()
+}
+
+/// Overlapping capability profiles: every provider advertises its base class
+/// plus, for a third of the population, the next class, for a fifth, the
+/// class after that, and for a fifteenth, a third extra class — so 2-, 3-
+/// and 4-way merges all see non-trivial (non-empty) intersections.
 fn capabilities(i: usize) -> CapabilitySet {
-    CapabilitySet::singleton(Capability::new((i % CLASSES as usize) as u8))
+    let base = (i % CLASSES as usize) as u8;
+    let mut caps = CapabilitySet::singleton(Capability::new(base));
+    if i.is_multiple_of(3) {
+        caps.insert(Capability::new((base + 1) % CLASSES));
+    }
+    if i.is_multiple_of(5) {
+        caps.insert(Capability::new((base + 2) % CLASSES));
+    }
+    if i.is_multiple_of(15) {
+        caps.insert(Capability::new((base + 3) % CLASSES));
+    }
+    caps
 }
 
 fn snapshot(i: usize) -> ProviderSnapshot {
@@ -72,7 +107,7 @@ fn legacy_capable_of(
 ) -> Vec<ProviderSnapshot> {
     let mut capable: Vec<ProviderSnapshot> = providers
         .values()
-        .filter(|p| p.online && p.capabilities.contains(q.required_capability))
+        .filter(|p| p.online && q.required.matched_by(p.capabilities))
         .copied()
         .collect();
     capable.sort_by_key(|p| p.id);
@@ -118,21 +153,51 @@ fn bench_capable_of(c: &mut Criterion) {
             },
         );
 
-        let indexed = indexed_registry(size);
-        group.bench_with_input(
+        let mut indexed = indexed_registry(size);
+        group.bench_function(
             BenchmarkId::new("capable_of/indexed_zero_clone", size),
-            &indexed,
-            |b, indexed| {
+            |b| {
                 let mut rng = ChaCha8Rng::seed_from_u64(42);
                 let selector = KnBestSelector::new(20, 4);
                 let mut scratch = KnBestScratch::new();
                 b.iter(|| {
-                    let candidates = black_box(indexed).candidates(&q);
+                    let candidates = indexed.candidates(black_box(&q));
                     let kn = selector.select_into(candidates, &mut rng, &mut scratch);
                     black_box(kn.len())
                 });
             },
         );
+    }
+
+    group.finish();
+}
+
+/// Merge scaling: a single-capability lookup against 2- and 4-way postings
+/// merges (intersection and union) on the same populations. The merge series
+/// should track Σ|postings| of the mentioned classes — growing with the
+/// requirement width and the population share per class — and stay far below
+/// anything O(|P|): compare against `capable_of/legacy_scan_clone`, which
+/// scans the full population per query.
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+
+    for size in [10_000usize, 100_000] {
+        let mut registry = indexed_registry(size);
+        let cases = [
+            ("candidates/single", merge_query(1, true)),
+            ("candidates/all_2way", merge_query(2, true)),
+            ("candidates/all_4way", merge_query(4, true)),
+            ("candidates/any_2way", merge_query(2, false)),
+            ("candidates/any_4way", merge_query(4, false)),
+        ];
+        for (label, q) in cases {
+            group.bench_function(BenchmarkId::new(label, size), |b| {
+                b.iter(|| {
+                    let candidates = registry.candidates(black_box(&q));
+                    black_box(candidates.len())
+                });
+            });
+        }
     }
 
     group.finish();
@@ -189,5 +254,5 @@ fn bench_mediate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_capable_of, bench_mediate);
+criterion_group!(benches, bench_capable_of, bench_merge, bench_mediate);
 criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Multi-capability allocation under skewed capability overlap.
+//!
+//! Not one of the paper's seven scenarios: this experiment exercises the
+//! postings-merge generalisation of `Pq`. The volunteer population advertises
+//! capability classes with deliberately skewed coverage — class 0 is common,
+//! class 1 moderate, class 2 rare — and partially overlapping profiles, so
+//! conjunctive requirements (`All`) funnel queries through small
+//! intersections while disjunctive ones (`Any`) fan out over large unions.
+//! Three consumers issue, respectively, widened single-capability queries
+//! (via the workload model's multi-capability mix), a conjunctive
+//! requirement over the rare `{1, 2}` intersection, and a disjunctive
+//! requirement over `{0, 2}`.
+//!
+//! The run compares SbQA against the Capacity and Random baselines on the
+//! same population and seed, like the numbered scenario binaries, and
+//! accepts the same flags (`--quick`, `--providers N`, `--duration S`,
+//! `--seed SEED`, `--csv PATH`).
+
+use std::process::ExitCode;
+
+use sbqa_baselines::build_allocator;
+use sbqa_bench::HarnessOptions;
+use sbqa_core::intention::{ConsumerProfile, ProviderProfile};
+use sbqa_metrics::{CsvWriter, Table};
+use sbqa_sim::{
+    ConsumerSpec, NetworkConfig, ProviderSpec, SimulationBuilder, SimulationConfig,
+    SimulationReport, WorkloadModel,
+};
+use sbqa_types::{
+    AllocationPolicyKind, Capability, CapabilityRequirement, CapabilitySet, ConsumerId, ProviderId,
+    SystemConfig,
+};
+
+fn set(classes: &[u8]) -> CapabilitySet {
+    CapabilitySet::from_capabilities(classes.iter().copied().map(Capability::new))
+}
+
+/// Skewed, overlapping capability profiles: per ten volunteers, five advertise
+/// only the common class 0, two the `{0, 1}` overlap, two the `{1, 2}`
+/// overlap and one the full `{0, 1, 2}` profile — so class 0 covers 80% of
+/// the population, class 1 50% and class 2 30%, and the `{1, 2}` intersection
+/// is rare.
+fn providers(volunteers: usize) -> Vec<ProviderSpec> {
+    (0..volunteers as u64)
+        .map(|i| {
+            let caps = match i % 10 {
+                0..=4 => set(&[0]),
+                5..=6 => set(&[0, 1]),
+                7..=8 => set(&[1, 2]),
+                _ => set(&[0, 1, 2]),
+            };
+            ProviderSpec::new(
+                ProviderId::new(1_000 + i),
+                caps,
+                1.0 + (i % 3) as f64,
+                ProviderProfile::default(),
+            )
+        })
+        .collect()
+}
+
+fn consumers(arrival_rate: f64) -> Vec<ConsumerSpec> {
+    vec![
+        // Widens to All/Any{0, 1} for half of its queries through the
+        // workload model's multi-capability mix.
+        ConsumerSpec::new(
+            ConsumerId::new(1),
+            Capability::new(0),
+            arrival_rate,
+            0.5,
+            1,
+            ConsumerProfile::default(),
+        )
+        .with_extra_capabilities(set(&[1])),
+        // Conjunctive over the rare intersection: only `{1, 2}` (and
+        // full-profile) volunteers qualify.
+        ConsumerSpec::new(
+            ConsumerId::new(2),
+            Capability::new(1),
+            arrival_rate / 2.0,
+            0.5,
+            2,
+            ConsumerProfile::default(),
+        )
+        .with_requirement(CapabilityRequirement::All(set(&[1, 2]))),
+        // Disjunctive over `{0, 2}`: almost the whole population qualifies.
+        ConsumerSpec::new(
+            ConsumerId::new(3),
+            Capability::new(2),
+            arrival_rate,
+            0.5,
+            1,
+            ConsumerProfile::default(),
+        )
+        .with_requirement(CapabilityRequirement::Any(set(&[0, 2]))),
+    ]
+}
+
+fn run_one(
+    kind: AllocationPolicyKind,
+    options: &HarnessOptions,
+) -> Result<SimulationReport, String> {
+    let volunteers = options
+        .volunteers
+        .unwrap_or(if options.quick { 40 } else { 200 });
+    let duration = options
+        .duration
+        .unwrap_or(if options.quick { 80.0 } else { 300.0 });
+    let arrival = options.arrival.unwrap_or(10.0);
+    let seed = options.seed.unwrap_or(42);
+
+    let config = SimulationConfig {
+        system: SystemConfig::default().with_knbest(10, 4),
+        duration,
+        sample_interval: (duration / 30.0).max(1.0),
+        network: NetworkConfig::default(),
+        ..SimulationConfig::default()
+    }
+    .with_seed(seed);
+
+    let allocator = build_allocator(kind, &config.system, seed).map_err(|err| err.to_string())?;
+    SimulationBuilder::new(config)
+        .allocator(allocator)
+        .consumers(consumers(arrival))
+        .providers(providers(volunteers))
+        .workload(WorkloadModel::default().with_multi_capability_mix(0.5, 0.4))
+        .run()
+        .map_err(|err| err.to_string())
+}
+
+fn main() -> ExitCode {
+    let options = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut table = Table::new(
+        "Scenario multicap — postings-merge Pq under skewed capability overlap",
+        &[
+            "technique",
+            "consumer sat",
+            "provider sat",
+            "mean resp (s)",
+            "p95 resp (s)",
+            "completed",
+            "starved",
+            "load gini",
+        ],
+    );
+    let mut all_series = Vec::new();
+    for kind in [
+        AllocationPolicyKind::SbQA,
+        AllocationPolicyKind::Capacity,
+        AllocationPolicyKind::Random,
+    ] {
+        let report = match run_one(kind, &options) {
+            Ok(report) => report,
+            Err(message) => {
+                eprintln!("scenario failed for {}: {message}", kind.label());
+                return ExitCode::FAILURE;
+            }
+        };
+        table.add_row(&[
+            kind.label().to_string(),
+            Table::num(report.final_consumer_satisfaction()),
+            Table::num(report.final_provider_satisfaction()),
+            Table::num(report.response.mean()),
+            Table::num(report.response.p95()),
+            report.response.completed().to_string(),
+            report.response.starved().to_string(),
+            Table::num(report.load_balance().gini),
+        ]);
+        for series in &report.series {
+            let mut named = series.clone();
+            named.name = format!("{}/{}", series.name, kind.label());
+            all_series.push(named);
+        }
+    }
+
+    println!("{}", table.render());
+    if let Some(path) = &options.csv {
+        if let Err(err) = std::fs::write(path, CsvWriter::render_series(&all_series)) {
+            eprintln!("cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("time series written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -211,7 +211,10 @@ mod tests {
 
         let spec = project.to_consumer_spec(Project::default_profile());
         assert_eq!(spec.id, ConsumerId::new(1));
-        assert_eq!(spec.capability, Capability::new(2));
+        assert_eq!(
+            spec.requirement,
+            sbqa_types::CapabilityRequirement::single(Capability::new(2))
+        );
         assert_eq!(spec.arrival_rate, 3.0);
         assert_eq!(spec.replication, 2);
     }

@@ -67,7 +67,7 @@ impl ProviderSnapshot {
     /// `true` if this provider can perform the given query and is online.
     #[must_use]
     pub fn can_perform(&self, query: &Query) -> bool {
-        self.online && self.capabilities.contains(query.required_capability)
+        self.online && query.required.matched_by(self.capabilities)
     }
 }
 

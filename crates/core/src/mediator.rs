@@ -293,17 +293,26 @@ impl Mediator {
     /// mediation result on both sides' satisfaction — all without allocating
     /// in steady state.
     fn mediate(&mut self, query: &Query, oracle: &dyn IntentionOracle) -> SbqaResult<()> {
-        let candidates = self.providers.candidates(query);
+        // Split the borrows by field: `candidates` may merge postings lists
+        // into the registry's scratch buffer (hence `&mut providers`), while
+        // the allocator and the satisfaction registry are borrowed alongside.
+        let Self {
+            allocator,
+            providers,
+            satisfaction,
+            scratch,
+        } = self;
+        let candidates = providers.candidates(query);
         if candidates.is_empty() {
-            return Err(self.providers.starvation_error(query));
+            return Err(providers.starvation_error(query));
         }
 
-        self.allocator.allocate_into(
+        allocator.allocate_into(
             query,
             candidates,
             oracle,
-            &self.satisfaction,
-            &mut self.scratch.decision,
+            satisfaction,
+            &mut scratch.decision,
         )?;
 
         // "…sends the mediation result to the consumer and all providers in
@@ -638,6 +647,60 @@ mod tests {
             StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
         let outcome = mediator.submit(&query(1, 1), &oracle).unwrap();
         assert_eq!(outcome.selected(), &[ProviderId::new(2)]);
+    }
+
+    #[test]
+    fn mediator_honours_multi_capability_requirements() {
+        use sbqa_types::CapabilityRequirement;
+
+        let config = SystemConfig::default().with_knbest(10, 10);
+        let mut mediator = Mediator::sbqa(config, 13).unwrap();
+        let set = |classes: &[u8]| {
+            CapabilitySet::from_capabilities(classes.iter().copied().map(Capability::new))
+        };
+        mediator.register_provider(ProviderId::new(1), set(&[0]), 1.0);
+        mediator.register_provider(ProviderId::new(2), set(&[0, 1]), 1.0);
+        mediator.register_provider(ProviderId::new(3), set(&[1, 2]), 1.0);
+        mediator.register_consumer(ConsumerId::new(1));
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
+
+        // All{0,1}: only provider 2 qualifies.
+        let q = Query::requiring(
+            QueryId::new(1),
+            ConsumerId::new(1),
+            CapabilityRequirement::All(set(&[0, 1])),
+        )
+        .replication(3)
+        .build();
+        let outcome = mediator.submit(&q, &oracle).unwrap();
+        assert_eq!(outcome.selected(), &[ProviderId::new(2)]);
+
+        // Any{1,2}: providers 2 and 3 qualify; replication 2 selects both.
+        let q = Query::requiring(
+            QueryId::new(2),
+            ConsumerId::new(1),
+            CapabilityRequirement::Any(set(&[1, 2])),
+        )
+        .replication(2)
+        .build();
+        let outcome = mediator.submit(&q, &oracle).unwrap();
+        let mut selected: Vec<u64> = outcome.selected().iter().map(|p| p.raw()).collect();
+        selected.sort_unstable();
+        assert_eq!(selected, vec![2, 3]);
+
+        // All{0,2}: per-class counts are positive but no provider covers
+        // both — the starvation is classified as "no capable provider".
+        let q = Query::requiring(
+            QueryId::new(3),
+            ConsumerId::new(1),
+            CapabilityRequirement::All(set(&[0, 2])),
+        )
+        .build();
+        assert!(matches!(
+            mediator.submit(&q, &oracle).unwrap_err(),
+            SbqaError::NoCapableProvider { .. }
+        ));
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //! Snapshots live in a dense slab (`Vec<ProviderSnapshot>`) addressed through
 //! an id→slot map, and one postings list per capability class holds the slots
 //! of every *online* provider advertising that capability, kept sorted by
-//! provider id. `Pq` is therefore a single postings-list lookup returning a
+//! provider id (one extra list tracks *every* online provider, which answers
+//! degenerate `All{}` requirements and makes `online_count` O(1)). For a
+//! single-capability query `Pq` is a postings-list lookup returning a
 //! borrowed [`Candidates`] view — no scan over the population, no clone of
-//! any snapshot — and candidate order is ascending provider id *by
-//! construction*, which makes every downstream random draw deterministic per
-//! seed. The lists are maintained incrementally on
+//! any snapshot. Multi-capability requirements are answered by a k-way merge
+//! of the id-sorted lists — intersection for `All`, union for `Any` — into a
+//! scratch buffer that is reused across queries, so steady-state mediation
+//! stays allocation-free and costs O(Σ|postings|) rather than O(|P|).
+//! Candidate order is ascending provider id *by construction* on every path,
+//! which makes every downstream random draw deterministic per seed. The
+//! lists are maintained incrementally on
 //! [`register`](ProviderRegistry::register),
 //! [`unregister`](ProviderRegistry::unregister) and
 //! [`set_online`](ProviderRegistry::set_online); load updates touch only the
@@ -24,9 +30,20 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize, Value};
 
-use sbqa_types::{CapabilitySet, ProviderId, Query, SbqaError, SbqaResult, MAX_CAPABILITY_CLASSES};
+use sbqa_types::{
+    CapabilityRequirement, CapabilitySet, ProviderId, Query, SbqaError, SbqaResult,
+    MAX_CAPABILITY_CLASSES,
+};
 
 use crate::allocator::{Candidates, ProviderSnapshot};
+
+/// Index of the postings list that tracks every online provider (used for
+/// degenerate `All{}` requirements and the O(1) `online_count`).
+const ONLINE_LIST: usize = MAX_CAPABILITY_CLASSES as usize;
+
+/// An empty postings list with `'static` lifetime, for requirements that
+/// match nobody by construction (`Any` over the empty set).
+const NO_POSTINGS: &[u32] = &[];
 
 /// Mediator-side registry of provider state: a dense snapshot slab plus a
 /// per-capability index of online providers.
@@ -38,8 +55,25 @@ pub struct ProviderRegistry {
     /// id → slot position in `slots`.
     index: HashMap<ProviderId, u32>,
     /// For each capability class, the slots of online providers advertising
-    /// it, sorted by ascending provider id.
+    /// it, sorted by ascending provider id; the final entry ([`ONLINE_LIST`])
+    /// holds every online provider.
     postings: Vec<Vec<u32>>,
+    /// Reusable output buffer for multi-capability merges; grows once to the
+    /// largest candidate set and is then recycled, so steady-state merges
+    /// allocate nothing.
+    merge_scratch: Vec<u32>,
+    /// Number of *registered* providers (online or not) advertising each
+    /// capability class. Lets `starvation_error` distinguish "nobody is able"
+    /// from "the able ones are offline" without scanning the slab.
+    class_counts: [usize; MAX_CAPABILITY_CLASSES as usize],
+    /// Number of registered providers per distinct capability mask. Per-class
+    /// counts cannot decide conjunctive (`All`) requirements exactly — two
+    /// providers may cover the classes pairwise without either covering all
+    /// of them — so the mask histogram settles the ambiguous case. Its size
+    /// is the number of *distinct capability profiles*, which real
+    /// populations keep tiny (a handful of deployment configurations) even
+    /// though an adversarial population could make it approach |P|.
+    mask_counts: HashMap<u64, usize>,
 }
 
 impl Default for ProviderRegistry {
@@ -47,7 +81,10 @@ impl Default for ProviderRegistry {
         Self {
             slots: Vec::new(),
             index: HashMap::new(),
-            postings: vec![Vec::new(); MAX_CAPABILITY_CLASSES as usize],
+            postings: vec![Vec::new(); ONLINE_LIST + 1],
+            merge_scratch: Vec::new(),
+            class_counts: [0; MAX_CAPABILITY_CLASSES as usize],
+            mask_counts: HashMap::new(),
         }
     }
 }
@@ -59,33 +96,58 @@ impl ProviderRegistry {
         Self::default()
     }
 
-    /// Position of `slot`'s entry in the postings list of `class`, by binary
+    /// The postings lists a snapshot belongs to while online: one per
+    /// advertised capability class, plus the all-online list.
+    fn lists_of(snapshot: &ProviderSnapshot) -> impl Iterator<Item = usize> + '_ {
+        snapshot
+            .capabilities
+            .iter()
+            .map(|cap| cap.class() as usize)
+            .chain(std::iter::once(ONLINE_LIST))
+    }
+
+    /// Position of the provider `id` in postings list `list`, by binary
     /// search on the (sorted) provider ids.
-    fn posting_position(&self, class: u8, id: ProviderId) -> Result<usize, usize> {
+    fn posting_position(&self, list: usize, id: ProviderId) -> Result<usize, usize> {
         let slots = &self.slots;
-        self.postings[class as usize].binary_search_by_key(&id, |&s| slots[s as usize].id)
+        self.postings[list].binary_search_by_key(&id, |&s| slots[s as usize].id)
     }
 
     /// Inserts `slot` into the postings lists of every capability the
-    /// snapshot advertises. The snapshot must be online.
+    /// snapshot advertises, and into the online list. The snapshot must be
+    /// online.
     fn index_slot(&mut self, slot: u32) {
         let snapshot = self.slots[slot as usize];
         debug_assert!(snapshot.online);
-        for cap in snapshot.capabilities.iter() {
-            if let Err(at) = self.posting_position(cap.class(), snapshot.id) {
-                self.postings[cap.class() as usize].insert(at, slot);
+        for list in Self::lists_of(&snapshot) {
+            if let Err(at) = self.posting_position(list, snapshot.id) {
+                self.postings[list].insert(at, slot);
             }
         }
     }
 
     /// Removes `slot`'s entries from the postings lists of every capability
-    /// the snapshot advertises.
+    /// the snapshot advertises, and from the online list.
     fn unindex_slot(&mut self, slot: u32) {
         let snapshot = self.slots[slot as usize];
-        for cap in snapshot.capabilities.iter() {
-            if let Ok(at) = self.posting_position(cap.class(), snapshot.id) {
-                self.postings[cap.class() as usize].remove(at);
+        for list in Self::lists_of(&snapshot) {
+            if let Ok(at) = self.posting_position(list, snapshot.id) {
+                self.postings[list].remove(at);
             }
+        }
+    }
+
+    /// Adds (`+1`) or removes (`-1`) a registered capability profile from the
+    /// per-class and per-mask histograms.
+    fn count_profile(&mut self, capabilities: CapabilitySet, delta: isize) {
+        for cap in capabilities.iter() {
+            let count = &mut self.class_counts[cap.class() as usize];
+            *count = count.checked_add_signed(delta).expect("count stays >= 0");
+        }
+        let entry = self.mask_counts.entry(capabilities.bits()).or_insert(0);
+        *entry = entry.checked_add_signed(delta).expect("count stays >= 0");
+        if *entry == 0 {
+            self.mask_counts.remove(&capabilities.bits());
         }
     }
 
@@ -96,6 +158,7 @@ impl ProviderRegistry {
             if self.slots[slot as usize].online {
                 self.unindex_slot(slot);
             }
+            self.count_profile(self.slots[slot as usize].capabilities, -1);
             self.slots[slot as usize] = snapshot;
             if snapshot.online {
                 self.index_slot(slot);
@@ -108,6 +171,7 @@ impl ProviderRegistry {
                 self.index_slot(slot);
             }
         }
+        self.count_profile(snapshot.capabilities, 1);
     }
 
     /// Registers (or replaces) a provider with the given capabilities and
@@ -125,6 +189,7 @@ impl ProviderRegistry {
         if self.slots[slot as usize].online {
             self.unindex_slot(slot);
         }
+        self.count_profile(self.slots[slot as usize].capabilities, -1);
         let last = (self.slots.len() - 1) as u32;
         self.slots.swap_remove(slot as usize);
         if slot != last {
@@ -137,8 +202,8 @@ impl ProviderRegistry {
             self.index.insert(moved.id, slot);
             if moved.online {
                 let slots = &self.slots;
-                for cap in moved.capabilities.iter() {
-                    let list = &mut self.postings[cap.class() as usize];
+                for list in Self::lists_of(&moved) {
+                    let list = &mut self.postings[list];
                     if let Ok(at) = list.binary_search_by_key(&moved.id, |&s| {
                         if s == last {
                             moved.id
@@ -214,10 +279,11 @@ impl ProviderRegistry {
         self.slots.is_empty()
     }
 
-    /// Number of providers currently online.
+    /// Number of providers currently online — the length of the all-online
+    /// postings list, O(1).
     #[must_use]
     pub fn online_count(&self) -> usize {
-        self.slots.iter().filter(|p| p.online).count()
+        self.postings[ONLINE_LIST].len()
     }
 
     /// Iterates over all provider snapshots (online or not), in slab order.
@@ -226,35 +292,194 @@ impl ProviderRegistry {
     }
 
     /// The set `Pq` as a borrowed, zero-clone view: every online provider
-    /// able to perform `query`, in ascending id order. This is a postings
-    /// lookup — O(1), no scan, no clone.
+    /// able to perform `query`, in ascending id order.
+    ///
+    /// Single-capability requirements (and degenerate `All{}` / `Any{}`) are
+    /// a postings lookup — O(1), no scan, no clone. Multi-capability
+    /// requirements are answered by merging the id-sorted postings lists of
+    /// the mentioned classes — an intersection for `All`, a union for `Any` —
+    /// into a scratch buffer reused across calls (hence `&mut self`), costing
+    /// O(Σ|postings|) and, once the buffer has grown, zero allocation.
     #[must_use]
-    pub fn candidates(&self, query: &Query) -> Candidates<'_> {
-        Candidates::from_postings(
-            &self.slots,
-            &self.postings[query.required_capability.class() as usize],
-        )
+    pub fn candidates(&mut self, query: &Query) -> Candidates<'_> {
+        let required = query.required;
+        let set = required.classes();
+        match set.len() {
+            // `All{}` is vacuously satisfied by every online provider;
+            // `Any{}` by none.
+            0 => match required {
+                CapabilityRequirement::All(_) => {
+                    Candidates::from_postings(&self.slots, &self.postings[ONLINE_LIST])
+                }
+                CapabilityRequirement::Any(_) => {
+                    Candidates::from_postings(&self.slots, NO_POSTINGS)
+                }
+            },
+            // The trivial one-bit case, where All and Any coincide: borrow
+            // the class's postings list directly.
+            1 => {
+                let class = set.iter().next().expect("singleton set").class();
+                Candidates::from_postings(&self.slots, &self.postings[class as usize])
+            }
+            _ => {
+                match required {
+                    CapabilityRequirement::All(_) => self.intersect_postings(set),
+                    CapabilityRequirement::Any(_) => self.union_postings(set),
+                }
+                Candidates::from_postings(&self.slots, &self.merge_scratch)
+            }
+        }
+    }
+
+    /// Materialises the classes of `set` into a stack buffer so the merge
+    /// loops iterate only the k mentioned classes instead of probing all 64
+    /// bitmask positions per emitted candidate. Returns the filled prefix.
+    fn classes_of(set: CapabilitySet, buffer: &mut [u8; MAX_CAPABILITY_CLASSES as usize]) -> usize {
+        let mut count = 0;
+        for cap in set.iter() {
+            buffer[count] = cap.class();
+            count += 1;
+        }
+        count
+    }
+
+    /// Fills `merge_scratch` with the intersection of the postings lists of
+    /// every class in `set` (providers advertising *all* of them), in
+    /// ascending id order. Classic k-way merge driven by the shortest list:
+    /// each list's cursor only moves forward, so the cost is bounded by
+    /// Σ|postings| no matter how the ids interleave.
+    fn intersect_postings(&mut self, set: CapabilitySet) {
+        self.merge_scratch.clear();
+        let slots = &self.slots;
+        let postings = &self.postings;
+        let mut class_buffer = [0u8; MAX_CAPABILITY_CLASSES as usize];
+        let count = Self::classes_of(set, &mut class_buffer);
+        let classes = &class_buffer[..count];
+        let driver = classes
+            .iter()
+            .map(|&class| class as usize)
+            .min_by_key(|&class| postings[class].len())
+            .expect("set has at least two classes");
+        let mut cursors = [0usize; MAX_CAPABILITY_CLASSES as usize];
+        'candidates: for &slot in &postings[driver] {
+            let id = slots[slot as usize].id;
+            for &class in classes {
+                let class = class as usize;
+                if class == driver {
+                    continue;
+                }
+                let list = &postings[class];
+                let cursor = &mut cursors[class];
+                while *cursor < list.len() && slots[list[*cursor] as usize].id < id {
+                    *cursor += 1;
+                }
+                if *cursor == list.len() {
+                    // This list is exhausted: no later driver id can match.
+                    break 'candidates;
+                }
+                if slots[list[*cursor] as usize].id != id {
+                    continue 'candidates;
+                }
+            }
+            self.merge_scratch.push(slot);
+        }
+    }
+
+    /// Fills `merge_scratch` with the union of the postings lists of every
+    /// class in `set` (providers advertising *any* of them), deduplicated and
+    /// in ascending id order. Repeatedly emits the minimum id across the list
+    /// heads and advances every cursor that matches it; with k = |set| ≤ 64
+    /// lists the cost is O(k·Σ|postings|) with k small in practice.
+    fn union_postings(&mut self, set: CapabilitySet) {
+        self.merge_scratch.clear();
+        let slots = &self.slots;
+        let postings = &self.postings;
+        let mut class_buffer = [0u8; MAX_CAPABILITY_CLASSES as usize];
+        let count = Self::classes_of(set, &mut class_buffer);
+        let classes = &class_buffer[..count];
+        let mut cursors = [0usize; MAX_CAPABILITY_CLASSES as usize];
+        loop {
+            let mut next: Option<(ProviderId, u32)> = None;
+            for &class in classes {
+                let class = class as usize;
+                let list = &postings[class];
+                if cursors[class] < list.len() {
+                    let slot = list[cursors[class]];
+                    let id = slots[slot as usize].id;
+                    if next.is_none_or(|(best, _)| id < best) {
+                        next = Some((id, slot));
+                    }
+                }
+            }
+            let Some((id, slot)) = next else {
+                break;
+            };
+            self.merge_scratch.push(slot);
+            for &class in classes {
+                let class = class as usize;
+                let list = &postings[class];
+                if cursors[class] < list.len() && slots[list[cursors[class]] as usize].id == id {
+                    cursors[class] += 1;
+                }
+            }
+        }
     }
 
     /// The set `Pq` as an owned vector, sorted by id — an allocating
     /// convenience wrapper over [`ProviderRegistry::candidates`].
     #[must_use]
-    pub fn capable_of(&self, query: &Query) -> Vec<ProviderSnapshot> {
+    pub fn capable_of(&mut self, query: &Query) -> Vec<ProviderSnapshot> {
         self.candidates(query).iter().copied().collect()
     }
 
     /// Classifies a starvation: distinguishes "nobody can ever perform this"
     /// from "capable providers exist but none is online".
+    ///
+    /// Answered from the registered-provider histograms instead of the
+    /// former O(|P|) slab scan: the per-class counts decide `Any`
+    /// requirements and rule out `All` requirements with an uncovered class
+    /// in O(|set|); the remaining conjunctive case checks the exact profile
+    /// first and then walks the per-mask histogram, whose size is the number
+    /// of distinct capability profiles — a handful in realistic populations,
+    /// bounded by |P| only for adversarially diverse ones. The slab itself
+    /// is never scanned, even when every query in an overloaded system
+    /// starves.
     #[must_use]
     pub fn starvation_error(&self, query: &Query) -> SbqaError {
-        let any_capable = self
-            .slots
-            .iter()
-            .any(|p| p.capabilities.contains(query.required_capability));
-        if any_capable {
+        if self.any_registered_capable(query.required) {
             SbqaError::NoProviderOnline { query: query.id }
         } else {
             SbqaError::NoCapableProvider { query: query.id }
+        }
+    }
+
+    /// `true` if any registered provider (online or not) satisfies `required`.
+    fn any_registered_capable(&self, required: CapabilityRequirement) -> bool {
+        let set = required.classes();
+        match required {
+            CapabilityRequirement::Any(_) => set
+                .iter()
+                .any(|cap| self.class_counts[cap.class() as usize] > 0),
+            CapabilityRequirement::All(_) => {
+                if set.is_empty() {
+                    return !self.slots.is_empty();
+                }
+                if set
+                    .iter()
+                    .any(|cap| self.class_counts[cap.class() as usize] == 0)
+                {
+                    return false;
+                }
+                set.len() == 1
+                    // Exact-profile hit: some provider advertises precisely
+                    // the required set (the common case when requirements
+                    // mirror deployment profiles).
+                    || self.mask_counts.contains_key(&set.bits())
+                    || self
+                        .mask_counts
+                        .keys()
+                        .any(|&mask| CapabilitySet::from_bits(mask).is_superset_of(set))
+            }
         }
     }
 }
@@ -453,6 +678,177 @@ mod tests {
         assert_eq!(reg.capable_of(&query(1)).len(), 2);
     }
 
+    fn multi_query(req: CapabilityRequirement) -> Query {
+        Query::requiring(QueryId::new(1), ConsumerId::new(1), req).build()
+    }
+
+    fn set_of(classes: &[u8]) -> CapabilitySet {
+        CapabilitySet::from_capabilities(classes.iter().copied().map(Capability::new))
+    }
+
+    fn ids_of(reg: &mut ProviderRegistry, req: CapabilityRequirement) -> Vec<u64> {
+        reg.candidates(&multi_query(req))
+            .iter()
+            .map(|p| p.id.raw())
+            .collect()
+    }
+
+    #[test]
+    fn all_requirement_intersects_postings_lists() {
+        let mut reg = ProviderRegistry::new();
+        reg.register(ProviderId::new(1), set_of(&[0, 1]), 1.0);
+        reg.register(ProviderId::new(2), set_of(&[0]), 1.0);
+        reg.register(ProviderId::new(3), set_of(&[0, 1, 2]), 1.0);
+        reg.register(ProviderId::new(4), set_of(&[1, 2]), 1.0);
+
+        assert_eq!(
+            ids_of(&mut reg, CapabilityRequirement::All(set_of(&[0, 1]))),
+            vec![1, 3]
+        );
+        assert_eq!(
+            ids_of(&mut reg, CapabilityRequirement::All(set_of(&[0, 1, 2]))),
+            vec![3]
+        );
+        assert!(ids_of(&mut reg, CapabilityRequirement::All(set_of(&[0, 3]))).is_empty());
+        // Offline providers drop out of the intersection.
+        reg.set_online(ProviderId::new(3), false).unwrap();
+        assert_eq!(
+            ids_of(&mut reg, CapabilityRequirement::All(set_of(&[0, 1]))),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn any_requirement_unions_postings_lists_without_duplicates() {
+        let mut reg = ProviderRegistry::new();
+        reg.register(ProviderId::new(1), set_of(&[0, 1]), 1.0);
+        reg.register(ProviderId::new(2), set_of(&[0]), 1.0);
+        reg.register(ProviderId::new(3), set_of(&[2]), 1.0);
+        reg.register(ProviderId::new(4), set_of(&[5]), 1.0);
+
+        // Provider 1 appears in both merged lists but only once in Pq.
+        assert_eq!(
+            ids_of(&mut reg, CapabilityRequirement::Any(set_of(&[0, 1]))),
+            vec![1, 2]
+        );
+        assert_eq!(
+            ids_of(&mut reg, CapabilityRequirement::Any(set_of(&[1, 2, 5]))),
+            vec![1, 3, 4]
+        );
+        assert!(ids_of(&mut reg, CapabilityRequirement::Any(set_of(&[7, 8]))).is_empty());
+    }
+
+    #[test]
+    fn degenerate_empty_requirements() {
+        let mut reg = ProviderRegistry::new();
+        reg.register(ProviderId::new(1), set_of(&[0]), 1.0);
+        reg.register(ProviderId::new(2), set_of(&[1]), 1.0);
+        reg.set_online(ProviderId::new(2), false).unwrap();
+
+        // All{} is satisfied by every *online* provider, Any{} by none.
+        assert_eq!(
+            ids_of(&mut reg, CapabilityRequirement::All(CapabilitySet::EMPTY)),
+            vec![1]
+        );
+        assert!(ids_of(&mut reg, CapabilityRequirement::Any(CapabilitySet::EMPTY)).is_empty());
+    }
+
+    #[test]
+    fn merged_candidates_match_brute_force_after_churn() {
+        let mut reg = ProviderRegistry::new();
+        for id in 0..40u64 {
+            reg.register(
+                ProviderId::new(id),
+                set_of(&[(id % 3) as u8, (id % 5) as u8]),
+                1.0,
+            );
+        }
+        for id in [4u64, 9, 14] {
+            reg.set_online(ProviderId::new(id), false).unwrap();
+        }
+        for id in [7u64, 21, 35] {
+            assert!(reg.unregister(ProviderId::new(id)));
+        }
+
+        for req in [
+            CapabilityRequirement::All(set_of(&[0, 1])),
+            CapabilityRequirement::All(set_of(&[1, 2, 3])),
+            CapabilityRequirement::Any(set_of(&[2, 4])),
+            CapabilityRequirement::Any(set_of(&[0, 3, 4])),
+        ] {
+            let query = multi_query(req);
+            let mut expected: Vec<u64> = reg
+                .iter()
+                .filter(|p| p.can_perform(&query))
+                .map(|p| p.id.raw())
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(ids_of(&mut reg, req), expected, "requirement {req}");
+        }
+    }
+
+    #[test]
+    fn starvation_error_handles_requirement_semantics() {
+        let mut reg = ProviderRegistry::new();
+        reg.register(ProviderId::new(1), set_of(&[0, 1]), 1.0);
+        reg.register(ProviderId::new(2), set_of(&[1, 2]), 1.0);
+
+        // Per-class counts are all positive for {0, 2}, yet no single
+        // provider covers both: the mask histogram settles it.
+        assert!(matches!(
+            reg.starvation_error(&multi_query(CapabilityRequirement::All(set_of(&[0, 2])))),
+            SbqaError::NoCapableProvider { .. }
+        ));
+        assert!(matches!(
+            reg.starvation_error(&multi_query(CapabilityRequirement::All(set_of(&[0, 5])))),
+            SbqaError::NoCapableProvider { .. }
+        ));
+        assert!(matches!(
+            reg.starvation_error(&multi_query(CapabilityRequirement::Any(set_of(&[5, 6])))),
+            SbqaError::NoCapableProvider { .. }
+        ));
+
+        // Capable providers exist but are offline.
+        reg.set_online(ProviderId::new(1), false).unwrap();
+        reg.set_online(ProviderId::new(2), false).unwrap();
+        for req in [
+            CapabilityRequirement::All(set_of(&[0, 1])),
+            CapabilityRequirement::Any(set_of(&[2, 5])),
+            CapabilityRequirement::All(CapabilitySet::EMPTY),
+        ] {
+            assert!(
+                matches!(
+                    reg.starvation_error(&multi_query(req)),
+                    SbqaError::NoProviderOnline { .. }
+                ),
+                "requirement {req}"
+            );
+        }
+
+        // Unregistering decrements the histograms: once provider 1 is gone,
+        // nothing ever covered {0, 1} together.
+        assert!(reg.unregister(ProviderId::new(1)));
+        assert!(matches!(
+            reg.starvation_error(&multi_query(CapabilityRequirement::All(set_of(&[0, 1])))),
+            SbqaError::NoCapableProvider { .. }
+        ));
+    }
+
+    #[test]
+    fn online_count_tracks_the_online_postings_list() {
+        let mut reg = ProviderRegistry::new();
+        for id in 1..=5u64 {
+            reg.register(ProviderId::new(id), set_of(&[(id % 2) as u8]), 1.0);
+        }
+        assert_eq!(reg.online_count(), 5);
+        reg.set_online(ProviderId::new(2), false).unwrap();
+        assert_eq!(reg.online_count(), 4);
+        assert!(reg.unregister(ProviderId::new(3)));
+        assert_eq!(reg.online_count(), 3);
+        reg.set_online(ProviderId::new(2), true).unwrap();
+        assert_eq!(reg.online_count(), 4);
+    }
+
     #[test]
     fn serde_round_trip_rebuilds_the_index() {
         let mut reg = ProviderRegistry::new();
@@ -463,7 +859,7 @@ mod tests {
         reg.update_load(ProviderId::new(1), 4.5, 2).unwrap();
 
         let text = serde::to_string(&reg);
-        let back: ProviderRegistry = serde::from_str(&text).unwrap();
+        let mut back: ProviderRegistry = serde::from_str(&text).unwrap();
 
         assert_eq!(back.len(), 3);
         assert_eq!(back.online_count(), 2);

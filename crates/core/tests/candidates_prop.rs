@@ -1,0 +1,144 @@
+//! Property tests pinning the candidate index to its specification: for any
+//! population, churn history and capability requirement, the postings-list
+//! answer (`ProviderRegistry::candidates`) must equal the brute-force slab
+//! filter — same providers, ascending id order, no duplicates — for both
+//! `All` (k-way intersection) and `Any` (k-way union) semantics, including
+//! the borrowed single-capability fast path.
+
+use proptest::prelude::*;
+
+use sbqa_core::ProviderRegistry;
+use sbqa_types::{
+    Capability, CapabilityRequirement, CapabilitySet, ConsumerId, ProviderId, Query, QueryId,
+};
+
+/// Capability classes the generated populations draw from. Small on purpose:
+/// overlap (several providers per class, several classes per provider) is
+/// what makes merges interesting.
+const CLASSES: u8 = 6;
+
+fn capability_set(mask: u8) -> CapabilitySet {
+    CapabilitySet::from_capabilities(
+        (0..CLASSES)
+            .filter(|class| mask & (1 << class) != 0)
+            .map(Capability::new),
+    )
+}
+
+fn requirement(mask: u8, conjunctive: bool) -> CapabilityRequirement {
+    let set = capability_set(mask);
+    if conjunctive {
+        CapabilityRequirement::All(set)
+    } else {
+        CapabilityRequirement::Any(set)
+    }
+}
+
+fn query(req: CapabilityRequirement) -> Query {
+    Query::requiring(QueryId::new(1), ConsumerId::new(1), req).build()
+}
+
+/// The specification: filter the whole slab with `can_perform`, sort by id.
+fn brute_force(registry: &ProviderRegistry, req: CapabilityRequirement) -> Vec<u64> {
+    let q = query(req);
+    let mut ids: Vec<u64> = registry
+        .iter()
+        .filter(|p| p.can_perform(&q))
+        .map(|p| p.id.raw())
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn indexed(registry: &mut ProviderRegistry, req: CapabilityRequirement) -> Vec<u64> {
+    registry
+        .candidates(&query(req))
+        .iter()
+        .map(|p| p.id.raw())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn candidates_equal_brute_force_filter(
+        // (id, capability mask) per provider; duplicate ids re-register.
+        providers in proptest::collection::vec((0u64..60, 1u8..64), 1..40),
+        // Providers toggled offline, providers unregistered (by position).
+        offline in proptest::collection::vec(0usize..40, 0..10),
+        removed in proptest::collection::vec(0usize..40, 0..6),
+        // Requirements to probe, covering single- and multi-class sets.
+        probes in proptest::collection::vec((1u8..64, proptest::bool::ANY), 1..8),
+    ) {
+        let mut registry = ProviderRegistry::new();
+        for (id, mask) in &providers {
+            registry.register(ProviderId::new(*id), capability_set(*mask), 1.0);
+        }
+        for &position in &offline {
+            let (id, _) = providers[position % providers.len()];
+            // May hit an already-offline or unregistered provider: both fine.
+            let _ = registry.set_online(ProviderId::new(id), false);
+        }
+        for &position in &removed {
+            let (id, _) = providers[position % providers.len()];
+            registry.unregister(ProviderId::new(id));
+        }
+
+        for &(mask, conjunctive) in &probes {
+            let req = requirement(mask, conjunctive);
+            let expected = brute_force(&registry, req);
+            let got = indexed(&mut registry, req);
+            prop_assert_eq!(&got, &expected, "requirement {}", req);
+            // Ascending ids also imply no duplicates.
+            prop_assert!(got.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        // Degenerate requirements follow quantifier semantics.
+        let online: Vec<u64> = brute_force(&registry, CapabilityRequirement::All(CapabilitySet::EMPTY));
+        prop_assert_eq!(
+            indexed(&mut registry, CapabilityRequirement::All(CapabilitySet::EMPTY)),
+            online
+        );
+        prop_assert!(indexed(&mut registry, CapabilityRequirement::Any(CapabilitySet::EMPTY)).is_empty());
+    }
+
+    #[test]
+    fn starvation_classification_matches_slab_scan(
+        providers in proptest::collection::vec((0u64..30, 1u8..64), 0..20),
+        all_offline in proptest::bool::ANY,
+        probes in proptest::collection::vec((1u8..64, proptest::bool::ANY), 1..6),
+    ) {
+        let mut registry = ProviderRegistry::new();
+        for (id, mask) in &providers {
+            registry.register(ProviderId::new(*id), capability_set(*mask), 1.0);
+        }
+        if all_offline {
+            let ids: Vec<ProviderId> = registry.iter().map(|p| p.id).collect();
+            for id in ids {
+                registry.set_online(id, false).unwrap();
+            }
+        }
+        for &(mask, conjunctive) in &probes {
+            let req = requirement(mask, conjunctive);
+            let q = query(req);
+            // Only meaningful when the query actually starves.
+            if !registry.candidates(&q).is_empty() {
+                continue;
+            }
+            let any_registered_capable = registry
+                .iter()
+                .any(|p| req.matched_by(p.capabilities));
+            let err = registry.starvation_error(&q);
+            if any_registered_capable {
+                prop_assert!(
+                    matches!(err, sbqa_types::SbqaError::NoProviderOnline { .. }),
+                    "requirement {}: expected NoProviderOnline, got {err:?}", req
+                );
+            } else {
+                prop_assert!(
+                    matches!(err, sbqa_types::SbqaError::NoCapableProvider { .. }),
+                    "requirement {}: expected NoCapableProvider, got {err:?}", req
+                );
+            }
+        }
+    }
+}

@@ -14,7 +14,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use sbqa_core::{Mediator, StaticIntentions};
 use sbqa_types::{
-    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+    Capability, CapabilityRequirement, CapabilitySet, ConsumerId, Intention, ProviderId, Query,
+    QueryId, SystemConfig,
 };
 
 static COUNTING: AtomicBool = AtomicBool::new(false);
@@ -51,27 +52,49 @@ fn query(id: u64) -> Query {
         .build()
 }
 
+/// A query whose `Pq` requires a postings-list merge: intersection for even
+/// ids, union for odd ids, cycling over overlapping class pairs.
+fn multi_query(id: u64) -> Query {
+    let a = Capability::new((id % 3) as u8);
+    let b = Capability::new(((id + 1) % 3) as u8);
+    let set = CapabilitySet::from_capabilities([a, b]);
+    let required = if id.is_multiple_of(2) {
+        CapabilityRequirement::All(set)
+    } else {
+        CapabilityRequirement::Any(set)
+    };
+    Query::requiring(QueryId::new(id), ConsumerId::new(1), required)
+        .replication(2)
+        .build()
+}
+
 #[test]
 fn steady_state_mediation_does_not_allocate() {
     let config = SystemConfig::default().with_knbest(20, 4);
     let mut mediator = Mediator::sbqa(config, 42).unwrap();
     for p in 0..256u64 {
-        mediator.register_provider(
-            ProviderId::new(p),
-            CapabilitySet::singleton(Capability::new(0)),
-            1.0,
-        );
+        // Overlapping two-class capability sets over classes {0, 1, 2}, so
+        // both the single-capability fast path and the All/Any merges see
+        // non-trivial postings lists.
+        let caps = CapabilitySet::from_capabilities([
+            Capability::new((p % 3) as u8),
+            Capability::new(((p + 1) % 3) as u8),
+        ]);
+        mediator.register_provider(ProviderId::new(p), caps, 1.0);
     }
     mediator.register_consumer(ConsumerId::new(1));
     let oracle = StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
 
-    // Warm-up: fill every satisfaction window and grow all scratch buffers.
+    // Warm-up: fill every satisfaction window and grow all scratch buffers,
+    // including the registry's merge scratch.
     for id in 0..2_000u64 {
         mediator.submit_in_place(&query(id), &oracle).unwrap();
+        mediator.submit_in_place(&multi_query(id), &oracle).unwrap();
     }
     let batch: Vec<Query> = (10_000..10_064u64).map(query).collect();
+    let multi_batch: Vec<Query> = (20_000..20_064u64).map(multi_query).collect();
 
-    // Measured steady state.
+    // Measured steady state: the single-capability fast path…
     COUNTING.store(true, Ordering::SeqCst);
     for id in 2_000..3_000u64 {
         let decision = mediator.submit_in_place(&query(id), &oracle).unwrap();
@@ -80,9 +103,18 @@ fn steady_state_mediation_does_not_allocate() {
     let report = mediator.submit_batch(&batch, &oracle, |_, _, result| {
         assert!(result.is_ok());
     });
+    // …and the multi-capability merge path (intersections and unions).
+    for id in 3_000..4_000u64 {
+        let decision = mediator.submit_in_place(&multi_query(id), &oracle).unwrap();
+        assert_eq!(decision.selected.len(), 2);
+    }
+    let multi_report = mediator.submit_batch(&multi_batch, &oracle, |_, _, result| {
+        assert!(result.is_ok());
+    });
     COUNTING.store(false, Ordering::SeqCst);
 
     assert_eq!(report.mediated, batch.len());
+    assert_eq!(multi_report.mediated, multi_batch.len());
     let allocations = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
         allocations, 0,

@@ -52,9 +52,18 @@ impl ConsumerInteraction {
     }
 
     /// Per-query satisfaction `δs(c, q)` (Equation 1).
+    ///
+    /// The divisor is clamped to at least one even though
+    /// [`ConsumerInteraction::new`] already enforces `required_results ≥ 1`:
+    /// the fields are public and the record derives `Deserialize`, so a
+    /// record with `required_results == 0` can still be materialised. An
+    /// unguarded division would then yield `0/0 = NaN` or `sum/0 = ∞` —
+    /// which the [`Satisfaction`] clamp masks as *minimum* or *maximum*
+    /// satisfaction respectively, silently skewing every window mean
+    /// downstream instead of failing loudly.
     #[must_use]
     pub fn satisfaction(&self) -> Satisfaction {
-        let n = self.required_results as f64;
+        let n = self.required_results.max(1) as f64;
         let sum: f64 = self
             .performed_by
             .iter()
@@ -217,6 +226,49 @@ mod tests {
         let interaction =
             ConsumerInteraction::new(QueryId::new(1), 1, vec![(pid(1), Intention::new(-0.5))]);
         assert!((interaction.satisfaction().value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_required_results_cannot_skew_satisfaction() {
+        // `new` clamps, but the public fields and the serde path can still
+        // materialise a zero divisor; the satisfaction must stay finite and
+        // behave as if one result had been required.
+        let degenerate = ConsumerInteraction {
+            query: QueryId::new(1),
+            required_results: 0,
+            performed_by: vec![(pid(1), Intention::new(1.0))],
+        };
+        let s = degenerate.satisfaction().value();
+        assert!(s.is_finite());
+        assert!((s - 1.0).abs() < 1e-12, "behaves like required_results = 1");
+
+        let starved = ConsumerInteraction {
+            query: QueryId::new(2),
+            required_results: 0,
+            performed_by: vec![],
+        };
+        assert_eq!(starved.satisfaction(), Satisfaction::MIN);
+
+        // A degenerate record inside a window leaves the mean well-defined.
+        let mut sat = ConsumerSatisfaction::new(4);
+        sat.record(degenerate);
+        sat.record_outcome(QueryId::new(3), 1, &[(pid(2), Intention::new(0.0))]);
+        let mean = sat.satisfaction().value();
+        assert!(mean.is_finite());
+        assert!(
+            (mean - 0.75).abs() < 1e-12,
+            "mean over (1.0, 0.5), got {mean}"
+        );
+
+        // The serde round-trip preserves the zero and still cannot skew.
+        let text = serde::to_string(&ConsumerInteraction {
+            query: QueryId::new(4),
+            required_results: 0,
+            performed_by: vec![(pid(3), Intention::new(1.0))],
+        });
+        let back: ConsumerInteraction = serde::from_str(&text).unwrap();
+        assert_eq!(back.required_results, 0);
+        assert!((back.satisfaction().value() - 1.0).abs() < 1e-12);
     }
 
     #[test]

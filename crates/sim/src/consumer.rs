@@ -9,15 +9,21 @@
 use serde::{Deserialize, Serialize};
 
 use sbqa_core::intention::ConsumerProfile;
-use sbqa_types::{Capability, ConsumerId, VirtualTime};
+use sbqa_types::{Capability, CapabilityRequirement, CapabilitySet, ConsumerId, VirtualTime};
 
 /// Static description of a consumer in a scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConsumerSpec {
     /// The consumer's identity.
     pub id: ConsumerId,
-    /// The capability its queries require (defines `Pq`).
-    pub capability: Capability,
+    /// The base capability requirement of its queries (defines `Pq`). The
+    /// original single-capability consumers are the trivial `All{cap}` case.
+    pub requirement: CapabilityRequirement,
+    /// Additional capability classes its queries may require on top of the
+    /// base requirement, used by the workload model's multi-capability mix
+    /// (see [`WorkloadModel`](crate::workload::WorkloadModel)). Empty by
+    /// default: the consumer then always issues its base requirement.
+    pub extra_capabilities: CapabilitySet,
     /// Mean number of queries issued per virtual second.
     pub arrival_rate: f64,
     /// Mean size of a query in work units.
@@ -29,7 +35,9 @@ pub struct ConsumerSpec {
 }
 
 impl ConsumerSpec {
-    /// Creates a consumer spec with sanitised numeric fields.
+    /// Creates a single-capability consumer spec with sanitised numeric
+    /// fields — the original API surface, producing the trivial `All{cap}`
+    /// requirement.
     #[must_use]
     pub fn new(
         id: ConsumerId,
@@ -41,7 +49,8 @@ impl ConsumerSpec {
     ) -> Self {
         Self {
             id,
-            capability,
+            requirement: CapabilityRequirement::single(capability),
+            extra_capabilities: CapabilitySet::EMPTY,
             arrival_rate: if arrival_rate.is_finite() && arrival_rate > 0.0 {
                 arrival_rate
             } else {
@@ -55,6 +64,21 @@ impl ConsumerSpec {
             replication: replication.max(1),
             profile,
         }
+    }
+
+    /// Builder-style override of the base capability requirement.
+    #[must_use]
+    pub fn with_requirement(mut self, requirement: CapabilityRequirement) -> Self {
+        self.requirement = requirement;
+        self
+    }
+
+    /// Builder-style override of the extra capability classes the workload
+    /// model may add to multi-capability queries.
+    #[must_use]
+    pub fn with_extra_capabilities(mut self, extra: CapabilitySet) -> Self {
+        self.extra_capabilities = extra;
+        self
     }
 }
 
@@ -133,11 +157,28 @@ mod tests {
         assert_eq!(s.arrival_rate, 1.0);
         assert_eq!(s.mean_work_units, 1.0);
         assert_eq!(s.replication, 1);
+        assert_eq!(
+            s.requirement,
+            sbqa_types::CapabilityRequirement::single(Capability::new(0))
+        );
+        assert!(s.extra_capabilities.is_empty());
 
         let ok = spec(2.5, 3.0, 2);
         assert_eq!(ok.arrival_rate, 2.5);
         assert_eq!(ok.mean_work_units, 3.0);
         assert_eq!(ok.replication, 2);
+    }
+
+    #[test]
+    fn requirement_and_extras_builders_apply() {
+        use sbqa_types::{CapabilityRequirement, CapabilitySet};
+
+        let set = CapabilitySet::from_capabilities([Capability::new(1), Capability::new(2)]);
+        let s = spec(1.0, 1.0, 1)
+            .with_requirement(CapabilityRequirement::Any(set))
+            .with_extra_capabilities(CapabilitySet::singleton(Capability::new(5)));
+        assert_eq!(s.requirement, CapabilityRequirement::Any(set));
+        assert!(s.extra_capabilities.contains(Capability::new(5)));
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! The workload model turns a [`ConsumerSpec`](crate::consumer::ConsumerSpec)
 //! into a stream of queries: exponential inter-arrival times (a Poisson
 //! process at the consumer's rate), exponentially-distributed work sizes
-//! around the consumer's mean, and a Short/Medium/Long class mix.
+//! around the consumer's mean, a Short/Medium/Long class mix, and —
+//! when the consumer declares extra capability classes — a configurable mix
+//! of single- and multi-capability requirements (`All`/`Any` semantics).
 
 use serde::{Deserialize, Serialize};
 
-use sbqa_types::{Duration, Query, QueryClass, QueryId, VirtualTime};
+use sbqa_types::{CapabilityRequirement, Duration, Query, QueryClass, QueryId, VirtualTime};
 
 use crate::consumer::ConsumerSpec;
 use crate::rng::SimRng;
@@ -21,6 +23,21 @@ pub struct WorkloadModel {
     pub long_fraction: f64,
     /// Lower bound on sampled work sizes, to avoid zero-length queries.
     pub min_work_units: f64,
+    /// Probability that a query widens its requirement to the consumer's
+    /// base classes *plus* its [`extra_capabilities`]. Only applies to
+    /// consumers that declare extra classes; at the default of `0.0` no RNG
+    /// is consumed and every query carries the consumer's base requirement,
+    /// so existing single-capability workloads are byte-identical.
+    ///
+    /// [`extra_capabilities`]: crate::consumer::ConsumerSpec::extra_capabilities
+    pub multi_capability_fraction: f64,
+    /// Among widened queries, the probability that the requirement is forced
+    /// to disjunctive (`Any`) semantics; otherwise a widened query keeps its
+    /// consumer's base semantics (conjunctive bases widen to `All`,
+    /// disjunctive bases to `Any` — widening never silently turns a
+    /// disjunctive consumer's queries into conjunctions). At `0.0` no RNG is
+    /// consumed for the choice.
+    pub any_semantics_fraction: f64,
 }
 
 impl Default for WorkloadModel {
@@ -29,6 +46,8 @@ impl Default for WorkloadModel {
             short_fraction: 0.25,
             long_fraction: 0.25,
             min_work_units: 0.05,
+            multi_capability_fraction: 0.0,
+            any_semantics_fraction: 0.0,
         }
     }
 }
@@ -42,7 +61,19 @@ impl WorkloadModel {
             short_fraction: 0.0,
             long_fraction: 0.0,
             min_work_units: 0.0,
+            multi_capability_fraction: 0.0,
+            any_semantics_fraction: 0.0,
         }
+    }
+
+    /// Builder-style override of the multi-capability query mix: `multi` is
+    /// the probability that a query widens to the consumer's extra classes,
+    /// `any` the probability that a widened query uses `Any` semantics.
+    #[must_use]
+    pub fn with_multi_capability_mix(mut self, multi: f64, any: f64) -> Self {
+        self.multi_capability_fraction = multi.clamp(0.0, 1.0);
+        self.any_semantics_fraction = any.clamp(0.0, 1.0);
+        self
     }
 
     /// Samples the delay until a consumer's next query.
@@ -66,6 +97,34 @@ impl WorkloadModel {
         }
     }
 
+    /// Samples the capability requirement of a consumer's next query.
+    ///
+    /// Consumers without extra capability classes (and workloads with the
+    /// mix disabled) always get the base requirement *without consuming any
+    /// randomness*, which keeps pre-existing single-capability workloads
+    /// byte-identical per seed.
+    #[must_use]
+    pub fn sample_requirement(
+        &self,
+        spec: &ConsumerSpec,
+        rng: &mut SimRng,
+    ) -> CapabilityRequirement {
+        if self.multi_capability_fraction <= 0.0 || spec.extra_capabilities.is_empty() {
+            return spec.requirement;
+        }
+        if rng.uniform() >= self.multi_capability_fraction {
+            return spec.requirement;
+        }
+        let widened = spec.requirement.classes().union(spec.extra_capabilities);
+        let force_any =
+            self.any_semantics_fraction > 0.0 && rng.uniform() < self.any_semantics_fraction;
+        if force_any || !spec.requirement.is_conjunctive() {
+            CapabilityRequirement::Any(widened)
+        } else {
+            CapabilityRequirement::All(widened)
+        }
+    }
+
     /// Builds the next query for a consumer.
     #[must_use]
     pub fn next_query(
@@ -84,7 +143,7 @@ impl WorkloadModel {
             rng.exponential(1.0 / spec.mean_work_units)
                 .max(self.min_work_units)
         };
-        Query::builder(id, spec.id, spec.capability)
+        Query::requiring(id, spec.id, self.sample_requirement(spec, rng))
             .replication(spec.replication)
             .work_units(work)
             .class(self.sample_class(rng))
@@ -123,7 +182,10 @@ mod tests {
         assert_eq!(q.work_units, 3.0);
         assert_eq!(q.class, QueryClass::Medium);
         assert_eq!(q.replication, 2);
-        assert_eq!(q.required_capability, Capability::new(3));
+        assert_eq!(
+            q.required,
+            sbqa_types::CapabilityRequirement::single(Capability::new(3))
+        );
         assert_eq!(q.issued_at, VirtualTime::new(5.0));
     }
 
@@ -159,11 +221,102 @@ mod tests {
     }
 
     #[test]
+    fn default_mix_never_widens_requirements_or_consumes_rng() {
+        let with_extras = spec(1.0, 1.0)
+            .with_extra_capabilities(sbqa_types::CapabilitySet::singleton(Capability::new(7)));
+        let plain = spec(1.0, 1.0);
+        let model = WorkloadModel::default();
+
+        // Identical RNG streams must yield identical queries whether or not
+        // the consumer declares extras, because the disabled mix draws
+        // nothing: pre-existing workloads stay byte-identical per seed.
+        let mut rng_a = SimRng::new(11);
+        let mut rng_b = SimRng::new(11);
+        for i in 0..200u64 {
+            let qa = model.next_query(QueryId::new(i), &with_extras, VirtualTime::ZERO, &mut rng_a);
+            let qb = model.next_query(QueryId::new(i), &plain, VirtualTime::ZERO, &mut rng_b);
+            assert_eq!(qa.required, with_extras.requirement);
+            assert_eq!(qa.work_units, qb.work_units);
+            assert_eq!(qa.class, qb.class);
+        }
+    }
+
+    #[test]
+    fn multi_capability_mix_widens_with_configured_semantics() {
+        use sbqa_types::{CapabilityRequirement, CapabilitySet};
+
+        let extras = CapabilitySet::from_capabilities([Capability::new(7), Capability::new(9)]);
+        let s = spec(1.0, 1.0).with_extra_capabilities(extras);
+        let widened = s.requirement.classes().union(extras);
+        let model = WorkloadModel::default().with_multi_capability_mix(0.6, 0.5);
+        let mut rng = SimRng::new(5);
+
+        let n = 20_000;
+        let mut single = 0usize;
+        let mut all = 0usize;
+        let mut any = 0usize;
+        for i in 0..n {
+            let q = model.next_query(QueryId::new(i as u64), &s, VirtualTime::ZERO, &mut rng);
+            match q.required {
+                req if req == s.requirement => single += 1,
+                CapabilityRequirement::All(set) => {
+                    assert_eq!(set, widened);
+                    all += 1;
+                }
+                CapabilityRequirement::Any(set) => {
+                    assert_eq!(set, widened);
+                    any += 1;
+                }
+            }
+        }
+        // 40% single, 30% All-widened, 30% Any-widened (±2 points).
+        assert!(
+            (single as f64 / n as f64 - 0.4).abs() < 0.02,
+            "single {single}"
+        );
+        assert!((all as f64 / n as f64 - 0.3).abs() < 0.02, "all {all}");
+        assert!((any as f64 / n as f64 - 0.3).abs() < 0.02, "any {any}");
+    }
+
+    #[test]
+    fn widening_preserves_a_disjunctive_base() {
+        use sbqa_types::{CapabilityRequirement, CapabilitySet};
+
+        // A consumer whose base requirement is already disjunctive: widened
+        // queries must stay disjunctive (never silently flip to `All`, which
+        // would be strictly *stricter* than the base requirement).
+        let base = CapabilityRequirement::Any(CapabilitySet::from_capabilities([
+            Capability::new(1),
+            Capability::new(2),
+        ]));
+        let extras = CapabilitySet::singleton(Capability::new(3));
+        let s = spec(1.0, 1.0)
+            .with_requirement(base)
+            .with_extra_capabilities(extras);
+        let widened = base.classes().union(extras);
+        // any_semantics_fraction 0.0: the base semantics decide alone.
+        let model = WorkloadModel::default().with_multi_capability_mix(1.0, 0.0);
+        let mut rng = SimRng::new(9);
+        for i in 0..200u64 {
+            let q = model.next_query(QueryId::new(i), &s, VirtualTime::ZERO, &mut rng);
+            assert_eq!(q.required, CapabilityRequirement::Any(widened));
+        }
+    }
+
+    #[test]
+    fn mix_fractions_are_clamped() {
+        let model = WorkloadModel::default().with_multi_capability_mix(7.0, -3.0);
+        assert_eq!(model.multi_capability_fraction, 1.0);
+        assert_eq!(model.any_semantics_fraction, 0.0);
+    }
+
+    #[test]
     fn class_mix_follows_configured_fractions() {
         let model = WorkloadModel {
             short_fraction: 0.5,
             long_fraction: 0.3,
             min_work_units: 0.01,
+            ..WorkloadModel::default()
         };
         let mut rng = SimRng::new(4);
         let n = 20_000;

@@ -4,9 +4,10 @@
 //! set `Pq` of providers *able* to perform it. How that set is obtained is
 //! orthogonal to the allocation process (in BOINC it is "every volunteer that
 //! installed the project's application"); we model it with a small capability
-//! system: each provider advertises a [`CapabilitySet`], each query requires a
-//! single [`Capability`], and `Pq` is the set of providers whose capability
-//! set contains the requirement.
+//! system: each provider advertises a [`CapabilitySet`], each query carries a
+//! [`CapabilityRequirement`] — conjunctive ([`CapabilityRequirement::All`])
+//! or disjunctive ([`CapabilityRequirement::Any`]) over a capability set —
+//! and `Pq` is the set of providers whose capability set satisfies it.
 //!
 //! Capability classes are small integers, so membership checks are a bitmask
 //! test and sets are `Copy`.
@@ -140,6 +141,19 @@ impl CapabilitySet {
         CapabilitySet(self.0 & other.0)
     }
 
+    /// The raw 64-bit mask (bit `i` set ⇔ class `i` is in the set). Useful
+    /// as a compact map key when counting providers per capability profile.
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a set from a raw mask produced by [`CapabilitySet::bits`].
+    #[must_use]
+    pub const fn from_bits(bits: u64) -> Self {
+        Self(bits)
+    }
+
     /// Iterates over the capabilities in ascending class order.
     pub fn iter(self) -> impl Iterator<Item = Capability> {
         (0..MAX_CAPABILITY_CLASSES).filter_map(move |class| {
@@ -171,6 +185,83 @@ impl fmt::Display for CapabilitySet {
             first = false;
         }
         write!(f, "}}")
+    }
+}
+
+/// What a query demands from a provider's advertised [`CapabilitySet`].
+///
+/// The single-capability queries of the original model are the trivial
+/// one-bit case ([`CapabilityRequirement::single`]); multi-capability queries
+/// either require every listed class (`All`, conjunctive — "can run the
+/// application *and* has the dataset") or at least one of them (`Any`,
+/// disjunctive — "speaks one of these protocols").
+///
+/// Degenerate empty sets follow the usual quantifier semantics: `All` over
+/// the empty set is satisfied by every provider, `Any` over the empty set by
+/// none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CapabilityRequirement {
+    /// The provider must advertise every capability in the set.
+    All(CapabilitySet),
+    /// The provider must advertise at least one capability in the set.
+    Any(CapabilitySet),
+}
+
+impl CapabilityRequirement {
+    /// The requirement equivalent to the original single-capability model.
+    #[must_use]
+    pub fn single(cap: Capability) -> Self {
+        CapabilityRequirement::All(CapabilitySet::singleton(cap))
+    }
+
+    /// The capability classes the requirement mentions.
+    #[must_use]
+    pub const fn classes(self) -> CapabilitySet {
+        match self {
+            CapabilityRequirement::All(set) | CapabilityRequirement::Any(set) => set,
+        }
+    }
+
+    /// `true` if a provider advertising `caps` satisfies the requirement.
+    #[must_use]
+    pub const fn matched_by(self, caps: CapabilitySet) -> bool {
+        match self {
+            CapabilityRequirement::All(set) => caps.is_superset_of(set),
+            CapabilityRequirement::Any(set) => !caps.intersection(set).is_empty(),
+        }
+    }
+
+    /// The single required capability, when the requirement is the trivial
+    /// one-bit case (`All` and `Any` coincide on singletons).
+    #[must_use]
+    pub fn as_single(self) -> Option<Capability> {
+        let set = self.classes();
+        if set.len() == 1 {
+            set.iter().next()
+        } else {
+            None
+        }
+    }
+
+    /// `true` for conjunctive (`All`) semantics.
+    #[must_use]
+    pub const fn is_conjunctive(self) -> bool {
+        matches!(self, CapabilityRequirement::All(_))
+    }
+}
+
+impl From<Capability> for CapabilityRequirement {
+    fn from(cap: Capability) -> Self {
+        Self::single(cap)
+    }
+}
+
+impl fmt::Display for CapabilityRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapabilityRequirement::All(set) => write!(f, "all{set}"),
+            CapabilityRequirement::Any(set) => write!(f, "any{set}"),
+        }
     }
 }
 
@@ -224,7 +315,79 @@ mod tests {
         assert_eq!(set.to_string(), "{cap2, cap9, cap40}");
     }
 
+    #[test]
+    fn requirement_matching_follows_quantifier_semantics() {
+        let caps = CapabilitySet::from_capabilities([Capability::new(0), Capability::new(2)]);
+        let both = CapabilitySet::from_capabilities([Capability::new(0), Capability::new(2)]);
+        let mixed = CapabilitySet::from_capabilities([Capability::new(2), Capability::new(5)]);
+        let disjoint = CapabilitySet::singleton(Capability::new(7));
+
+        assert!(CapabilityRequirement::All(caps).matched_by(both));
+        assert!(!CapabilityRequirement::All(caps).matched_by(mixed));
+        assert!(CapabilityRequirement::Any(caps).matched_by(mixed));
+        assert!(!CapabilityRequirement::Any(caps).matched_by(disjoint));
+
+        // Empty sets: All matches everything, Any matches nothing.
+        assert!(CapabilityRequirement::All(CapabilitySet::EMPTY).matched_by(disjoint));
+        assert!(!CapabilityRequirement::Any(CapabilitySet::EMPTY).matched_by(disjoint));
+    }
+
+    #[test]
+    fn requirement_singleton_case_is_the_original_model() {
+        let cap = Capability::new(3);
+        let req = CapabilityRequirement::single(cap);
+        assert!(req.is_conjunctive());
+        assert_eq!(req.as_single(), Some(cap));
+        assert_eq!(CapabilityRequirement::from(cap), req);
+        assert!(req.matched_by(CapabilitySet::singleton(cap)));
+        assert!(!req.matched_by(CapabilitySet::singleton(Capability::new(4))));
+        // Singletons make All and Any coincide.
+        let any = CapabilityRequirement::Any(CapabilitySet::singleton(cap));
+        assert_eq!(any.as_single(), Some(cap));
+        for caps in [CapabilitySet::EMPTY, CapabilitySet::ALL] {
+            assert_eq!(req.matched_by(caps), any.matched_by(caps));
+        }
+        // Multi-class requirements are not singletons.
+        let multi = CapabilityRequirement::All(CapabilitySet::from_capabilities([
+            Capability::new(0),
+            Capability::new(1),
+        ]));
+        assert_eq!(multi.as_single(), None);
+        assert_eq!(multi.to_string(), "all{cap0, cap1}");
+        assert_eq!(
+            CapabilityRequirement::Any(multi.classes()).to_string(),
+            "any{cap0, cap1}"
+        );
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let set = CapabilitySet::from_capabilities([Capability::new(1), Capability::new(63)]);
+        assert_eq!(CapabilitySet::from_bits(set.bits()), set);
+    }
+
     proptest! {
+        #[test]
+        fn prop_requirement_matches_bruteforce(
+            req_classes in proptest::collection::vec(0u8..64, 0..6),
+            cap_classes in proptest::collection::vec(0u8..64, 0..10),
+            conjunctive in proptest::bool::ANY,
+        ) {
+            let set = CapabilitySet::from_capabilities(req_classes.iter().copied().map(Capability::new));
+            let caps = CapabilitySet::from_capabilities(cap_classes.iter().copied().map(Capability::new));
+            let req = if conjunctive {
+                CapabilityRequirement::All(set)
+            } else {
+                CapabilityRequirement::Any(set)
+            };
+            let expected = if conjunctive {
+                set.iter().all(|c| caps.contains(c))
+            } else {
+                set.iter().any(|c| caps.contains(c))
+            };
+            prop_assert_eq!(req.matched_by(caps), expected);
+        }
+
         #[test]
         fn prop_insert_then_contains(classes in proptest::collection::vec(0u8..64, 0..20)) {
             let caps: Vec<Capability> = classes.iter().copied().map(Capability::new).collect();

@@ -28,7 +28,7 @@ pub mod query;
 pub mod satisfaction_value;
 pub mod time;
 
-pub use capability::{Capability, CapabilitySet, MAX_CAPABILITY_CLASSES};
+pub use capability::{Capability, CapabilityRequirement, CapabilitySet, MAX_CAPABILITY_CLASSES};
 pub use config::{AllocationPolicyKind, OmegaPolicy, SystemConfig};
 pub use error::{SbqaError, SbqaResult};
 pub use id::{ConsumerId, IdGenerator, ParticipantId, ProviderId, QueryId};

@@ -6,7 +6,8 @@
 //!
 //! * which consumer issued it ([`Query::consumer`]),
 //! * which providers are able to perform it (derived from
-//!   [`Query::required_capability`]),
+//!   [`Query::required`], a conjunctive or disjunctive
+//!   [`CapabilityRequirement`] over capability classes),
 //! * how many providers must perform it ([`Query::replication`] — BOINC
 //!   consumers replicate work units to validate results from possibly
 //!   malicious volunteers; the paper calls this `q.n`),
@@ -15,7 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::capability::Capability;
+use crate::capability::{Capability, CapabilityRequirement};
 use crate::id::{ConsumerId, ProviderId, QueryId};
 use crate::time::{Duration, VirtualTime};
 
@@ -59,8 +60,10 @@ pub struct Query {
     pub id: QueryId,
     /// The consumer that issued the query (written `q.c` in the paper).
     pub consumer: ConsumerId,
-    /// The capability a provider must advertise to belong to `Pq`.
-    pub required_capability: Capability,
+    /// What a provider must advertise to belong to `Pq`: all of a capability
+    /// set, or any of it. Single-capability queries are the trivial one-bit
+    /// case, [`CapabilityRequirement::single`].
+    pub required: CapabilityRequirement,
     /// Number of providers that must perform the query (written `q.n`).
     ///
     /// This is the replication factor used by BOINC-style result validation;
@@ -77,10 +80,22 @@ pub struct Query {
 }
 
 impl Query {
-    /// Starts building a query; see [`QueryBuilder`].
+    /// Starts building a single-capability query; see [`QueryBuilder`]. This
+    /// is the original API surface — existing call sites keep compiling and
+    /// produce the trivial `All{cap}` requirement.
     #[must_use]
     pub fn builder(id: QueryId, consumer: ConsumerId, capability: Capability) -> QueryBuilder {
         QueryBuilder::new(id, consumer, capability)
+    }
+
+    /// Starts building a query with an explicit [`CapabilityRequirement`].
+    #[must_use]
+    pub fn requiring(
+        id: QueryId,
+        consumer: ConsumerId,
+        required: CapabilityRequirement,
+    ) -> QueryBuilder {
+        QueryBuilder::requiring(id, consumer, required)
     }
 
     /// Service time of this query on a provider with the given capacity
@@ -103,7 +118,7 @@ impl Query {
 pub struct QueryBuilder {
     id: QueryId,
     consumer: ConsumerId,
-    required_capability: Capability,
+    required: CapabilityRequirement,
     replication: usize,
     work_units: f64,
     class: QueryClass,
@@ -111,18 +126,32 @@ pub struct QueryBuilder {
 }
 
 impl QueryBuilder {
-    /// Creates a builder with default work size and replication.
+    /// Creates a builder for a single-capability query with default work size
+    /// and replication.
     #[must_use]
     pub fn new(id: QueryId, consumer: ConsumerId, capability: Capability) -> Self {
+        Self::requiring(id, consumer, CapabilityRequirement::single(capability))
+    }
+
+    /// Creates a builder with an explicit capability requirement.
+    #[must_use]
+    pub fn requiring(id: QueryId, consumer: ConsumerId, required: CapabilityRequirement) -> Self {
         Self {
             id,
             consumer,
-            required_capability: capability,
+            required,
             replication: 1,
             work_units: 1.0,
             class: QueryClass::Medium,
             issued_at: VirtualTime::ZERO,
         }
+    }
+
+    /// Replaces the capability requirement.
+    #[must_use]
+    pub fn require(mut self, required: CapabilityRequirement) -> Self {
+        self.required = required;
+        self
     }
 
     /// Sets the replication factor (`q.n`). Values below 1 are raised to 1.
@@ -164,7 +193,7 @@ impl QueryBuilder {
         Query {
             id: self.id,
             consumer: self.consumer,
-            required_capability: self.required_capability,
+            required: self.required,
             replication: self.replication,
             work_units: self.work_units * self.class.work_factor(),
             class: self.class,
@@ -228,6 +257,33 @@ mod tests {
         assert_eq!(q.replication, 3);
         assert_eq!(q.work_units, 10.0);
         assert_eq!(q.issued_at, VirtualTime::new(5.0));
+        // The single-capability shim produces the trivial requirement.
+        assert_eq!(
+            q.required,
+            crate::capability::CapabilityRequirement::single(Capability::new(0))
+        );
+        assert_eq!(q.required.as_single(), Some(Capability::new(0)));
+    }
+
+    #[test]
+    fn builder_supports_multi_capability_requirements() {
+        use crate::capability::{CapabilityRequirement, CapabilitySet};
+
+        let set = CapabilitySet::from_capabilities([Capability::new(1), Capability::new(4)]);
+        let q = Query::requiring(
+            QueryId::new(9),
+            ConsumerId::new(3),
+            CapabilityRequirement::Any(set),
+        )
+        .build();
+        assert_eq!(q.required, CapabilityRequirement::Any(set));
+        assert_eq!(q.required.as_single(), None);
+
+        // `require` overrides the builder shim's singleton.
+        let q = Query::builder(QueryId::new(9), ConsumerId::new(3), Capability::new(0))
+            .require(CapabilityRequirement::All(set))
+            .build();
+        assert_eq!(q.required, CapabilityRequirement::All(set));
     }
 
     #[test]

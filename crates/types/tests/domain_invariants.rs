@@ -77,6 +77,26 @@ proptest! {
     }
 
     #[test]
+    fn capability_requirements_round_trip_through_serde(
+        classes in proptest::collection::vec(0u8..64, 0..12),
+        conjunctive in proptest::bool::ANY,
+    ) {
+        use sbqa_types::CapabilityRequirement;
+
+        let set = CapabilitySet::from_capabilities(classes.iter().copied().map(Capability::new));
+        let requirement = if conjunctive {
+            CapabilityRequirement::All(set)
+        } else {
+            CapabilityRequirement::Any(set)
+        };
+        prop_assert_eq!(round_trip(&requirement), requirement);
+
+        // A query carrying the requirement round-trips too.
+        let query = Query::requiring(QueryId::new(1), ConsumerId::new(2), requirement).build();
+        prop_assert_eq!(round_trip(&query).required, requirement);
+    }
+
+    #[test]
     fn queries_round_trip_through_serde(
         id in 0u64..1_000_000,
         consumer in 0u64..1_000_000,

@@ -24,11 +24,15 @@ echo "== examples and benches compile"
 cargo build --examples
 cargo bench --no-run -p sbqa_bench
 
-echo "== bench smoke: scenario1 --quick and the registry bench"
+echo "== bench smoke: scenario1 --quick, scenario_multicap --quick and the registry bench"
 # Exercises the allocation hot path end-to-end (golden-output protected by
-# tests/golden_scenario1.rs) and the capability-index micro-bench, so a
-# hot-path regression that only shows up at runtime still fails CI.
+# tests/golden_scenario1.rs), the multi-capability postings-merge path
+# (golden-output protected by tests/golden_multicap.rs), and the
+# capability-index micro-bench — whose candidates/* series cover single-cap
+# lookup vs 2- and 4-way All/Any merges — so a hot-path regression that only
+# shows up at runtime still fails CI.
 cargo run --release -p sbqa_bench --bin scenario1 -- --quick > /dev/null
+cargo run --release -p sbqa_bench --bin scenario_multicap -- --quick > /dev/null
 cargo bench -p sbqa_bench --bench registry > /dev/null
 
 echo "CI OK"

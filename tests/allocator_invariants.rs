@@ -6,10 +6,11 @@ use proptest::prelude::*;
 
 use sbqa::baselines::build_allocator;
 use sbqa::core::allocator::{Candidates, ProviderSnapshot, StaticIntentions};
+use sbqa::core::ProviderRegistry;
 use sbqa::satisfaction::SatisfactionRegistry;
 use sbqa::types::{
-    AllocationPolicyKind, Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query,
-    QueryId, SystemConfig,
+    AllocationPolicyKind, Capability, CapabilityRequirement, CapabilitySet, ConsumerId, Intention,
+    ProviderId, Query, QueryId, SystemConfig,
 };
 
 fn candidates(utilizations: &[f64]) -> Vec<ProviderSnapshot> {
@@ -122,6 +123,70 @@ proptest! {
             .map(relative)
             .fold(f64::INFINITY, f64::min);
         prop_assert!(chosen_rel <= best + 1e-9);
+    }
+
+    /// Every technique — SbQA and all five baselines — honours
+    /// multi-capability requirements when fed the registry's merged
+    /// candidate view: whatever providers it selects satisfy the query's
+    /// `All`/`Any` requirement, and selections stay within the merged set.
+    #[test]
+    fn all_techniques_honour_multi_capability_requirements(
+        masks in proptest::collection::vec(1u8..16, 2..30),
+        req_mask in 1u8..16,
+        conjunctive in proptest::bool::ANY,
+        replication in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let capability_set = |mask: u8| {
+            CapabilitySet::from_capabilities(
+                (0..4u8).filter(|class| mask & (1 << class) != 0).map(Capability::new),
+            )
+        };
+        let mut registry = ProviderRegistry::new();
+        for (i, mask) in masks.iter().enumerate() {
+            registry.register(ProviderId::new(i as u64), capability_set(*mask), 1.0 + (i % 3) as f64);
+        }
+        let set = capability_set(req_mask);
+        let required = if conjunctive {
+            CapabilityRequirement::All(set)
+        } else {
+            CapabilityRequirement::Any(set)
+        };
+        let q = Query::requiring(QueryId::new(7), ConsumerId::new(1), required)
+            .replication(replication)
+            .build();
+
+        let config = SystemConfig::default();
+        let satisfaction = SatisfactionRegistry::new(config.satisfaction_window);
+        let oracle = StaticIntentions::new()
+            .with_defaults(Intention::new(0.4), Intention::new(0.2));
+
+        let merged = registry.capable_of(&q);
+        for kind in AllocationPolicyKind::all() {
+            let mut allocator = build_allocator(kind, &config, seed).unwrap();
+            let result = allocator.allocate(
+                &q,
+                Candidates::from_slice(&merged),
+                &oracle,
+                &satisfaction,
+            );
+            if merged.is_empty() {
+                prop_assert!(result.is_err(), "{} mediated an empty Pq", kind.label());
+                continue;
+            }
+            let decision = result.unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            prop_assert!(!decision.is_starved(), "{} starved", kind.label());
+            for id in &decision.selected {
+                let snapshot = merged
+                    .iter()
+                    .find(|s| s.id == *id)
+                    .unwrap_or_else(|| panic!("{}: {id} outside merged Pq", kind.label()));
+                prop_assert!(
+                    snapshot.can_perform(&q),
+                    "{}: selected {id} cannot perform {}", kind.label(), required
+                );
+            }
+        }
     }
 
     /// The SbQA decision's ω always lies in [0, 1] and its scores are finite,

@@ -10,7 +10,8 @@
 
 use sbqa::core::{Mediator, StaticIntentions};
 use sbqa::types::{
-    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+    Capability, CapabilityRequirement, CapabilitySet, ConsumerId, Intention, ProviderId, Query,
+    QueryId, SystemConfig,
 };
 
 const PROVIDERS: u64 = 200;
@@ -40,12 +41,29 @@ fn query(id: u64) -> Query {
     .build()
 }
 
+/// A workload that alternates single-capability queries with conjunctive and
+/// disjunctive multi-capability ones, so the trace covers the borrowed fast
+/// path, the postings intersection and the postings union.
+fn multicap_query(id: u64) -> Query {
+    let a = Capability::new((id % 4) as u8);
+    let b = Capability::new(((id + 1) % 4) as u8);
+    let set = CapabilitySet::from_capabilities([a, b]);
+    let required = match id % 3 {
+        0 => CapabilityRequirement::single(a),
+        1 => CapabilityRequirement::All(set),
+        _ => CapabilityRequirement::Any(set),
+    };
+    Query::requiring(QueryId::new(id), ConsumerId::new(1), required)
+        .replication(1 + (id % 2) as usize)
+        .build()
+}
+
 /// Renders the full selection trace of one run as a byte string.
-fn selection_trace(mediator: &mut Mediator) -> String {
+fn trace_with(mediator: &mut Mediator, make_query: impl Fn(u64) -> Query) -> String {
     let oracle = StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
     let mut trace = String::new();
     for id in 0..QUERIES {
-        let q = query(id);
+        let q = make_query(id);
         match mediator.submit_in_place(&q, &oracle) {
             Ok(decision) => {
                 trace.push_str(&format!("{id}:"));
@@ -58,6 +76,10 @@ fn selection_trace(mediator: &mut Mediator) -> String {
         trace.push('\n');
     }
     trace
+}
+
+fn selection_trace(mediator: &mut Mediator) -> String {
+    trace_with(mediator, query)
 }
 
 #[test]
@@ -87,6 +109,72 @@ fn different_seeds_diverge() {
     let mut a = mediator_with_registration_order(1, 0..PROVIDERS);
     let mut b = mediator_with_registration_order(2, 0..PROVIDERS);
     assert_ne!(selection_trace(&mut a), selection_trace(&mut b));
+}
+
+/// Like [`mediator_with_registration_order`], but providers advertise
+/// overlapping two-class capability sets so multi-capability merges are
+/// non-trivial (every `All`/`Any` pair over classes 0..4 has candidates).
+fn multicap_mediator(seed: u64, ids: impl Iterator<Item = u64>) -> Mediator {
+    let config = SystemConfig::default().with_knbest(20, 4);
+    let mut mediator = Mediator::sbqa(config, seed).unwrap();
+    for p in ids {
+        let caps = CapabilitySet::from_capabilities([
+            Capability::new((p % 4) as u8),
+            Capability::new(((p + 1) % 4) as u8),
+        ]);
+        mediator.register_provider(ProviderId::new(p), caps, 1.0 + (p % 3) as f64);
+    }
+    mediator.register_consumer(ConsumerId::new(1));
+    mediator
+}
+
+#[test]
+fn multi_capability_merges_are_byte_identical_across_orders() {
+    let mut forward = multicap_mediator(42, 0..PROVIDERS);
+    let mut reversed = multicap_mediator(42, (0..PROVIDERS).rev());
+    let interleaved = (0..PROVIDERS / 2).flat_map(|i| [i, PROVIDERS - 1 - i]);
+    let mut shuffled = multicap_mediator(42, interleaved);
+
+    let reference = trace_with(&mut forward, multicap_query);
+    assert_eq!(
+        reference,
+        trace_with(&mut reversed, multicap_query),
+        "registration order must not influence merged candidate sets"
+    );
+    assert_eq!(
+        reference,
+        trace_with(&mut shuffled, multicap_query),
+        "registration order must not influence merged candidate sets"
+    );
+    // The workload genuinely mediates (no silent all-starved trace).
+    assert!(!reference.contains("starved"));
+}
+
+#[test]
+fn multi_capability_churn_preserves_determinism() {
+    // Toggling providers offline and back re-inserts postings entries in
+    // id-sorted positions; unregistering compacts the slab with swap-remove.
+    // Neither may change what a merged Pq looks like to the allocator.
+    let build = |churn: &[u64]| {
+        let mut mediator = multicap_mediator(7, 0..PROVIDERS);
+        for &p in churn {
+            mediator
+                .set_provider_online(ProviderId::new(p), false)
+                .unwrap();
+        }
+        for &p in churn {
+            mediator
+                .set_provider_online(ProviderId::new(p), true)
+                .unwrap();
+        }
+        mediator
+    };
+    let mut a = build(&[5, 10, 20, 40, 80]);
+    let mut b = build(&[80, 40, 20, 10, 5]);
+    assert_eq!(
+        trace_with(&mut a, multicap_query),
+        trace_with(&mut b, multicap_query)
+    );
 }
 
 #[test]

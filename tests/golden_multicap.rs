@@ -1,0 +1,135 @@
+//! Golden-output regression test for a multi-capability workload.
+//!
+//! The single-capability golden (`tests/golden_scenario1.rs`) cannot see the
+//! postings-merge path at all, so this test pins a small simulation whose
+//! queries mix the borrowed fast path with `All` intersections and `Any`
+//! unions (via the workload model's multi-capability mix) over a provider
+//! population with skewed, overlapping capability sets. If a change
+//! legitimately alters the merge or the RNG consumption pattern, re-pin the
+//! constants deliberately using the dump this test prints.
+
+use sbqa::core::intention::{ConsumerProfile, ProviderProfile};
+use sbqa::core::SbqaAllocator;
+use sbqa::sim::{
+    ConsumerSpec, NetworkConfig, ProviderSpec, SimulationBuilder, SimulationConfig, WorkloadModel,
+};
+use sbqa::types::{
+    Capability, CapabilityRequirement, CapabilitySet, ConsumerId, ProviderId, SystemConfig,
+};
+
+/// Expected outcome: (queries issued, completed, starved, total performed,
+/// mean consumer satisfaction, mean provider satisfaction).
+const GOLDEN: (u64, u64, u64, u64, f64, f64) = (367, 367, 0, 454, 0.500000000000, 0.568750000000);
+
+fn set(classes: &[u8]) -> CapabilitySet {
+    CapabilitySet::from_capabilities(classes.iter().copied().map(Capability::new))
+}
+
+/// A 30-provider population with skewed class coverage: class 0 is common,
+/// class 1 moderate, class 2 rare — so intersections are much smaller than
+/// unions and the merge order matters.
+fn providers() -> Vec<ProviderSpec> {
+    (0..30u64)
+        .map(|i| {
+            let caps = match i % 10 {
+                0..=4 => set(&[0]),
+                5..=6 => set(&[0, 1]),
+                7..=8 => set(&[1, 2]),
+                _ => set(&[0, 1, 2]),
+            };
+            ProviderSpec::new(
+                ProviderId::new(100 + i),
+                caps,
+                1.0 + (i % 3) as f64,
+                ProviderProfile::default(),
+            )
+        })
+        .collect()
+}
+
+fn consumers() -> Vec<ConsumerSpec> {
+    vec![
+        // Base single-capability consumer whose queries sometimes widen to
+        // All{0,1} / Any{0,1} through the workload mix.
+        ConsumerSpec::new(
+            ConsumerId::new(1),
+            Capability::new(0),
+            2.0,
+            0.5,
+            1,
+            ConsumerProfile::default(),
+        )
+        .with_extra_capabilities(set(&[1])),
+        // A consumer whose base requirement is already a conjunction over the
+        // rare intersection {1, 2}.
+        ConsumerSpec::new(
+            ConsumerId::new(2),
+            Capability::new(1),
+            1.0,
+            0.5,
+            2,
+            ConsumerProfile::default(),
+        )
+        .with_requirement(CapabilityRequirement::All(set(&[1, 2]))),
+        // A disjunctive consumer: anyone speaking class 0 or class 2 will do.
+        ConsumerSpec::new(
+            ConsumerId::new(3),
+            Capability::new(2),
+            1.5,
+            0.5,
+            1,
+            ConsumerProfile::default(),
+        )
+        .with_requirement(CapabilityRequirement::Any(set(&[0, 2]))),
+    ]
+}
+
+#[test]
+fn multicap_workload_seed42_matches_golden_outputs() {
+    let config = SimulationConfig {
+        system: SystemConfig::default().with_knbest(10, 4),
+        duration: 80.0,
+        sample_interval: 10.0,
+        network: NetworkConfig::instantaneous(),
+        ..SimulationConfig::default()
+    }
+    .with_seed(42);
+
+    let report = SimulationBuilder::new(config.clone())
+        .allocator(Box::new(
+            SbqaAllocator::new(config.system.clone(), config.seed).unwrap(),
+        ))
+        .consumers(consumers())
+        .providers(providers())
+        .workload(WorkloadModel::default().with_multi_capability_mix(0.5, 0.4))
+        .run()
+        .unwrap();
+
+    let total_performed: u64 = report.queries_per_provider.iter().map(|(_, n)| n).sum();
+    // On drift, this dump is the replacement for the GOLDEN tuple.
+    println!(
+        "({}, {}, {}, {}, {:.12}, {:.12})",
+        report.queries_issued,
+        report.response.completed(),
+        report.response.starved(),
+        total_performed,
+        report.satisfaction.mean_consumer_satisfaction(),
+        report.satisfaction.mean_provider_satisfaction(),
+    );
+
+    let (issued, completed, starved, performed, consumer_sat, provider_sat) = GOLDEN;
+    assert_eq!(report.queries_issued, issued, "queries issued");
+    assert_eq!(report.response.completed(), completed, "completed");
+    assert_eq!(report.response.starved(), starved, "starved");
+    assert_eq!(total_performed, performed, "selection counts");
+    assert!(
+        (report.satisfaction.mean_consumer_satisfaction() - consumer_sat).abs() < 1e-9,
+        "mean consumer satisfaction drifted to {}",
+        report.satisfaction.mean_consumer_satisfaction()
+    );
+    assert!(
+        (report.satisfaction.mean_provider_satisfaction() - provider_sat).abs() < 1e-9,
+        "mean provider satisfaction drifted to {}",
+        report.satisfaction.mean_provider_satisfaction()
+    );
+}
