@@ -13,20 +13,14 @@
 
 use std::process::ExitCode;
 
-use sbqa_bench::HarnessOptions;
+use sbqa_bench::cli;
 use sbqa_boinc::{BoincPopulation, ScenarioId};
 use sbqa_core::SbqaAllocator;
 use sbqa_metrics::Table;
 use sbqa_sim::SimulationBuilder;
 
 fn main() -> ExitCode {
-    let options = match HarnessOptions::parse(std::env::args().skip(1)) {
-        Ok(options) => options,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let options = cli::parse_env_or_exit();
     let scenario = options.scenario(ScenarioId::S4);
     let population = BoincPopulation::generate(&scenario.population);
 

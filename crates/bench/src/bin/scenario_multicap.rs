@@ -19,7 +19,7 @@
 use std::process::ExitCode;
 
 use sbqa_baselines::build_allocator;
-use sbqa_bench::HarnessOptions;
+use sbqa_bench::{cli, HarnessOptions};
 use sbqa_core::intention::{ConsumerProfile, ProviderProfile};
 use sbqa_metrics::{CsvWriter, Table};
 use sbqa_sim::{
@@ -129,13 +129,7 @@ fn run_one(
 }
 
 fn main() -> ExitCode {
-    let options = match HarnessOptions::parse(std::env::args().skip(1)) {
-        Ok(options) => options,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let options = cli::parse_env_or_exit();
 
     let mut table = Table::new(
         "Scenario multicap — postings-merge Pq under skewed capability overlap",

@@ -1,0 +1,254 @@
+//! Sharded mediation service vs the single-mediator baseline.
+//!
+//! Not one of the paper's seven scenarios: this harness measures the
+//! mediation *service* itself. A deterministic open-loop query stream (four
+//! consumers with mixed single- and multi-capability requirements) is
+//! generated once, then driven
+//!
+//! * through one plain instrumented `Mediator` (the baseline row), and
+//! * through the sharded `MediationService` for each `--shards` count
+//!   (default `1,2,4,8`): providers hash-partitioned across the shards,
+//!   producers enqueueing `--batch`-sized chunks, one mediation thread per
+//!   shard.
+//!
+//! Reported per configuration: mediated/starved tallies, ingest-to-decision
+//! latency percentiles (p50/p95/p99, wall-clock) and aggregate throughput;
+//! plus a per-shard latency breakdown. Both sides measure the *same*
+//! quantity — availability → decision, queueing included: the service
+//! stamps queries at enqueue, the baseline stamps them at drain start (the
+//! whole open-loop stream is available up front). The run also *checks* the
+//! service's determinism contract: with one shard the outcome stream must
+//! match the baseline decision-for-decision.
+//!
+//! Flags (see `sbqa_bench::cli`): `--quick`, `--providers N`, `--queries Q`,
+//! `--shards N1,N2,...`, `--batch B`, `--seed SEED`, `--k K`, `--kn KN`.
+
+use std::process::ExitCode;
+
+use sbqa_bench::cli;
+use sbqa_core::intention::{ConsumerProfile, ProviderProfile};
+use sbqa_metrics::{LatencyRecorder, Table};
+use sbqa_sim::{
+    generate_query_stream, run_sharded_service, run_single_mediator, ConsumerSpec, ProviderSpec,
+    ShardedRunConfig, WorkloadModel,
+};
+use sbqa_types::{
+    Capability, CapabilityRequirement, CapabilitySet, ConsumerId, ProviderId, SystemConfig,
+};
+
+/// Capability classes the population spreads over.
+const CLASSES: u8 = 8;
+
+fn set(classes: &[u8]) -> CapabilitySet {
+    CapabilitySet::from_capabilities(classes.iter().copied().map(Capability::new))
+}
+
+/// Overlapping capability profiles: each provider advertises its base class
+/// plus, for thirds/fifths of the population, one or two neighbours — the
+/// same shape the registry bench uses, so multi-class merges see non-empty
+/// intersections on every shard.
+fn providers(count: usize) -> Vec<ProviderSpec> {
+    (0..count as u64)
+        .map(|i| {
+            let base = (i % u64::from(CLASSES)) as u8;
+            let mut caps = CapabilitySet::singleton(Capability::new(base));
+            if i % 3 == 0 {
+                caps.insert(Capability::new((base + 1) % CLASSES));
+            }
+            if i % 5 == 0 {
+                caps.insert(Capability::new((base + 2) % CLASSES));
+            }
+            ProviderSpec::new(
+                ProviderId::new(1_000 + i),
+                caps,
+                1.0 + (i % 4) as f64,
+                ProviderProfile::default(),
+            )
+        })
+        .collect()
+}
+
+/// Four consumers: two plain single-capability issuers, one conjunctive and
+/// one disjunctive multi-capability issuer.
+fn consumers() -> Vec<ConsumerSpec> {
+    vec![
+        ConsumerSpec::new(
+            ConsumerId::new(1),
+            Capability::new(0),
+            10.0,
+            1.0,
+            1,
+            ConsumerProfile::default(),
+        ),
+        ConsumerSpec::new(
+            ConsumerId::new(2),
+            Capability::new(3),
+            10.0,
+            1.0,
+            2,
+            ConsumerProfile::default(),
+        ),
+        ConsumerSpec::new(
+            ConsumerId::new(3),
+            Capability::new(1),
+            5.0,
+            1.0,
+            1,
+            ConsumerProfile::default(),
+        )
+        .with_requirement(CapabilityRequirement::All(set(&[1, 2]))),
+        ConsumerSpec::new(
+            ConsumerId::new(4),
+            Capability::new(4),
+            5.0,
+            1.0,
+            1,
+            ConsumerProfile::default(),
+        )
+        .with_requirement(CapabilityRequirement::Any(set(&[4, 5, 6]))),
+    ]
+}
+
+fn latency_row(latency: &LatencyRecorder) -> [String; 4] {
+    // One sort answers the whole percentile row.
+    let quantiles = latency.percentiles(&[0.50, 0.95, 0.99]);
+    [
+        LatencyRecorder::display_nanos(quantiles[0]),
+        LatencyRecorder::display_nanos(quantiles[1]),
+        LatencyRecorder::display_nanos(quantiles[2]),
+        LatencyRecorder::display_nanos(latency.max_nanos()),
+    ]
+}
+
+fn main() -> ExitCode {
+    let options = cli::parse_env_or_exit();
+    let provider_count = options
+        .volunteers
+        .unwrap_or(if options.quick { 2_000 } else { 100_000 });
+    let query_count = options
+        .queries
+        .unwrap_or(if options.quick { 5_000 } else { 50_000 });
+    let shard_counts = options.shards.clone().unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let batch = options.batch.unwrap_or(64);
+    let seed = options.seed.unwrap_or(42);
+    let system = SystemConfig::default().with_knbest(
+        options.knbest_k.unwrap_or(20),
+        options.knbest_kn.unwrap_or(4),
+    );
+
+    eprintln!(
+        "sharded mediation sweep: {provider_count} providers, {query_count} queries, \
+         batch {batch}, shards {shard_counts:?}, seed {seed}…"
+    );
+    let providers = providers(provider_count);
+    let consumers = consumers();
+    let workload = WorkloadModel::default();
+    let stream = generate_query_stream(&consumers, &workload, query_count, seed);
+
+    let mut table = Table::new(
+        "Scenario sharded — mediation service vs single-mediator baseline",
+        &[
+            "config",
+            "mediated",
+            "starved",
+            "p50",
+            "p95",
+            "p99",
+            "max",
+            "wall (ms)",
+            "queries/s",
+        ],
+    );
+    let mut shard_table = Table::new(
+        "Per-shard ingest-to-decision latency",
+        &["config", "shard", "drained", "p50", "p95", "p99"],
+    );
+
+    let baseline = match run_single_mediator(system.clone(), seed, &providers, &consumers, &stream)
+    {
+        Ok(run) => run,
+        Err(err) => {
+            eprintln!("baseline run failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let [p50, p95, p99, max] = latency_row(&baseline.shard.latency);
+    table.add_row(&[
+        "single mediator".to_string(),
+        baseline.shard.report.mediated.to_string(),
+        baseline.shard.report.starved.to_string(),
+        p50,
+        p95,
+        p99,
+        max,
+        format!("{:.1}", baseline.wall.as_secs_f64() * 1e3),
+        format!("{:.0}", baseline.throughput_per_sec()),
+    ]);
+
+    for &shards in &shard_counts {
+        let config = ShardedRunConfig {
+            shards,
+            batch,
+            seed,
+            system: system.clone(),
+        };
+        let report = match run_sharded_service(&config, &providers, &consumers, &stream) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("sharded run ({shards} shards) failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+        // Determinism contract: one shard must reproduce the baseline
+        // decision-for-decision (same queries, same winners, same order).
+        if shards == 1 {
+            let matches = report.outcomes.len() == baseline.outcomes.len()
+                && report
+                    .outcomes
+                    .iter()
+                    .zip(&baseline.outcomes)
+                    .all(|(s, b)| {
+                        s.query == b.query && s.selected == b.selected && s.starved == b.starved
+                    });
+            if matches {
+                eprintln!("determinism check: 1-shard service ≡ single mediator ✓");
+            } else {
+                eprintln!("determinism check FAILED: 1-shard service diverged from baseline");
+                return ExitCode::FAILURE;
+            }
+        }
+
+        let aggregate = report.aggregate_latency();
+        let [p50, p95, p99, max] = latency_row(&aggregate);
+        table.add_row(&[
+            format!(
+                "service, {shards} shard{}",
+                if shards == 1 { "" } else { "s" }
+            ),
+            report.total.mediated.to_string(),
+            report.total.starved.to_string(),
+            p50,
+            p95,
+            p99,
+            max,
+            format!("{:.1}", report.wall.as_secs_f64() * 1e3),
+            format!("{:.0}", report.throughput_per_sec()),
+        ]);
+        for shard in &report.shards {
+            let [p50, p95, p99, _] = latency_row(&shard.latency);
+            shard_table.add_row(&[
+                format!("{shards} shards"),
+                shard.shard.to_string(),
+                shard.report.submitted().to_string(),
+                p50,
+                p95,
+                p99,
+            ]);
+        }
+    }
+
+    println!("{}", table.render());
+    println!("{}", shard_table.render());
+    ExitCode::SUCCESS
+}

@@ -1,125 +1,34 @@
 //! # sbqa-bench
 //!
 //! The experiment harness: scenario binaries (one per demonstration scenario,
-//! `scenario1` … `scenario7`, plus the `scenario_k_sweep` ablation) and the
-//! Criterion micro-benchmarks in `benches/`.
+//! `scenario1` … `scenario7`, plus the `scenario_k_sweep` ablation, the
+//! `scenario_multicap` postings-merge experiment and the `scenario_sharded`
+//! mediation-service sweep) and the Criterion micro-benchmarks in `benches/`.
 //!
-//! Every binary accepts the same flags:
+//! Every binary accepts the same flags, parsed by the shared [`cli`] module:
 //!
 //! * `--quick` — run the reduced preset (40 volunteers, 80 virtual seconds)
 //!   instead of the full one (200 volunteers, 300 virtual seconds);
 //! * `--volunteers N` (alias `--providers N`, e.g. `--providers 100000` for
 //!   the large-population stress preset), `--duration SECONDS`,
 //!   `--arrival RATE`, `--seed SEED` — override individual scale parameters;
+//! * `--k K`, `--kn KN` — override the KnBest knobs of the preset;
+//! * `--shards N1,N2,...`, `--batch B`, `--queries Q` — the sharded
+//!   mediation-service knobs (used by `scenario_sharded`);
 //! * `--csv PATH` — additionally dump every time series (the analogue of the
 //!   demo's live plots) as long-format CSV.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use std::fs;
 use std::process::ExitCode;
 
-use sbqa_boinc::{Scenario, ScenarioId, ScenarioOutcome};
+use sbqa_boinc::{ScenarioId, ScenarioOutcome};
 
-/// Command-line options shared by all scenario binaries.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct HarnessOptions {
-    /// Use the reduced preset.
-    pub quick: bool,
-    /// Override the number of volunteers.
-    pub volunteers: Option<usize>,
-    /// Override the run duration in virtual seconds.
-    pub duration: Option<f64>,
-    /// Override the per-project arrival rate.
-    pub arrival: Option<f64>,
-    /// Override the simulation seed.
-    pub seed: Option<u64>,
-    /// Write the time-series CSV to this path.
-    pub csv: Option<String>,
-}
-
-impl HarnessOptions {
-    /// Parses options from an argument iterator (excluding the program name).
-    /// Unknown flags are reported as errors so typos do not silently run the
-    /// wrong experiment.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
-        let mut options = Self::default();
-        let mut iter = args.into_iter();
-        while let Some(arg) = iter.next() {
-            match arg.as_str() {
-                "--quick" => options.quick = true,
-                "--volunteers" => {
-                    options.volunteers = Some(Self::parse_value(&mut iter, "--volunteers")?);
-                }
-                // The providers of the paper are BOINC volunteers; the alias
-                // makes large-population runs read naturally
-                // (`--providers 100000`).
-                "--providers" => {
-                    options.volunteers = Some(Self::parse_value(&mut iter, "--providers")?);
-                }
-                "--duration" => {
-                    options.duration = Some(Self::parse_value(&mut iter, "--duration")?);
-                }
-                "--arrival" => {
-                    options.arrival = Some(Self::parse_value(&mut iter, "--arrival")?);
-                }
-                "--seed" => options.seed = Some(Self::parse_value(&mut iter, "--seed")?),
-                "--csv" => {
-                    options.csv = Some(
-                        iter.next()
-                            .ok_or_else(|| "--csv requires a path".to_string())?,
-                    );
-                }
-                "--help" | "-h" => {
-                    return Err(
-                        "usage: scenarioN [--quick] [--volunteers N | --providers N] \
-                         [--duration S] [--arrival RATE] [--seed SEED] [--csv PATH]"
-                            .to_string(),
-                    );
-                }
-                other => return Err(format!("unknown flag: {other}")),
-            }
-        }
-        Ok(options)
-    }
-
-    fn parse_value<T: std::str::FromStr, I: Iterator<Item = String>>(
-        iter: &mut I,
-        flag: &str,
-    ) -> Result<T, String> {
-        let raw = iter
-            .next()
-            .ok_or_else(|| format!("{flag} requires a value"))?;
-        raw.parse()
-            .map_err(|_| format!("{flag}: cannot parse {raw:?}"))
-    }
-
-    /// Builds the scenario this invocation should run.
-    #[must_use]
-    pub fn scenario(&self, id: ScenarioId) -> Scenario {
-        let mut scenario = if self.quick {
-            Scenario::quick(id)
-        } else {
-            Scenario::new(id)
-        };
-        if let Some(volunteers) = self.volunteers {
-            scenario.population = scenario.population.with_volunteers(volunteers);
-        }
-        if let Some(arrival) = self.arrival {
-            scenario.population = scenario.population.with_arrival_rate(arrival);
-        }
-        if let Some(duration) = self.duration {
-            scenario.sim = scenario.sim.clone().with_duration(duration);
-            scenario.sim.sample_interval = (duration / 30.0).max(1.0);
-        }
-        if let Some(seed) = self.seed {
-            scenario.sim = scenario.sim.clone().with_seed(seed);
-            scenario.population = scenario.population.clone().with_seed(seed.wrapping_add(1));
-        }
-        scenario
-    }
-}
+pub use cli::{parse_env_or_exit, HarnessOptions};
 
 /// Prints a scenario outcome and optionally writes its CSV.
 pub fn emit(outcome: &ScenarioOutcome, options: &HarnessOptions) -> Result<(), String> {
@@ -135,13 +44,7 @@ pub fn emit(outcome: &ScenarioOutcome, options: &HarnessOptions) -> Result<(), S
 /// Entry point shared by the seven scenario binaries.
 #[must_use]
 pub fn scenario_main(id: ScenarioId) -> ExitCode {
-    let options = match HarnessOptions::parse(std::env::args().skip(1)) {
-        Ok(options) => options,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let options = cli::parse_env_or_exit();
     let scenario = options.scenario(id);
     eprintln!(
         "running scenario {} ({} volunteers, {:.0} virtual seconds)…",
@@ -168,82 +71,21 @@ pub fn scenario_main(id: ScenarioId) -> ExitCode {
 mod tests {
     use super::*;
 
-    fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| (*s).to_string()).collect()
-    }
-
-    #[test]
-    fn parse_defaults_and_flags() {
-        let options = HarnessOptions::parse(args(&[])).unwrap();
-        assert_eq!(options, HarnessOptions::default());
-
-        let options = HarnessOptions::parse(args(&[
-            "--quick",
-            "--volunteers",
-            "25",
-            "--duration",
-            "60",
-            "--arrival",
-            "5.5",
-            "--seed",
-            "9",
-            "--csv",
-            "/tmp/out.csv",
-        ]))
-        .unwrap();
-        assert!(options.quick);
-        assert_eq!(options.volunteers, Some(25));
-        assert_eq!(options.duration, Some(60.0));
-        assert_eq!(options.arrival, Some(5.5));
-        assert_eq!(options.seed, Some(9));
-        assert_eq!(options.csv.as_deref(), Some("/tmp/out.csv"));
-    }
-
-    #[test]
-    fn parse_rejects_bad_input() {
-        assert!(HarnessOptions::parse(args(&["--bogus"])).is_err());
-        assert!(HarnessOptions::parse(args(&["--volunteers"])).is_err());
-        assert!(HarnessOptions::parse(args(&["--volunteers", "many"])).is_err());
-        assert!(HarnessOptions::parse(args(&["--help"])).is_err());
-    }
-
-    #[test]
-    fn providers_flag_is_a_volunteers_alias() {
-        let options = HarnessOptions::parse(args(&["--providers", "100000"])).unwrap();
-        assert_eq!(options.volunteers, Some(100_000));
-        assert!(HarnessOptions::parse(args(&["--providers"])).is_err());
-    }
-
-    #[test]
-    fn scenario_overrides_apply() {
-        let options = HarnessOptions::parse(args(&[
-            "--quick",
-            "--volunteers",
-            "12",
-            "--duration",
-            "30",
-            "--seed",
-            "4",
-        ]))
-        .unwrap();
-        let scenario = options.scenario(ScenarioId::S4);
-        assert_eq!(scenario.population.volunteers, 12);
-        assert_eq!(scenario.sim.duration, 30.0);
-        assert_eq!(scenario.sim.seed, 4);
-        assert!(scenario.sim.departure.is_autonomous());
-    }
-
     #[test]
     fn emit_writes_csv_when_requested() {
-        let options = HarnessOptions::parse(args(&[
-            "--quick",
-            "--volunteers",
-            "10",
-            "--duration",
-            "20",
-            "--arrival",
-            "4",
-        ]))
+        let options = HarnessOptions::parse(
+            [
+                "--quick",
+                "--volunteers",
+                "10",
+                "--duration",
+                "20",
+                "--arrival",
+                "4",
+            ]
+            .iter()
+            .map(|s| (*s).to_string()),
+        )
         .unwrap();
         let outcome = options.scenario(ScenarioId::S1).run().unwrap();
         let path = std::env::temp_dir().join("sbqa_bench_emit_test.csv");

@@ -199,6 +199,15 @@ impl BatchReport {
     pub fn submitted(&self) -> usize {
         self.mediated + self.starved
     }
+
+    /// Folds another drain's tallies into this report. The sharded mediation
+    /// service merges the per-shard reports of one ingest wave this way; it
+    /// is equally useful for accumulating tallies across successive batches
+    /// of a single mediator.
+    pub fn merge(&mut self, other: &BatchReport) {
+        self.mediated += other.mediated;
+        self.starved += other.starved;
+    }
 }
 
 /// The mediator of Figure 1: provider registry + satisfaction registry + an
@@ -231,6 +240,41 @@ impl Mediator {
             Box::new(SbqaAllocator::new(config, seed)?),
             window,
         ))
+    }
+
+    /// Assembles a mediator from pre-built state: an allocation technique, a
+    /// provider registry and a satisfaction registry.
+    ///
+    /// This is the handoff constructor the sharded mediation service uses: a
+    /// shard can be torn down with [`Mediator::into_parts`], its registries
+    /// repartitioned, and the slices reassembled into new shards without
+    /// losing any satisfaction history or re-registering providers.
+    #[must_use]
+    pub fn from_parts(
+        allocator: Box<dyn QueryAllocator>,
+        providers: ProviderRegistry,
+        satisfaction: SatisfactionRegistry,
+    ) -> Self {
+        Self {
+            allocator,
+            providers,
+            satisfaction,
+            scratch: MediationScratch::default(),
+        }
+    }
+
+    /// Decomposes the mediator into its owned state (allocation technique,
+    /// provider registry, satisfaction registry), dropping the scratch. The
+    /// counterpart of [`Mediator::from_parts`].
+    #[must_use]
+    pub fn into_parts(
+        self,
+    ) -> (
+        Box<dyn QueryAllocator>,
+        ProviderRegistry,
+        SatisfactionRegistry,
+    ) {
+        (self.allocator, self.providers, self.satisfaction)
     }
 
     /// Name of the hosted allocation technique.
@@ -770,6 +814,72 @@ mod tests {
                 (2, QueryId::new(3), true),
             ]
         );
+    }
+
+    #[test]
+    fn batch_report_merge_covers_empty_and_overlapping_cases() {
+        // Empty ⊕ empty stays empty.
+        let mut report = BatchReport::default();
+        report.merge(&BatchReport::default());
+        assert_eq!(report, BatchReport::default());
+        assert_eq!(report.submitted(), 0);
+
+        // Empty ⊕ populated adopts the other side's tallies.
+        let drained = BatchReport {
+            mediated: 5,
+            starved: 2,
+        };
+        report.merge(&drained);
+        assert_eq!(report, drained);
+
+        // Populated ⊕ populated (both sides carry overlapping non-zero
+        // tallies) adds field-wise, and `submitted` follows.
+        report.merge(&BatchReport {
+            mediated: 3,
+            starved: 4,
+        });
+        assert_eq!(report.mediated, 8);
+        assert_eq!(report.starved, 6);
+        assert_eq!(report.submitted(), 14);
+
+        // Merging a report into itself (via a copy) doubles it — the merge is
+        // pure addition, with no dedup heuristics to get wrong.
+        let copy = report;
+        report.merge(&copy);
+        assert_eq!(report.mediated, 16);
+        assert_eq!(report.starved, 12);
+    }
+
+    #[test]
+    fn mediator_parts_round_trip_preserves_state() {
+        let config = SystemConfig::default().with_knbest(10, 3);
+        let mut mediator = Mediator::sbqa(config, 17).unwrap();
+        for p in 0..4u64 {
+            mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+        }
+        mediator.register_consumer(ConsumerId::new(1));
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.6), Intention::new(0.4));
+        mediator.submit(&query(1, 1), &oracle).unwrap();
+        let consumer_sat_before = mediator
+            .satisfaction()
+            .consumer_satisfaction(ConsumerId::new(1));
+
+        // Tear down and reassemble: registries and allocator state carry
+        // over, so the reassembled mediator continues the same trajectory as
+        // an untouched clone would.
+        let (allocator, providers, satisfaction) = mediator.into_parts();
+        assert_eq!(providers.len(), 4);
+        let mut rebuilt = Mediator::from_parts(allocator, providers, satisfaction);
+        assert_eq!(rebuilt.technique(), "SbQA");
+        assert_eq!(rebuilt.providers().len(), 4);
+        assert_eq!(
+            rebuilt
+                .satisfaction()
+                .consumer_satisfaction(ConsumerId::new(1)),
+            consumer_sat_before
+        );
+        assert!(rebuilt.submit(&query(2, 1), &oracle).is_ok());
     }
 
     #[test]

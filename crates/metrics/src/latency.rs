@@ -1,0 +1,235 @@
+//! Tail-latency instrumentation.
+//!
+//! The sharded mediation service measures how long each query spends between
+//! ingest and decision, in *wall-clock nanoseconds* — unlike the rest of the
+//! crate, which works in virtual seconds, latency here is a property of the
+//! machine, not of the simulated world. [`LatencyRecorder`] accumulates the
+//! per-query samples of one shard (or one baseline run) and answers the
+//! percentile questions every service comparison needs: p50, p95 and p99.
+//!
+//! The recorder is deliberately exact, not a sketch: scenario-scale runs
+//! observe at most a few hundred thousand queries, so keeping the raw `u64`
+//! samples is cheap and makes percentiles reproducible to the nanosecond.
+//! Shards record independently and their recorders [`merge`] into the
+//! aggregate view at report time.
+//!
+//! [`merge`]: LatencyRecorder::merge
+
+use serde::{Deserialize, Serialize};
+
+/// Collector of per-query latency samples with percentile queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct LatencyRecorder {
+    /// Raw samples in nanoseconds, in arrival order.
+    samples: Vec<u64>,
+    /// Running sum, for the O(1) mean. Saturating: 2^64 ns is ~584 years of
+    /// accumulated latency, far beyond any run this crate measures.
+    total_nanos: u64,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample, in nanoseconds.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.samples.push(nanos);
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+    }
+
+    /// Records one latency sample from a wall-clock duration.
+    pub fn record(&mut self, elapsed: std::time::Duration) {
+        self.record_nanos(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Folds another recorder's samples into this one (used to aggregate the
+    /// per-shard views into a whole-service distribution).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in nanoseconds, or 0 if empty.
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.total_nanos as f64 / self.samples.len() as f64
+    }
+
+    /// Largest recorded sample in nanoseconds, or 0 if empty.
+    #[must_use]
+    pub fn max_nanos(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Answers several quantile queries (each 0 ≤ q ≤ 1) from **one** sort
+    /// of the sample — the way to read a whole percentile row (p50/p95/p99)
+    /// without re-sorting per quantile. Nearest-rank; 0s if empty.
+    #[must_use]
+    pub fn percentiles(&self, qs: &[f64]) -> Vec<u64> {
+        if self.samples.is_empty() {
+            return vec![0; qs.len()];
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        qs.iter()
+            .map(|q| {
+                let q = q.clamp(0.0, 1.0);
+                let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+                sorted[rank.min(sorted.len() - 1)]
+            })
+            .collect()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) in nanoseconds, nearest-rank on the
+    /// sorted sample; 0 if empty. For several quantiles at once, prefer
+    /// [`LatencyRecorder::percentiles`], which sorts once.
+    #[must_use]
+    pub fn percentile_nanos(&self, q: f64) -> u64 {
+        self.percentiles(&[q])[0]
+    }
+
+    /// Median latency (p50) in nanoseconds.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile_nanos(0.50)
+    }
+
+    /// 95th-percentile latency in nanoseconds.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.percentile_nanos(0.95)
+    }
+
+    /// 99th-percentile latency — the tail the sharding comparison is about.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile_nanos(0.99)
+    }
+
+    /// Formats a nanosecond figure with an adaptive unit (`ns`, `µs`, `ms`,
+    /// `s`), for the scenario tables.
+    #[must_use]
+    pub fn display_nanos(nanos: u64) -> String {
+        let nanos = nanos as f64;
+        if nanos < 1_000.0 {
+            format!("{nanos:.0}ns")
+        } else if nanos < 1_000_000.0 {
+            format!("{:.2}µs", nanos / 1_000.0)
+        } else if nanos < 1_000_000_000.0 {
+            format!("{:.2}ms", nanos / 1_000_000.0)
+        } else {
+            format!("{:.2}s", nanos / 1_000_000_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_has_benign_defaults() {
+        let recorder = LatencyRecorder::new();
+        assert!(recorder.is_empty());
+        assert_eq!(recorder.count(), 0);
+        assert_eq!(recorder.mean_nanos(), 0.0);
+        assert_eq!(recorder.max_nanos(), 0);
+        assert_eq!(recorder.p50(), 0);
+        assert_eq!(recorder.p99(), 0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_samples() {
+        let mut recorder = LatencyRecorder::new();
+        // Recorded out of order on purpose.
+        for nanos in [500u64, 100, 300, 200, 400] {
+            recorder.record_nanos(nanos);
+        }
+        assert_eq!(recorder.count(), 5);
+        assert_eq!(recorder.p50(), 300);
+        assert_eq!(recorder.percentile_nanos(0.0), 100);
+        assert_eq!(recorder.percentile_nanos(1.0), 500);
+        assert_eq!(recorder.p95(), 500);
+        assert_eq!(recorder.max_nanos(), 500);
+        assert!((recorder.mean_nanos() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p99_tracks_the_tail() {
+        let mut recorder = LatencyRecorder::new();
+        for _ in 0..98 {
+            recorder.record_nanos(1_000);
+        }
+        // A 2% tail: nearest-rank p99 (index 98 of 100) lands inside it.
+        recorder.record_nanos(1_000_000);
+        recorder.record_nanos(2_000_000);
+        assert_eq!(recorder.p50(), 1_000);
+        assert_eq!(recorder.p95(), 1_000);
+        assert_eq!(recorder.p99(), 1_000_000);
+    }
+
+    #[test]
+    fn percentiles_answers_many_quantiles_from_one_sort() {
+        let mut recorder = LatencyRecorder::new();
+        for nanos in [500u64, 100, 300, 200, 400] {
+            recorder.record_nanos(nanos);
+        }
+        assert_eq!(recorder.percentiles(&[0.0, 0.5, 1.0]), vec![100, 300, 500]);
+        assert_eq!(
+            recorder.percentiles(&[0.5, 0.95, 0.99]),
+            vec![recorder.p50(), recorder.p95(), recorder.p99()]
+        );
+        assert_eq!(LatencyRecorder::new().percentiles(&[0.5, 0.99]), vec![0, 0]);
+    }
+
+    #[test]
+    fn merge_combines_shard_distributions() {
+        let mut a = LatencyRecorder::new();
+        a.record_nanos(100);
+        a.record_nanos(200);
+        let mut b = LatencyRecorder::new();
+        b.record_nanos(300);
+        b.record_nanos(400);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert!((a.mean_nanos() - 250.0).abs() < 1e-9);
+        assert_eq!(a.percentile_nanos(1.0), 400);
+
+        // Merging an empty recorder changes nothing.
+        a.merge(&LatencyRecorder::new());
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn record_accepts_std_durations() {
+        let mut recorder = LatencyRecorder::new();
+        recorder.record(std::time::Duration::from_micros(3));
+        assert_eq!(recorder.max_nanos(), 3_000);
+    }
+
+    #[test]
+    fn display_adapts_units() {
+        assert_eq!(LatencyRecorder::display_nanos(750), "750ns");
+        assert_eq!(LatencyRecorder::display_nanos(1_500), "1.50µs");
+        assert_eq!(LatencyRecorder::display_nanos(2_500_000), "2.50ms");
+        assert_eq!(LatencyRecorder::display_nanos(3_000_000_000), "3.00s");
+    }
+}

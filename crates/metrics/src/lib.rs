@@ -15,6 +15,7 @@
 pub mod balance;
 pub mod csv;
 pub mod gini;
+pub mod latency;
 pub mod response;
 pub mod summary;
 pub mod table;
@@ -23,6 +24,7 @@ pub mod timeseries;
 pub use balance::LoadBalanceReport;
 pub use csv::CsvWriter;
 pub use gini::gini_coefficient;
+pub use latency::LatencyRecorder;
 pub use response::ResponseTimeStats;
 pub use summary::Summary;
 pub use table::Table;

@@ -1,0 +1,343 @@
+//! The asynchronous ingest front.
+//!
+//! [`MediationService`] turns a [`ShardedMediator`] into a running service:
+//! each shard moves into its own **mediation thread** behind a per-shard
+//! mpsc **ingest queue** (std `std::sync::mpsc` — no external runtime).
+//! Producers enqueue queries (singly or in batches) without blocking on
+//! mediation; each shard thread drains its queue chunk by chunk through the
+//! shard's instrumented submit path and accumulates the outcome stream.
+//! [`MediationService::finish`] closes the queues, joins the threads and
+//! merges the per-shard results into a [`ServiceReport`].
+//!
+//! ## Latency semantics
+//!
+//! Every query is stamped with a wall-clock [`Instant`] *at enqueue time*;
+//! its latency sample spans enqueue → decision, so it includes the time
+//! spent waiting in the ingest queue. Enqueueing in larger chunks amortizes
+//! channel traffic but makes early-chunk queries wait on late-chunk ones —
+//! exactly the batch-size/latency trade-off the `service` bench sweeps.
+//!
+//! ## Determinism
+//!
+//! Per shard, queries are mediated in queue (FIFO) order, so with a single
+//! producer the per-shard decision streams — and the merged
+//! `(VirtualTime, QueryId)`-ordered outcome stream — are byte-stable across
+//! runs for a fixed seed, no matter how the shard threads interleave in wall
+//! time. (Latency *samples* are wall-clock measurements and naturally vary;
+//! determinism is about decisions.) With multiple racing producers the
+//! per-shard arrival order itself becomes nondeterministic; byte-stability
+//! then requires the producers to agree on an enqueue order.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sbqa_core::allocator::IntentionOracle;
+
+use crate::report::{OutcomeRecord, ServiceReport, ShardReport};
+use crate::router::ShardRouter;
+use crate::shard::MediatorShard;
+use crate::sharded::ShardedMediator;
+
+/// A query travelling through an ingest queue with its enqueue timestamp.
+struct Envelope {
+    query: sbqa_types::Query,
+    enqueued: Instant,
+}
+
+/// What a shard thread hands back when its queue closes.
+struct ShardResult {
+    shard: MediatorShard,
+    outcomes: Vec<OutcomeRecord>,
+}
+
+/// A running sharded mediation service: per-shard ingest queues in front of
+/// per-shard mediation threads.
+pub struct MediationService {
+    router: ShardRouter,
+    senders: Vec<Sender<Vec<Envelope>>>,
+    workers: Vec<JoinHandle<ShardResult>>,
+    /// Per-shard staging buffers reused by [`MediationService::enqueue_batch`].
+    staging: Vec<Vec<Envelope>>,
+    enqueued: usize,
+    started: Instant,
+}
+
+impl MediationService {
+    /// Spawns one mediation thread per shard of `service`, each behind its
+    /// own ingest queue. The oracle is shared by all shards (in a real
+    /// deployment it is the network asking participants for intentions; here
+    /// it must be thread-safe).
+    #[must_use]
+    pub fn spawn(service: ShardedMediator, oracle: Arc<dyn IntentionOracle + Send + Sync>) -> Self {
+        let (router, shards) = service.into_shards();
+        let mut senders = Vec::with_capacity(shards.len());
+        let mut workers = Vec::with_capacity(shards.len());
+        let mut staging = Vec::with_capacity(shards.len());
+        for shard in shards {
+            let (sender, receiver) = channel::<Vec<Envelope>>();
+            let oracle = Arc::clone(&oracle);
+            workers.push(std::thread::spawn(move || {
+                drain(shard, &receiver, &*oracle)
+            }));
+            senders.push(sender);
+            staging.push(Vec::new());
+        }
+        Self {
+            router,
+            senders,
+            workers,
+            staging,
+            enqueued: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// The router assigning queries to shard queues.
+    #[must_use]
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shard queues.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Number of queries enqueued so far.
+    #[must_use]
+    pub fn enqueued(&self) -> usize {
+        self.enqueued
+    }
+
+    /// Enqueues one query on its assigned shard's queue. Never blocks on
+    /// mediation.
+    ///
+    /// # Panics
+    /// Panics if the shard's mediation thread has died (a shard panic is a
+    /// service bug, not a recoverable condition).
+    pub fn enqueue(&mut self, query: sbqa_types::Query) {
+        let shard = self.router.shard_of_query(query.id);
+        let envelope = Envelope {
+            query,
+            enqueued: Instant::now(),
+        };
+        self.senders[shard]
+            .send(vec![envelope])
+            .expect("shard mediation thread is alive");
+        self.enqueued += 1;
+    }
+
+    /// Enqueues a batch: queries are split by assigned shard (preserving
+    /// their relative order) and each shard receives its sub-batch as one
+    /// queue message, so the whole chunk costs one channel send per involved
+    /// shard. All queries of the batch share one enqueue timestamp.
+    ///
+    /// # Panics
+    /// Panics if a shard's mediation thread has died.
+    pub fn enqueue_batch(&mut self, queries: impl IntoIterator<Item = sbqa_types::Query>) {
+        let enqueued = Instant::now();
+        for query in queries {
+            let shard = self.router.shard_of_query(query.id);
+            self.staging[shard].push(Envelope { query, enqueued });
+            self.enqueued += 1;
+        }
+        for (shard, staged) in self.staging.iter_mut().enumerate() {
+            if !staged.is_empty() {
+                self.senders[shard]
+                    .send(std::mem::take(staged))
+                    .expect("shard mediation thread is alive");
+            }
+        }
+    }
+
+    /// Closes the ingest queues, waits for every shard to drain dry, and
+    /// merges the per-shard results — outcomes ordered by
+    /// `(VirtualTime, QueryId)` — returning the shards alongside so a caller
+    /// can keep mediating synchronously or respawn.
+    ///
+    /// # Panics
+    /// Propagates a panic from any shard mediation thread.
+    #[must_use]
+    pub fn finish_with_shards(self) -> (ServiceReport, Vec<MediatorShard>) {
+        // Dropping the senders closes every queue; each worker drains what
+        // is left and returns.
+        drop(self.senders);
+        let mut shard_reports = Vec::with_capacity(self.workers.len());
+        let mut shards = Vec::with_capacity(self.workers.len());
+        let mut outcomes = Vec::with_capacity(self.enqueued);
+        for worker in self.workers {
+            let result = worker.join().expect("shard mediation thread panicked");
+            shard_reports.push(ShardReport {
+                shard: result.shard.index(),
+                report: result.shard.report(),
+                latency: result.shard.latency().clone(),
+            });
+            outcomes.extend(result.outcomes);
+            shards.push(result.shard);
+        }
+        let wall = self.started.elapsed();
+        (ServiceReport::merge(shard_reports, outcomes, wall), shards)
+    }
+
+    /// [`MediationService::finish_with_shards`], discarding the shards.
+    #[must_use]
+    pub fn finish(self) -> ServiceReport {
+        self.finish_with_shards().0
+    }
+}
+
+impl std::fmt::Debug for MediationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MediationService")
+            .field("shards", &self.senders.len())
+            .field("enqueued", &self.enqueued)
+            .finish()
+    }
+}
+
+/// A shard thread's life: drain envelope chunks until the queue closes.
+fn drain(
+    mut shard: MediatorShard,
+    receiver: &Receiver<Vec<Envelope>>,
+    oracle: &dyn IntentionOracle,
+) -> ShardResult {
+    let mut outcomes = Vec::new();
+    while let Ok(chunk) = receiver.recv() {
+        for envelope in &chunk {
+            let query = &envelope.query;
+            let result = shard.submit_with_start(query, oracle, envelope.enqueued);
+            let (selected, starved) = match result {
+                Ok(decision) => (decision.selected.clone(), false),
+                Err(_) => (Vec::new(), true),
+            };
+            outcomes.push(OutcomeRecord {
+                shard: shard.index(),
+                query: query.id,
+                consumer: query.consumer,
+                issued_at: query.issued_at,
+                selected,
+                starved,
+            });
+        }
+    }
+    ShardResult { shard, outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::StaticIntentions;
+    use sbqa_types::{
+        Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+        VirtualTime,
+    };
+
+    fn build_service(shards: usize, providers: u64) -> ShardedMediator {
+        let mut service =
+            ShardedMediator::sbqa(SystemConfig::default().with_knbest(10, 3), 42, shards).unwrap();
+        for p in 0..providers {
+            service.register_provider(
+                ProviderId::new(p),
+                CapabilitySet::singleton(Capability::new((p % 2) as u8)),
+                1.0,
+            );
+        }
+        service.register_consumer(ConsumerId::new(1));
+        service
+    }
+
+    fn query(id: u64) -> Query {
+        Query::builder(
+            QueryId::new(id),
+            ConsumerId::new(1),
+            Capability::new((id % 2) as u8),
+        )
+        .issued_at(VirtualTime::new(id as f64))
+        .build()
+    }
+
+    fn oracle() -> Arc<dyn IntentionOracle + Send + Sync> {
+        Arc::new(StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.6)))
+    }
+
+    #[test]
+    fn service_drains_everything_and_merges_in_order() {
+        let mut running = MediationService::spawn(build_service(3, 30), oracle());
+        assert_eq!(running.shard_count(), 3);
+
+        // A mix of single enqueues and chunked batches.
+        for id in 0..10u64 {
+            running.enqueue(query(id));
+        }
+        running.enqueue_batch((10..64).map(query));
+        assert_eq!(running.enqueued(), 64);
+        assert!(format!("{running:?}").contains("enqueued"));
+
+        let report = running.finish();
+        assert_eq!(report.total.submitted(), 64);
+        assert_eq!(report.total.starved, 0);
+        assert_eq!(report.outcomes.len(), 64);
+        // Outcomes come back in (issued_at, id) order regardless of which
+        // shard thread finished first.
+        let ids: Vec<u64> = report.outcomes.iter().map(|o| o.query.raw()).collect();
+        assert_eq!(ids, (0..64).collect::<Vec<_>>());
+        // Every query has a latency sample somewhere.
+        assert_eq!(report.aggregate_latency().count(), 64);
+        assert!(report.throughput_per_sec() > 0.0);
+        // Per-shard tallies add up to the total.
+        let sum: usize = report.shards.iter().map(|s| s.report.submitted()).sum();
+        assert_eq!(sum, 64);
+    }
+
+    #[test]
+    fn starvation_is_reported_not_fatal() {
+        // Providers only advertise class 0; odd queries (class 1) starve.
+        let mut service =
+            ShardedMediator::sbqa(SystemConfig::default().with_knbest(10, 3), 7, 2).unwrap();
+        for p in 0..10u64 {
+            service.register_provider(
+                ProviderId::new(p),
+                CapabilitySet::singleton(Capability::new(0)),
+                1.0,
+            );
+        }
+        service.register_consumer(ConsumerId::new(1));
+        let mut running = MediationService::spawn(service, oracle());
+        running.enqueue_batch((0..20).map(query));
+        let report = running.finish();
+        assert_eq!(report.total.mediated, 10);
+        assert_eq!(report.total.starved, 10);
+        let starved: Vec<u64> = report
+            .outcomes
+            .iter()
+            .filter(|o| o.starved)
+            .map(|o| o.query.raw())
+            .collect();
+        assert_eq!(
+            starved,
+            (0..20).filter(|id| id % 2 == 1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn finish_with_shards_returns_reusable_mediators() {
+        let mut running = MediationService::spawn(build_service(2, 20), oracle());
+        running.enqueue_batch((0..16).map(query));
+        let (report, mut shards) = running.finish_with_shards();
+        assert_eq!(report.total.submitted(), 16);
+        assert_eq!(shards.len(), 2);
+        // The shards keep their registries and can mediate synchronously.
+        let total_providers: usize = shards.iter().map(|s| s.mediator().providers().len()).sum();
+        assert_eq!(total_providers, 20);
+        let q = query(100);
+        let static_oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.6));
+        let any_ok = shards
+            .iter_mut()
+            .any(|s| s.submit_timed(&q, &static_oracle).is_ok());
+        assert!(any_ok);
+    }
+}

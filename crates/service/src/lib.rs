@@ -1,0 +1,52 @@
+//! # sbqa-service
+//!
+//! The sharded mediation service: the paper's single logical mediator,
+//! scaled across cores without touching allocation semantics.
+//!
+//! The [`Mediator`](sbqa_core::Mediator) of `sbqa_core` mediates one query
+//! at a time over the whole provider population. This crate partitions that
+//! population across `N` **shards** — each a full mediator (capability
+//! -indexed registry + satisfaction registry + allocation technique) over
+//! its slice — behind a thin deterministic [`ShardRouter`]:
+//!
+//! * [`ShardedMediator`] is the synchronous facade: the same registration /
+//!   `submit_batch` surface as a plain mediator, with queries dispatched to
+//!   their assigned shards in merged `(VirtualTime, QueryId)` order;
+//! * [`MediationService`] is the asynchronous ingest front: one mpsc queue
+//!   and one mediation thread per shard; producers enqueue query batches
+//!   without blocking on mediation, and `finish()` merges the per-shard
+//!   outcome streams and [`ShardReport`]s (tallies + p50/p95/p99 latency)
+//!   into one [`ServiceReport`].
+//!
+//! ## Determinism contract
+//!
+//! With **one shard** the service is byte-identical to the plain mediator:
+//! routing degenerates to the identity, shard 0's allocator consumes the
+//! exact RNG stream `Mediator::sbqa(config, seed)` would, and an arrival
+//! -ordered batch is processed in the same order. With **`N` shards** the
+//! merged outcome stream is byte-stable across runs for a fixed seed and
+//! producer order: routing is a pure seeded hash, per-shard processing
+//! order is queue order, and the merge sorts by `(VirtualTime, QueryId)` —
+//! nothing observable depends on thread interleaving. The integration tests
+//! of this crate pin both properties.
+//!
+//! What sharding *does* change at `N > 1` — by design — is the candidate
+//! set: a query sees only its shard's slice of the population, so `kn`
+//! draws come from `|Pq|/N` candidates and satisfaction is tracked per
+//! shard. That is the standard scale-out trade-off: each shard remains a
+//! faithful SbQA mediator over its slice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod report;
+pub mod router;
+pub mod shard;
+pub mod sharded;
+
+pub use ingest::MediationService;
+pub use report::{OutcomeRecord, ServiceReport, ShardReport};
+pub use router::ShardRouter;
+pub use shard::MediatorShard;
+pub use sharded::ShardedMediator;

@@ -1,0 +1,179 @@
+//! Merged reports of a service run.
+//!
+//! Each shard mediates its queries independently; at report time the
+//! per-shard views are merged into one service-wide picture:
+//!
+//! * the [`OutcomeRecord`] stream, ordered by `(VirtualTime, QueryId)` — the
+//!   determinism contract: for a fixed seed and producer order the merged
+//!   stream is byte-stable across runs regardless of how the shard threads
+//!   interleaved in wall-clock time;
+//! * one [`ShardReport`] per shard (tallies + latency percentiles), so tail
+//!   latency can be compared *across* shards;
+//! * the aggregate [`BatchReport`] and latency distribution.
+
+use sbqa_core::BatchReport;
+use sbqa_metrics::LatencyRecorder;
+use sbqa_types::{ConsumerId, ProviderId, QueryId, VirtualTime};
+
+/// The service-visible outcome of one query's mediation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeRecord {
+    /// The shard that mediated the query.
+    pub shard: usize,
+    /// The mediated query.
+    pub query: QueryId,
+    /// The consumer that issued it.
+    pub consumer: ConsumerId,
+    /// Virtual time at which the consumer issued it (the merge key's major
+    /// component).
+    pub issued_at: VirtualTime,
+    /// Providers the query was allocated to, best-ranked first; empty if the
+    /// query starved.
+    pub selected: Vec<ProviderId>,
+    /// `true` if the shard found no capable online provider.
+    pub starved: bool,
+}
+
+impl OutcomeRecord {
+    /// The merge key: outcomes are ordered by issue time, ties broken by
+    /// query id.
+    #[must_use]
+    pub fn merge_key(&self) -> (VirtualTime, QueryId) {
+        (self.issued_at, self.query)
+    }
+}
+
+/// One shard's view of a service run.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// The shard index.
+    pub shard: usize,
+    /// Mediated/starved tallies of everything the shard drained.
+    pub report: BatchReport,
+    /// Per-query ingest-to-decision latency samples.
+    pub latency: LatencyRecorder,
+}
+
+/// The merged report of a whole service run.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Per-shard tallies and latency, indexed by shard.
+    pub shards: Vec<ShardReport>,
+    /// Every query's outcome, ordered by `(VirtualTime, QueryId)`.
+    pub outcomes: Vec<OutcomeRecord>,
+    /// Aggregate tallies across all shards.
+    pub total: BatchReport,
+    /// Wall-clock span from service spawn to the last shard draining dry.
+    pub wall: std::time::Duration,
+}
+
+impl ServiceReport {
+    /// Assembles a service report from per-shard results, sorting the
+    /// outcome stream by its merge key (stable, so records that tie on both
+    /// time and id keep their per-shard order).
+    #[must_use]
+    pub fn merge(
+        mut shards: Vec<ShardReport>,
+        mut outcomes: Vec<OutcomeRecord>,
+        wall: std::time::Duration,
+    ) -> Self {
+        shards.sort_by_key(|s| s.shard);
+        outcomes.sort_by_key(OutcomeRecord::merge_key);
+        let mut total = BatchReport::default();
+        for shard in &shards {
+            total.merge(&shard.report);
+        }
+        Self {
+            shards,
+            outcomes,
+            total,
+            wall,
+        }
+    }
+
+    /// The whole-service latency distribution (all shards merged).
+    #[must_use]
+    pub fn aggregate_latency(&self) -> LatencyRecorder {
+        let mut merged = LatencyRecorder::new();
+        for shard in &self.shards {
+            merged.merge(&shard.latency);
+        }
+        merged
+    }
+
+    /// Aggregate throughput in queries per wall-clock second.
+    #[must_use]
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total.submitted() as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(shard: usize, id: u64, at: f64) -> OutcomeRecord {
+        OutcomeRecord {
+            shard,
+            query: QueryId::new(id),
+            consumer: ConsumerId::new(1),
+            issued_at: VirtualTime::new(at),
+            selected: vec![ProviderId::new(id)],
+            starved: false,
+        }
+    }
+
+    fn shard_report(shard: usize, mediated: usize, starved: usize) -> ShardReport {
+        ShardReport {
+            shard,
+            report: BatchReport { mediated, starved },
+            latency: {
+                let mut latency = LatencyRecorder::new();
+                latency.record_nanos(100 * (shard as u64 + 1));
+                latency
+            },
+        }
+    }
+
+    #[test]
+    fn merge_orders_outcomes_by_time_then_id() {
+        let outcomes = vec![
+            record(1, 7, 2.0),
+            record(0, 9, 1.0),
+            record(1, 3, 1.0),
+            record(0, 5, 2.0),
+        ];
+        let report = ServiceReport::merge(
+            vec![shard_report(1, 2, 0), shard_report(0, 2, 1)],
+            outcomes,
+            std::time::Duration::from_millis(10),
+        );
+        let ids: Vec<u64> = report.outcomes.iter().map(|o| o.query.raw()).collect();
+        assert_eq!(ids, vec![3, 9, 5, 7]);
+        // Shard reports come back sorted by index, tallies summed.
+        assert_eq!(report.shards[0].shard, 0);
+        assert_eq!(report.shards[1].shard, 1);
+        assert_eq!(report.total.mediated, 4);
+        assert_eq!(report.total.starved, 1);
+    }
+
+    #[test]
+    fn aggregate_latency_and_throughput() {
+        let report = ServiceReport::merge(
+            vec![shard_report(0, 3, 0), shard_report(1, 2, 0)],
+            Vec::new(),
+            std::time::Duration::from_secs(1),
+        );
+        let latency = report.aggregate_latency();
+        assert_eq!(latency.count(), 2);
+        assert_eq!(latency.max_nanos(), 200);
+        assert!((report.throughput_per_sec() - 5.0).abs() < 1e-9);
+
+        let degenerate = ServiceReport::merge(Vec::new(), Vec::new(), std::time::Duration::ZERO);
+        assert_eq!(degenerate.throughput_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! One shard of the mediation service.
+//!
+//! A [`MediatorShard`] is a full [`Mediator`] (provider registry +
+//! satisfaction registry + allocation technique) over its slice of the
+//! provider population, wrapped with the service-side instrumentation the
+//! sharded front needs: cumulative [`BatchReport`] tallies and a
+//! [`LatencyRecorder`] of per-query wall-clock mediation latency.
+//!
+//! The shard does not know how queries reach it — the synchronous
+//! [`ShardedMediator`](crate::ShardedMediator) calls it inline, the async
+//! [`MediationService`](crate::MediationService) moves it into a dedicated
+//! mediation thread and feeds it from an mpsc ingest queue. Either way every
+//! mediation goes through [`MediatorShard::submit_with_start`], so the two
+//! fronts produce identical decisions and comparable latency samples.
+
+use std::time::Instant;
+
+use sbqa_core::allocator::{AllocationDecision, IntentionOracle};
+use sbqa_core::{BatchReport, Mediator};
+use sbqa_metrics::LatencyRecorder;
+use sbqa_types::{Query, SbqaResult};
+
+/// A mediator shard: one [`Mediator`] plus service-side instrumentation.
+#[derive(Debug)]
+pub struct MediatorShard {
+    index: usize,
+    mediator: Mediator,
+    report: BatchReport,
+    latency: LatencyRecorder,
+}
+
+impl MediatorShard {
+    /// Wraps a mediator as shard `index`.
+    #[must_use]
+    pub fn new(index: usize, mediator: Mediator) -> Self {
+        Self {
+            index,
+            mediator,
+            report: BatchReport::default(),
+            latency: LatencyRecorder::new(),
+        }
+    }
+
+    /// This shard's position in the service.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The wrapped mediator.
+    #[must_use]
+    pub fn mediator(&self) -> &Mediator {
+        &self.mediator
+    }
+
+    /// Mutable access to the wrapped mediator (registration, load updates).
+    pub fn mediator_mut(&mut self) -> &mut Mediator {
+        &mut self.mediator
+    }
+
+    /// Cumulative tallies of every query this shard has mediated.
+    #[must_use]
+    pub fn report(&self) -> BatchReport {
+        self.report
+    }
+
+    /// The per-query latency samples recorded so far.
+    #[must_use]
+    pub fn latency(&self) -> &LatencyRecorder {
+        &self.latency
+    }
+
+    /// Mediates one query, recording its latency as measured from `start` —
+    /// the ingest front passes the *enqueue* instant here, so the sample
+    /// includes the time the query spent waiting in the shard's queue, which
+    /// is exactly the quantity the batch-size/latency trade-off is about.
+    ///
+    /// The returned decision borrows the mediator's scratch and is valid
+    /// until the next mediation, like [`Mediator::submit_in_place`].
+    pub fn submit_with_start(
+        &mut self,
+        query: &Query,
+        oracle: &dyn IntentionOracle,
+        start: Instant,
+    ) -> SbqaResult<&AllocationDecision> {
+        let result = self.mediator.submit_in_place(query, oracle);
+        self.latency.record(start.elapsed());
+        match &result {
+            Ok(_) => self.report.mediated += 1,
+            Err(_) => self.report.starved += 1,
+        }
+        result
+    }
+
+    /// Mediates one query, measuring latency from this call — the
+    /// synchronous front's path, where there is no queueing delay.
+    pub fn submit_timed(
+        &mut self,
+        query: &Query,
+        oracle: &dyn IntentionOracle,
+    ) -> SbqaResult<&AllocationDecision> {
+        self.submit_with_start(query, oracle, Instant::now())
+    }
+
+    /// Unwraps the shard back into its mediator, dropping the
+    /// instrumentation.
+    #[must_use]
+    pub fn into_mediator(self) -> Mediator {
+        self.mediator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::StaticIntentions;
+    use sbqa_types::{
+        Capability, CapabilitySet, ConsumerId, Intention, ProviderId, QueryId, SystemConfig,
+    };
+
+    fn shard_with_providers(n: u64) -> MediatorShard {
+        let mut mediator = Mediator::sbqa(SystemConfig::default().with_knbest(10, 3), 5).unwrap();
+        for p in 0..n {
+            mediator.register_provider(
+                ProviderId::new(p),
+                CapabilitySet::singleton(Capability::new(0)),
+                1.0,
+            );
+        }
+        mediator.register_consumer(ConsumerId::new(1));
+        MediatorShard::new(2, mediator)
+    }
+
+    fn query(id: u64, class: u8) -> Query {
+        Query::builder(QueryId::new(id), ConsumerId::new(1), Capability::new(class)).build()
+    }
+
+    #[test]
+    fn shard_tallies_and_times_every_mediation() {
+        let mut shard = shard_with_providers(5);
+        assert_eq!(shard.index(), 2);
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
+
+        assert!(shard.submit_timed(&query(1, 0), &oracle).is_ok());
+        // Capability 9 is advertised by nobody: a starvation.
+        assert!(shard.submit_timed(&query(2, 9), &oracle).is_err());
+        assert!(shard.submit_timed(&query(3, 0), &oracle).is_ok());
+
+        assert_eq!(shard.report().mediated, 2);
+        assert_eq!(shard.report().starved, 1);
+        assert_eq!(shard.report().submitted(), 3);
+        // Every query — mediated or starved — contributes a latency sample.
+        assert_eq!(shard.latency().count(), 3);
+    }
+
+    #[test]
+    fn shard_decisions_match_the_plain_mediator() {
+        let mut shard = shard_with_providers(8);
+        let mut plain = shard_with_providers(8).into_mediator();
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.3), Intention::new(0.7));
+        for id in 0..50u64 {
+            let q = query(id, 0);
+            let expected = plain.submit(&q, &oracle).unwrap().decision;
+            let got = shard.submit_timed(&q, &oracle).unwrap();
+            assert_eq!(&expected, got, "query {id}");
+        }
+    }
+}

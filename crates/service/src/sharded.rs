@@ -1,0 +1,400 @@
+//! The synchronous sharded mediator.
+//!
+//! [`ShardedMediator`] partitions the provider population across `N`
+//! [`MediatorShard`]s through a [`ShardRouter`] and presents the same
+//! registration / batch-submission surface as a single
+//! [`Mediator`](sbqa_core::Mediator):
+//!
+//! * **providers** are registered with exactly one shard (the router's
+//!   placement), so the shards' registries are pairwise disjoint and each
+//!   shard answers `Pq` locally over its slice;
+//! * **consumers** are registered with every shard — any of their queries may
+//!   route anywhere — so each shard tracks the satisfaction of the
+//!   mediations *it* performed;
+//! * **queries** in a batch are processed in `(VirtualTime, QueryId)` order
+//!   (stable: ties keep their batch positions) and dispatched to the shard
+//!   the router assigns. Processing in the merged order — rather than
+//!   per-shard sub-batches — makes the interleaving, and with it every
+//!   shard's RNG consumption, a pure function of the batch content.
+//!
+//! ## Determinism contract
+//!
+//! With one shard, everything routes to shard 0 and a batch that is already
+//! ordered by `(VirtualTime, QueryId)` (the natural order of an arrival
+//! stream with monotone ids) is processed exactly like
+//! [`Mediator::submit_batch`](sbqa_core::Mediator::submit_batch): decisions
+//! are **byte-identical** to the plain mediator's. With `N` shards the
+//! decision stream is a deterministic function of `(seed, batch contents)` —
+//! byte-stable across runs — because routing, per-shard order and per-shard
+//! allocator seeds are all derived from the seed, never from thread timing
+//! or hasher state.
+
+use sbqa_core::allocator::{AllocationDecision, IntentionOracle};
+use sbqa_core::{BatchReport, Mediator};
+use sbqa_metrics::LatencyRecorder;
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{
+    CapabilitySet, ConsumerId, ProviderId, Query, SbqaError, SbqaResult, SystemConfig,
+};
+
+use crate::report::ShardReport;
+use crate::router::ShardRouter;
+use crate::shard::MediatorShard;
+
+/// A mediation service facade over `N` provider-disjoint mediator shards.
+#[derive(Debug)]
+pub struct ShardedMediator {
+    router: ShardRouter,
+    shards: Vec<MediatorShard>,
+    /// Reused batch-position permutation for the merged processing order.
+    order_scratch: Vec<u32>,
+}
+
+impl ShardedMediator {
+    /// Builds a service of `shards` shards (raised to 1 if 0); `make` is
+    /// called once per shard index to construct its mediator.
+    pub fn new<F>(shards: usize, seed: u64, mut make: F) -> Self
+    where
+        F: FnMut(usize) -> Mediator,
+    {
+        let router = ShardRouter::new(shards, seed);
+        let shards = (0..router.shards())
+            .map(|index| MediatorShard::new(index, make(index)))
+            .collect();
+        Self {
+            router,
+            shards,
+            order_scratch: Vec::new(),
+        }
+    }
+
+    /// Builds a sharded SbQA service: shard `i` hosts an
+    /// [`SbqaAllocator`](sbqa_core::SbqaAllocator) seeded with
+    /// `seed + i`, so shard 0 of a single-shard service consumes exactly the
+    /// RNG stream the plain `Mediator::sbqa(config, seed)` would.
+    pub fn sbqa(config: SystemConfig, seed: u64, shards: usize) -> SbqaResult<Self> {
+        config.validate()?;
+        let mut built = Vec::new();
+        for index in 0..shards.max(1) {
+            built.push(Mediator::sbqa(
+                config.clone(),
+                seed.wrapping_add(index as u64),
+            )?);
+        }
+        let mut mediators = built.into_iter();
+        Ok(Self::new(shards, seed, |_| {
+            mediators.next().expect("one mediator per shard")
+        }))
+    }
+
+    /// The deterministic router assigning providers and queries to shards.
+    #[must_use]
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's instrumented view.
+    #[must_use]
+    pub fn shard(&self, index: usize) -> &MediatorShard {
+        &self.shards[index]
+    }
+
+    /// Iterates over the shards in index order.
+    pub fn shards(&self) -> impl Iterator<Item = &MediatorShard> {
+        self.shards.iter()
+    }
+
+    /// Registers a provider with its owning shard; returns the shard index.
+    pub fn register_provider(
+        &mut self,
+        id: ProviderId,
+        capabilities: CapabilitySet,
+        capacity: f64,
+    ) -> usize {
+        let shard = self.router.shard_of_provider(id);
+        self.shards[shard]
+            .mediator_mut()
+            .register_provider(id, capabilities, capacity);
+        shard
+    }
+
+    /// Registers a consumer with every shard (its queries may route to any
+    /// of them).
+    pub fn register_consumer(&mut self, id: ConsumerId) {
+        for shard in &mut self.shards {
+            shard.mediator_mut().register_consumer(id);
+        }
+    }
+
+    /// Marks a provider online or offline at its owning shard.
+    pub fn set_provider_online(&mut self, id: ProviderId, online: bool) -> SbqaResult<()> {
+        let shard = self.router.shard_of_provider(id);
+        self.shards[shard]
+            .mediator_mut()
+            .set_provider_online(id, online)
+    }
+
+    /// Updates a provider's load state at its owning shard.
+    pub fn update_provider_load(
+        &mut self,
+        id: ProviderId,
+        utilization: f64,
+        queue_length: usize,
+    ) -> SbqaResult<()> {
+        let shard = self.router.shard_of_provider(id);
+        self.shards[shard]
+            .mediator_mut()
+            .update_provider_load(id, utilization, queue_length)
+    }
+
+    /// Total number of registered providers across all shards.
+    #[must_use]
+    pub fn provider_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.mediator().providers().len())
+            .sum()
+    }
+
+    /// Mediates one query at the shard the router assigns. The returned
+    /// decision borrows that shard's scratch, like
+    /// [`Mediator::submit_in_place`].
+    pub fn submit_in_place(
+        &mut self,
+        query: &Query,
+        oracle: &dyn IntentionOracle,
+    ) -> SbqaResult<&AllocationDecision> {
+        let shard = self.router.shard_of_query(query.id);
+        self.shards[shard].submit_timed(query, oracle)
+    }
+
+    /// Drains a batch of queries through the sharded pipeline.
+    ///
+    /// Queries are processed in `(issued_at, query id)` order (stable sort —
+    /// ties keep batch order), each at its assigned shard; `on_result` is
+    /// invoked once per query *in that merged order* with the query's
+    /// original batch position and either the borrowed decision or the
+    /// starvation error. Returns the batch tallies (also folded into the
+    /// per-shard cumulative reports).
+    pub fn submit_batch<F>(
+        &mut self,
+        queries: &[Query],
+        oracle: &dyn IntentionOracle,
+        mut on_result: F,
+    ) -> BatchReport
+    where
+        F: FnMut(usize, &Query, SbqaResult<&AllocationDecision>),
+    {
+        self.order_scratch.clear();
+        self.order_scratch
+            .extend(0..u32::try_from(queries.len()).expect("batch fits in u32"));
+        self.order_scratch
+            .sort_by_key(|&pos| merge_key(&queries[pos as usize]));
+
+        let mut report = BatchReport::default();
+        for &pos in &self.order_scratch {
+            let query = &queries[pos as usize];
+            let shard = self.router.shard_of_query(query.id);
+            let result = self.shards[shard].submit_timed(query, oracle);
+            match &result {
+                Ok(_) => report.mediated += 1,
+                Err(_) => report.starved += 1,
+            }
+            on_result(pos as usize, query, result);
+        }
+        report
+    }
+
+    /// Classifies a starvation the way the assigned shard sees it.
+    #[must_use]
+    pub fn starvation_error(&self, query: &Query) -> SbqaError {
+        let shard = self.router.shard_of_query(query.id);
+        self.shards[shard]
+            .mediator()
+            .providers()
+            .starvation_error(query)
+    }
+
+    /// Immutable access to one shard's satisfaction registry.
+    #[must_use]
+    pub fn satisfaction(&self, shard: usize) -> &SatisfactionRegistry {
+        self.shards[shard].mediator().satisfaction()
+    }
+
+    /// Snapshots the per-shard tallies and latency distributions.
+    #[must_use]
+    pub fn shard_reports(&self) -> Vec<ShardReport> {
+        self.shards
+            .iter()
+            .map(|shard| ShardReport {
+                shard: shard.index(),
+                report: shard.report(),
+                latency: shard.latency().clone(),
+            })
+            .collect()
+    }
+
+    /// The whole-service latency distribution.
+    #[must_use]
+    pub fn aggregate_latency(&self) -> LatencyRecorder {
+        let mut merged = LatencyRecorder::new();
+        for shard in &self.shards {
+            merged.merge(shard.latency());
+        }
+        merged
+    }
+
+    /// Decomposes the service into its router and shards — the handoff the
+    /// async ingest front uses to move each shard into its mediation thread.
+    #[must_use]
+    pub fn into_shards(self) -> (ShardRouter, Vec<MediatorShard>) {
+        (self.router, self.shards)
+    }
+}
+
+/// The merged processing order's sort key.
+fn merge_key(query: &Query) -> (sbqa_types::VirtualTime, sbqa_types::QueryId) {
+    (query.issued_at, query.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbqa_core::StaticIntentions;
+    use sbqa_types::{Capability, Intention, QueryId, VirtualTime};
+
+    fn caps(class: u8) -> CapabilitySet {
+        CapabilitySet::singleton(Capability::new(class))
+    }
+
+    fn query(id: u64, at: f64) -> Query {
+        Query::builder(QueryId::new(id), ConsumerId::new(1), Capability::new(0))
+            .issued_at(VirtualTime::new(at))
+            .build()
+    }
+
+    fn service(shards: usize) -> ShardedMediator {
+        let mut service =
+            ShardedMediator::sbqa(SystemConfig::default().with_knbest(10, 3), 42, shards).unwrap();
+        for p in 0..40u64 {
+            service.register_provider(ProviderId::new(p), caps(0), 1.0);
+        }
+        service.register_consumer(ConsumerId::new(1));
+        service
+    }
+
+    #[test]
+    fn providers_land_on_exactly_one_shard() {
+        let service = service(4);
+        assert_eq!(service.shard_count(), 4);
+        assert_eq!(service.provider_count(), 40);
+        for p in 0..40u64 {
+            let id = ProviderId::new(p);
+            let owner = service.router().shard_of_provider(id);
+            for shard in service.shards() {
+                let present = shard.mediator().providers().get(id).is_some();
+                assert_eq!(
+                    present,
+                    shard.index() == owner,
+                    "provider {p} on shard {}",
+                    shard.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routed_operations_reach_the_owning_shard() {
+        let mut service = service(4);
+        let id = ProviderId::new(7);
+        let owner = service.router().shard_of_provider(id);
+        service.update_provider_load(id, 3.5, 2).unwrap();
+        let snapshot = service.shard(owner).mediator().providers().get(id).unwrap();
+        assert_eq!(snapshot.utilization, 3.5);
+        service.set_provider_online(id, false).unwrap();
+        assert!(
+            !service
+                .shard(owner)
+                .mediator()
+                .providers()
+                .get(id)
+                .unwrap()
+                .online
+        );
+        // Unknown providers are an error, not a misroute.
+        assert!(service
+            .update_provider_load(ProviderId::new(999), 1.0, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn batch_callback_sees_merged_time_then_id_order() {
+        let mut service = service(2);
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
+        // Batch deliberately out of order.
+        let queries = vec![query(5, 2.0), query(9, 1.0), query(3, 1.0), query(7, 2.0)];
+        let mut seen = Vec::new();
+        let report = service.submit_batch(&queries, &oracle, |pos, q, result| {
+            assert!(result.is_ok());
+            seen.push((pos, q.id.raw()));
+        });
+        assert_eq!(report.mediated, 4);
+        assert_eq!(seen, vec![(2, 3), (1, 9), (0, 5), (3, 7)]);
+    }
+
+    #[test]
+    fn batch_tallies_fold_into_shard_reports() {
+        let mut service = service(2);
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
+        let queries = vec![
+            query(1, 0.0),
+            // Starves: nobody advertises capability 9.
+            Query::builder(QueryId::new(2), ConsumerId::new(1), Capability::new(9))
+                .issued_at(VirtualTime::new(0.0))
+                .build(),
+            query(3, 0.0),
+        ];
+        let report = service.submit_batch(&queries, &oracle, |_, _, _| {});
+        assert_eq!(report.mediated, 2);
+        assert_eq!(report.starved, 1);
+
+        let shard_totals: BatchReport = {
+            let mut total = BatchReport::default();
+            for shard_report in service.shard_reports() {
+                total.merge(&shard_report.report);
+            }
+            total
+        };
+        assert_eq!(shard_totals, report);
+        assert_eq!(service.aggregate_latency().count(), 3);
+    }
+
+    #[test]
+    fn starvation_error_is_shard_local() {
+        let mut service = ShardedMediator::sbqa(SystemConfig::default(), 4, 4).unwrap();
+        // One provider, capability 1: only its owning shard knows it.
+        service.register_provider(ProviderId::new(1), caps(1), 1.0);
+        let q = Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(1)).build();
+        let err = service.starvation_error(&q);
+        let owner = service.router().shard_of_provider(ProviderId::new(1));
+        let assigned = service.router().shard_of_query(q.id);
+        if owner == assigned {
+            // The capable provider is local (and online) — the query would
+            // not actually starve; the classifier reports "offline" only
+            // when it is.
+            assert!(service
+                .submit_in_place(&q, &StaticIntentions::new())
+                .is_ok());
+        } else {
+            assert!(matches!(err, SbqaError::NoCapableProvider { .. }));
+        }
+    }
+}

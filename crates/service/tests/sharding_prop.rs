@@ -1,0 +1,152 @@
+//! Property tests for the sharding invariants.
+//!
+//! For any provider population, shard count and query workload:
+//!
+//! * **partition disjointness** — every registered provider id lives in
+//!   exactly one shard's registry (and it is the router's owning shard);
+//! * **allocation soundness** — every query a sharded run allocates goes to
+//!   providers that satisfy its `CapabilityRequirement`, are online, and are
+//!   owned by the shard that mediated the query;
+//! * **conservation** — the merged tallies account for every submitted
+//!   query, and per-shard tallies sum to the total.
+
+use proptest::prelude::*;
+
+use sbqa_core::StaticIntentions;
+use sbqa_service::ShardedMediator;
+use sbqa_types::{
+    Capability, CapabilityRequirement, CapabilitySet, ConsumerId, Intention, ProviderId, Query,
+    QueryId, SystemConfig, VirtualTime,
+};
+
+const CLASSES: u8 = 6;
+
+fn capability_set(mask: u8) -> CapabilitySet {
+    CapabilitySet::from_capabilities(
+        (0..CLASSES)
+            .filter(|class| mask & (1 << class) != 0)
+            .map(Capability::new),
+    )
+}
+
+fn requirement(mask: u8, conjunctive: bool) -> CapabilityRequirement {
+    let set = capability_set(mask);
+    if conjunctive {
+        CapabilityRequirement::All(set)
+    } else {
+        CapabilityRequirement::Any(set)
+    }
+}
+
+proptest! {
+    #[test]
+    fn sharded_runs_uphold_partition_and_allocation_invariants(
+        // (id, capability mask, capacity bump) per provider; duplicate ids
+        // re-register on the same shard (routing is id-pure).
+        providers in proptest::collection::vec((0u64..80, 1u8..64, 0u8..4), 1..50),
+        shards in 1usize..6,
+        seed in 0u64..1_000,
+        // (id, requirement mask, conjunctive, replication) per query.
+        queries in proptest::collection::vec(
+            (0u64..200, 1u8..64, proptest::bool::ANY, 1usize..3),
+            1..60,
+        ),
+    ) {
+        let config = SystemConfig::default().with_knbest(8, 3);
+        let mut service = ShardedMediator::sbqa(config, seed, shards).unwrap();
+        for (id, mask, bump) in &providers {
+            let owner = service.register_provider(
+                ProviderId::new(*id),
+                capability_set(*mask),
+                1.0 + f64::from(*bump),
+            );
+            prop_assert_eq!(owner, service.router().shard_of_provider(ProviderId::new(*id)));
+        }
+        service.register_consumer(ConsumerId::new(1));
+
+        // Partition disjointness: each registered id appears in exactly one
+        // shard's registry, and it is the router's owning shard.
+        let mut total_registered = 0;
+        for shard in service.shards() {
+            total_registered += shard.mediator().providers().len();
+            for snapshot in shard.mediator().providers().iter() {
+                prop_assert_eq!(
+                    service.router().shard_of_provider(snapshot.id),
+                    shard.index(),
+                    "provider {} on shard {}", snapshot.id, shard.index()
+                );
+            }
+        }
+        let distinct: std::collections::HashSet<u64> =
+            providers.iter().map(|(id, _, _)| *id).collect();
+        prop_assert_eq!(total_registered, distinct.len());
+
+        // Allocation soundness over the whole workload.
+        let batch: Vec<Query> = queries
+            .iter()
+            .enumerate()
+            .map(|(position, (id, mask, conjunctive, replication))| {
+                Query::requiring(
+                    QueryId::new(*id),
+                    ConsumerId::new(1),
+                    requirement(*mask, *conjunctive),
+                )
+                .replication(*replication)
+                .issued_at(VirtualTime::new(position as f64))
+                .build()
+            })
+            .collect();
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.2), Intention::new(0.2));
+        let router = *service.router();
+        let mut mediations: Vec<(Query, Option<sbqa_core::AllocationDecision>)> = Vec::new();
+        let report = service.submit_batch(&batch, &oracle, |_, query, result| {
+            mediations.push((query.clone(), result.ok().cloned()));
+        });
+        for (query, decision) in &mediations {
+            let Some(decision) = decision else { continue };
+            let shard = router.shard_of_query(query.id);
+            prop_assert!(!decision.selected.is_empty());
+            for provider in &decision.selected {
+                prop_assert_eq!(
+                    router.shard_of_provider(*provider), shard,
+                    "query {} allocated to provider {} outside its shard",
+                    query.id, provider
+                );
+            }
+            for proposal in &decision.proposals {
+                prop_assert!(
+                    query.required.matched_by(
+                        // Capability satisfaction is checked against the
+                        // registered profile (last registration of the id
+                        // wins), not the proposal record.
+                        lookup_capabilities(proposal.provider, &providers)
+                    ),
+                    "query {} consulted incapable provider {}",
+                    query.id, proposal.provider
+                );
+            }
+        }
+
+        // Conservation: every query accounted for, shard tallies sum up.
+        prop_assert_eq!(mediations.len(), batch.len());
+        prop_assert_eq!(report.submitted(), batch.len());
+        let shard_sum: usize = service
+            .shard_reports()
+            .iter()
+            .map(|s| s.report.submitted())
+            .sum();
+        prop_assert_eq!(shard_sum, batch.len());
+    }
+}
+
+/// The capability profile a provider id ended up registered with: the *last*
+/// `(id, mask)` entry wins, exactly like repeated `register_provider` calls.
+fn lookup_capabilities(id: ProviderId, providers: &[(u64, u8, u8)]) -> CapabilitySet {
+    providers
+        .iter()
+        .rev()
+        .find(|(raw, _, _)| *raw == id.raw())
+        .map(|(_, mask, _)| capability_set(*mask))
+        .expect("allocated provider was registered")
+}

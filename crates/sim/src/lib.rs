@@ -34,6 +34,7 @@ pub mod provider;
 pub mod report;
 pub mod rng;
 pub mod runner;
+pub mod sharded;
 pub mod workload;
 
 pub use config::{DeparturePolicy, NetworkConfig, SimulationConfig};
@@ -44,4 +45,8 @@ pub use provider::{ProviderSpec, ProviderState};
 pub use report::{ParticipantCounts, SimulationReport};
 pub use rng::SimRng;
 pub use runner::{Simulation, SimulationBuilder};
+pub use sharded::{
+    generate_query_stream, run_sharded_service, run_single_mediator, BaselineRun, HashIntentions,
+    ShardedRunConfig,
+};
 pub use workload::WorkloadModel;

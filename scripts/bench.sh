@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the five criterion micro-benchmarks and collects their results as JSON.
+# Runs the criterion micro-benchmarks and collects their results as JSON.
 #
 # Each bench appends JSON lines ({"id": ..., "ns_per_iter": ..., "iters": ...})
 # to bench_results/BENCH_<name>.json via the CRITERION_JSON environment
@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 OUT_DIR="$(pwd)/${1:-bench_results}"
 mkdir -p "$OUT_DIR"
 
-BENCHES=(allocation knbest registry scoring scenarios window)
+BENCHES=(allocation knbest registry scoring scenarios service window)
 
 for bench in "${BENCHES[@]}"; do
     out="$OUT_DIR/BENCH_${bench}.json"

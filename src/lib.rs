@@ -19,7 +19,11 @@
 //! * [`baselines`] — the Capacity-based and Economic (Mariposa-style)
 //!   baselines of the paper, plus Random / Round-robin / Load-based sanity
 //!   baselines;
-//! * [`sim`] — the discrete-event simulator standing in for SimJava;
+//! * [`service`] — the sharded mediation service: provider-disjoint mediator
+//!   shards behind a deterministic router, with an async mpsc ingest front
+//!   and per-shard tail-latency instrumentation;
+//! * [`sim`] — the discrete-event simulator standing in for SimJava, plus
+//!   the open-loop sharded runner path ([`sim::sharded`]);
 //! * [`boinc`] — the BOINC-shaped volunteer-computing workload and the seven
 //!   demonstration scenarios;
 //! * [`metrics`] — the measurement toolkit shared by every experiment.
@@ -64,6 +68,7 @@ pub use sbqa_boinc as boinc;
 pub use sbqa_core as core;
 pub use sbqa_metrics as metrics;
 pub use sbqa_satisfaction as satisfaction;
+pub use sbqa_service as service;
 pub use sbqa_sim as sim;
 pub use sbqa_types as types;
 
