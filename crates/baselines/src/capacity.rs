@@ -1,4 +1,4 @@
-//! The Capacity-based baseline ([9] in the paper).
+//! The Capacity-based baseline (\[9\] in the paper).
 //!
 //! This is how the paper characterises BOINC's own dispatch, and more
 //! generally classic load-balancing allocation: the mediator sends a query to

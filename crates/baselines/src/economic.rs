@@ -1,4 +1,4 @@
-//! The economic baseline ([13] in the paper — Mariposa-style bidding).
+//! The economic baseline (\[13\] in the paper — Mariposa-style bidding).
 //!
 //! In Mariposa, queries carry budgets and providers *bid* for the right to
 //! execute query fragments; the broker buys the cheapest acceptable bids.

@@ -5,10 +5,10 @@
 //! [`QueryAllocator`](sbqa_core::QueryAllocator) trait as SbQA so that the
 //! scenario harnesses can swap them freely:
 //!
-//! * [`CapacityAllocator`] — the paper's "Capacity based" baseline ([9]),
+//! * [`CapacityAllocator`] — the paper's "Capacity based" baseline (\[9\]),
 //!   equivalent to how BOINC dispatches work: queries go to the
 //!   least-utilized capable providers; participants' interests are ignored.
-//! * [`EconomicAllocator`] — the economic baseline ([13], Mariposa): each
+//! * [`EconomicAllocator`] — the economic baseline (\[13\], Mariposa): each
 //!   provider bids a price derived from its load and capacity, the lowest
 //!   bids win.
 //! * [`RandomAllocator`], [`RoundRobinAllocator`], [`LoadBasedAllocator`] —

@@ -235,15 +235,19 @@ fn main() -> ExitCode {
             format!("{:.1}", report.wall.as_secs_f64() * 1e3),
             format!("{:.0}", report.throughput_per_sec()),
         ]);
+        // One shared unit per configuration (picked from the widest shard
+        // p99), so the shard rows compare at a glance instead of flipping
+        // units mid-column.
+        let unit = report.shard_latency_unit();
         for shard in &report.shards {
-            let [p50, p95, p99, _] = latency_row(&shard.latency);
+            let quantiles = shard.latency.percentiles(&[0.50, 0.95, 0.99]);
             shard_table.add_row(&[
                 format!("{shards} shards"),
                 shard.shard.to_string(),
                 shard.report.submitted().to_string(),
-                p50,
-                p95,
-                p99,
+                unit.format(quantiles[0]),
+                unit.format(quantiles[1]),
+                unit.format(quantiles[2]),
             ]);
         }
     }

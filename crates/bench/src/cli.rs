@@ -1,7 +1,8 @@
 //! Command-line flag parsing shared by every scenario binary.
 //!
-//! All ten harness binaries (`scenario1` … `scenario7`, `scenario_k_sweep`,
-//! `scenario_multicap`, `scenario_sharded`) accept one flag vocabulary,
+//! All eleven harness binaries (`scenario1` … `scenario7`,
+//! `scenario_k_sweep`, `scenario_multicap`, `scenario_sharded`,
+//! `scenario_adaptive`) accept one flag vocabulary,
 //! parsed here — scale (`--quick`, `--volunteers`/`--providers`,
 //! `--duration`, `--arrival`, `--queries`), determinism (`--seed`), the
 //! KnBest knobs (`--k`, `--kn`), the sharded-service knobs (`--shards`,

@@ -2,8 +2,9 @@
 //!
 //! The experiment harness: scenario binaries (one per demonstration scenario,
 //! `scenario1` … `scenario7`, plus the `scenario_k_sweep` ablation, the
-//! `scenario_multicap` postings-merge experiment and the `scenario_sharded`
-//! mediation-service sweep) and the Criterion micro-benchmarks in `benches/`.
+//! `scenario_multicap` postings-merge experiment, the `scenario_sharded`
+//! mediation-service sweep and the `scenario_adaptive` self-tuned-`kn`
+//! comparison) and the Criterion micro-benchmarks in `benches/`.
 //!
 //! Every binary accepts the same flags, parsed by the shared [`cli`] module:
 //!
@@ -14,7 +15,8 @@
 //!   `--arrival RATE`, `--seed SEED` — override individual scale parameters;
 //! * `--k K`, `--kn KN` — override the KnBest knobs of the preset;
 //! * `--shards N1,N2,...`, `--batch B`, `--queries Q` — the sharded
-//!   mediation-service knobs (used by `scenario_sharded`);
+//!   mediation-service knobs (used by `scenario_sharded` and
+//!   `scenario_adaptive`);
 //! * `--csv PATH` — additionally dump every time series (the analogue of the
 //!   demo's live plots) as long-format CSV.
 

@@ -8,8 +8,8 @@
 //!   ([`ProviderSnapshot`]), without cloning the population,
 //! * an [`IntentionOracle`] it may consult to learn the consumer's intention
 //!   towards a provider and a provider's intention towards the query, and
-//! * the mediator's [`SatisfactionRegistry`](sbqa_satisfaction::SatisfactionRegistry)
-//!   for techniques (like SbQA) that balance the two sides by satisfaction.
+//! * the mediator's [`SatisfactionRegistry`] for techniques (like SbQA)
+//!   that balance the two sides by satisfaction.
 //!
 //! It fills an [`AllocationDecision`]: which providers to allocate the
 //! query to, and the full list of proposals made (needed to update provider
@@ -24,7 +24,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_satisfaction::{GapSample, SatisfactionRegistry};
 use sbqa_types::{CapabilitySet, Intention, ProviderId, Query, SbqaResult};
 
 /// The mediator-visible state of a provider at allocation time.
@@ -341,6 +341,26 @@ pub trait QueryAllocator: Send {
         let mut decision = AllocationDecision::default();
         self.allocate_into(query, candidates, oracle, satisfaction, &mut decision)?;
         Ok(decision)
+    }
+
+    /// Re-sizes the technique's exploration width (SbQA's `kn`) before the
+    /// next allocation. The adaptive-`kn` controller
+    /// ([`KnController`](crate::adaptive::KnController)) calls this per
+    /// query; techniques without a width knob ignore it (the default).
+    fn set_exploration_width(&mut self, _kn: usize) {}
+
+    /// The technique's current exploration width, if it has one.
+    fn exploration_width(&self) -> Option<usize> {
+        None
+    }
+
+    /// The satisfaction-gap sample of the most recent allocation, for
+    /// techniques that read both sides' satisfaction anyway (SbQA fetches
+    /// them to resolve ω, so the sample is free). Feeds the adaptive-`kn`
+    /// controller; `None` (the default) simply disables gap-driven
+    /// adaptation for the technique.
+    fn satisfaction_signal(&self) -> Option<GapSample> {
+        None
     }
 }
 

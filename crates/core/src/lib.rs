@@ -21,6 +21,11 @@
 //!    `Kn`, so that satisfaction reflects proposals as well as allocations
 //!    ([`mediator`]).
 //!
+//! The exploration width `kn` can additionally **self-tune** at runtime: the
+//! [`adaptive`] module's [`KnController`] re-sizes it per capability class
+//! from the observed consumer/provider satisfaction gap, which is the
+//! paper's self-adaptation claim applied to KnBest itself.
+//!
 //! Baseline techniques (capacity-based, economic, …) implement the same
 //! [`QueryAllocator`] trait in the `sbqa-baselines` crate, which is what lets
 //! the scenario harnesses compare them under identical conditions.
@@ -28,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod allocator;
 pub mod intention;
 pub mod knbest;
@@ -36,6 +42,7 @@ pub mod ranking;
 pub mod registry;
 pub mod scoring;
 
+pub use adaptive::{KnAdjustment, KnController, KnControllerConfig};
 pub use allocator::{
     AllocationDecision, Candidates, IntentionOracle, ProposalRecord, ProviderSnapshot,
     QueryAllocator, StaticIntentions,

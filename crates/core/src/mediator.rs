@@ -25,11 +25,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_satisfaction::{GapSample, SatisfactionRegistry};
 use sbqa_types::{
     CapabilitySet, Intention, ProviderId, Query, SbqaError, SbqaResult, SystemConfig,
 };
 
+use crate::adaptive::{KnController, KnControllerConfig};
 use crate::allocator::{
     AllocationDecision, Candidates, IntentionOracle, ProposalRecord, QueryAllocator,
 };
@@ -50,6 +51,15 @@ pub struct SbqaAllocator {
     scores: Vec<f64>,
     /// Proposal indices in ranking order (the vector `R`).
     ranking: Vec<u32>,
+    /// Gap sample of the most recent allocation: the *instantaneous*
+    /// per-mediation satisfaction of both sides (Definition 1 for the
+    /// consumer, the per-proposal Definition-2 value averaged over `Kn` for
+    /// the providers), computed from the decision the allocator just built —
+    /// no registry reads. Unlike the registry's long-run values, this signal
+    /// cannot be censored by dissatisfied participants departing, and it is
+    /// sharply `kn`-sensitive (every consulted-but-rejected provider
+    /// contributes a zero), which is what makes it a usable control input.
+    last_signal: Option<GapSample>,
 }
 
 impl SbqaAllocator {
@@ -65,6 +75,7 @@ impl SbqaAllocator {
             knbest: KnBestScratch::new(),
             scores: Vec::new(),
             ranking: Vec::new(),
+            last_signal: None,
         })
     }
 
@@ -153,7 +164,41 @@ impl QueryAllocator for SbqaAllocator {
         } else {
             Some(omega_sum / kn.len() as f64)
         };
+        // The per-mediation gap sample, straight off the decision:
+        // Definition 1 for the consumer (missing results count 0),
+        // per-proposal Definition 2 averaged over Kn for the providers
+        // (rejected proposals count 0).
+        self.last_signal = if kn.is_empty() {
+            None
+        } else {
+            let mut consumer_gain = 0.0;
+            let mut provider_gain = 0.0;
+            for proposal in &decision.proposals {
+                if proposal.selected {
+                    consumer_gain += proposal.consumer_intention.to_unit().value();
+                    provider_gain += proposal.provider_intention.to_unit().value();
+                }
+            }
+            Some(GapSample::from_sums(
+                consumer_gain,
+                query.replication,
+                provider_gain,
+                kn.len(),
+            ))
+        };
         Ok(())
+    }
+
+    fn set_exploration_width(&mut self, kn: usize) {
+        self.selector.kn = kn.clamp(1, self.selector.k);
+    }
+
+    fn exploration_width(&self) -> Option<usize> {
+        Some(self.selector.kn)
+    }
+
+    fn satisfaction_signal(&self) -> Option<GapSample> {
+        self.last_signal
     }
 }
 
@@ -217,6 +262,9 @@ pub struct Mediator {
     providers: ProviderRegistry,
     satisfaction: SatisfactionRegistry,
     scratch: MediationScratch,
+    /// Adaptive-`kn` controller; `None` (the default) leaves the hosted
+    /// technique's static width untouched, byte-for-byte.
+    kn_controller: Option<KnController>,
 }
 
 impl Mediator {
@@ -229,6 +277,7 @@ impl Mediator {
             providers: ProviderRegistry::new(),
             satisfaction: SatisfactionRegistry::new(satisfaction_window),
             scratch: MediationScratch::default(),
+            kn_controller: None,
         }
     }
 
@@ -260,12 +309,15 @@ impl Mediator {
             providers,
             satisfaction,
             scratch: MediationScratch::default(),
+            kn_controller: None,
         }
     }
 
     /// Decomposes the mediator into its owned state (allocation technique,
-    /// provider registry, satisfaction registry), dropping the scratch. The
-    /// counterpart of [`Mediator::from_parts`].
+    /// provider registry, satisfaction registry), dropping the scratch and
+    /// any adaptive-`kn` controller (hosts that repartition shards re-enable
+    /// adaptation on the rebuilt mediators). The counterpart of
+    /// [`Mediator::from_parts`].
     #[must_use]
     pub fn into_parts(
         self,
@@ -332,6 +384,50 @@ impl Mediator {
         &mut self.satisfaction
     }
 
+    /// Enables adaptive `kn`: the mediator consults the
+    /// [`KnController`] before every KnBest draw (re-sizing the hosted
+    /// technique's exploration width per capability class) and feeds it the
+    /// per-mediation satisfaction-gap samples the technique reports. One
+    /// adaptation round runs at the start of every [`Mediator::submit_batch`]
+    /// (hosts with their own batching cadence call [`Mediator::adapt_kn`]).
+    ///
+    /// # Panics
+    /// Panics on an invalid controller configuration — adaptation is enabled
+    /// at setup time, where a loud failure beats a silently inert controller.
+    pub fn enable_adaptive_kn(&mut self, config: KnControllerConfig) {
+        self.kn_controller =
+            Some(KnController::new(config).expect("adaptive-kn configuration must be valid"));
+    }
+
+    /// Disables adaptive `kn`, freezing the hosted technique at whatever
+    /// width it currently has.
+    pub fn disable_adaptive_kn(&mut self) {
+        self.kn_controller = None;
+    }
+
+    /// The adaptive-`kn` controller, if enabled.
+    #[must_use]
+    pub fn adaptive_kn(&self) -> Option<&KnController> {
+        self.kn_controller.as_ref()
+    }
+
+    /// The current exploration width of a capability class, when adaptation
+    /// is enabled and the class has been contacted.
+    #[must_use]
+    pub fn current_kn(&self, class: u8) -> Option<usize> {
+        self.kn_controller
+            .as_ref()
+            .and_then(|controller| controller.current_kn(class))
+    }
+
+    /// Runs one adaptation round on the controller (a no-op without one).
+    /// Returns the number of capability classes whose `kn` changed.
+    /// [`Mediator::submit_batch`] calls this automatically at every batch
+    /// boundary; service fronts with their own drain loops call it at theirs.
+    pub fn adapt_kn(&mut self) -> usize {
+        self.kn_controller.as_mut().map_or(0, KnController::adapt)
+    }
+
     /// The shared mediation core: computes `Pq` as a borrowed view, lets the
     /// allocation technique fill the scratch decision, and records the
     /// mediation result on both sides' satisfaction — all without allocating
@@ -345,7 +441,11 @@ impl Mediator {
             providers,
             satisfaction,
             scratch,
+            kn_controller,
         } = self;
+        if let Some(controller) = kn_controller {
+            allocator.set_exploration_width(controller.kn_for_query(query));
+        }
         let candidates = providers.candidates(query);
         if candidates.is_empty() {
             return Err(providers.starvation_error(query));
@@ -358,6 +458,11 @@ impl Mediator {
             satisfaction,
             &mut scratch.decision,
         )?;
+        if let Some(controller) = kn_controller {
+            if let Some(sample) = allocator.satisfaction_signal() {
+                controller.observe_query(query, sample);
+            }
+        }
 
         // "…sends the mediation result to the consumer and all providers in
         // set Kn": both sides update their satisfaction windows.
@@ -418,6 +523,10 @@ impl Mediator {
     where
         F: FnMut(usize, &Query, SbqaResult<&AllocationDecision>),
     {
+        // Batch boundary: one adaptation round before the drain, so every
+        // query of the batch is drawn with the widths the previous batches'
+        // evidence decided (a pure no-op when adaptation is disabled).
+        self.adapt_kn();
         let mut report = BatchReport::default();
         for (position, query) in queries.iter().enumerate() {
             match self.mediate(query, oracle) {
@@ -880,6 +989,119 @@ mod tests {
             consumer_sat_before
         );
         assert!(rebuilt.submit(&query(2, 1), &oracle).is_ok());
+    }
+
+    #[test]
+    fn allocator_reports_a_gap_sample_and_resizes() {
+        let config = SystemConfig::default().with_knbest(10, 3);
+        let mut alloc = SbqaAllocator::new(config, 42).unwrap();
+        assert_eq!(alloc.exploration_width(), Some(3));
+        assert!(alloc.satisfaction_signal().is_none(), "no allocation yet");
+
+        let satisfaction = SatisfactionRegistry::new(10);
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
+        alloc
+            .allocate(
+                &query(1, 1),
+                Candidates::from_slice(&snapshots(20)),
+                &oracle,
+                &satisfaction,
+            )
+            .unwrap();
+        // Intentions 0.5 map to a 0.75 per-result gain: the one winner gives
+        // the consumer 0.75 (q.n = 1) and the provider side 0.75 diluted
+        // over the kn = 3 consulted providers.
+        let sample = alloc.satisfaction_signal().unwrap();
+        assert!((sample.consumer - 0.75).abs() < 1e-12);
+        assert!((sample.provider - 0.25).abs() < 1e-12);
+
+        // Re-sizing clamps to [1, k].
+        alloc.set_exploration_width(7);
+        assert_eq!(alloc.exploration_width(), Some(7));
+        alloc.set_exploration_width(0);
+        assert_eq!(alloc.exploration_width(), Some(1));
+        alloc.set_exploration_width(99);
+        assert_eq!(alloc.exploration_width(), Some(10), "capped at k");
+    }
+
+    #[test]
+    fn adaptive_kn_moves_width_per_batch_and_disabling_freezes_it() {
+        use crate::adaptive::KnControllerConfig;
+
+        let config = SystemConfig::default().with_knbest(10, 4);
+        let mut mediator = Mediator::sbqa(config, 31).unwrap();
+        for p in 0..10u64 {
+            mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+        }
+        mediator.register_consumer(ConsumerId::new(1));
+        assert!(mediator.adaptive_kn().is_none());
+        assert_eq!(mediator.adapt_kn(), 0, "no controller: adapt is a no-op");
+
+        mediator.enable_adaptive_kn(KnControllerConfig {
+            initial_kn: 4,
+            min_kn: 2,
+            max_kn: 8,
+            alpha: 1.0,
+            target_gap: 0.0,
+            deadband: 0.1,
+            step: 1,
+            window: 32,
+        });
+
+        // Providers hate the work (-0.9): performed-query satisfaction
+        // collapses while the consumer stays pleased — the gap rises and kn
+        // must shrink batch over batch.
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.9), Intention::new(-0.9));
+        let batch: Vec<Query> = (0..12u64).map(|q| query(q, 1)).collect();
+        for _ in 0..6 {
+            mediator.submit_batch(&batch, &oracle, |_, _, _| {});
+        }
+        assert_eq!(mediator.current_kn(0), Some(2), "width hit the floor");
+        let controller = mediator.adaptive_kn().unwrap();
+        assert!(controller.rounds() >= 6);
+        assert!(!controller.trail().is_empty());
+
+        // Disabling freezes the allocator at its adapted width.
+        mediator.disable_adaptive_kn();
+        assert!(mediator.adaptive_kn().is_none());
+        assert_eq!(mediator.current_kn(0), None);
+    }
+
+    #[test]
+    fn disabled_adaptation_is_byte_identical_to_a_plain_mediator() {
+        let build = || {
+            let config = SystemConfig::default().with_knbest(10, 4);
+            let mut mediator = Mediator::sbqa(config, 99).unwrap();
+            for p in 0..10u64 {
+                mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+            }
+            mediator.register_consumer(ConsumerId::new(1));
+            mediator
+        };
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
+        let queries: Vec<Query> = (0..60u64).map(|q| query(q, 2)).collect();
+
+        let mut plain = build();
+        let mut toggled = build();
+        // Enabling and immediately disabling before any mediation must leave
+        // no trace on the decision stream.
+        toggled.enable_adaptive_kn(crate::adaptive::KnControllerConfig::default());
+        toggled.disable_adaptive_kn();
+
+        for chunk in queries.chunks(15) {
+            let mut expected = Vec::new();
+            plain.submit_batch(chunk, &oracle, |_, _, result| {
+                expected.push(result.unwrap().clone());
+            });
+            let mut got = Vec::new();
+            toggled.submit_batch(chunk, &oracle, |_, _, result| {
+                got.push(result.unwrap().clone());
+            });
+            assert_eq!(expected, got);
+        }
     }
 
     #[test]

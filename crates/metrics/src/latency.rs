@@ -126,17 +126,84 @@ impl LatencyRecorder {
 
     /// Formats a nanosecond figure with an adaptive unit (`ns`, `µs`, `ms`,
     /// `s`), for the scenario tables.
+    ///
+    /// The unit is chosen **per value**, which reads well for a single
+    /// figure but makes a column of figures hard to compare (`980.00µs` next
+    /// to `1.02ms`). When formatting a row or column of related figures —
+    /// per-shard percentile tables, notably — pick one [`LatencyUnit`] for
+    /// the whole group instead.
     #[must_use]
     pub fn display_nanos(nanos: u64) -> String {
-        let nanos = nanos as f64;
-        if nanos < 1_000.0 {
-            format!("{nanos:.0}ns")
-        } else if nanos < 1_000_000.0 {
-            format!("{:.2}µs", nanos / 1_000.0)
-        } else if nanos < 1_000_000_000.0 {
-            format!("{:.2}ms", nanos / 1_000_000.0)
+        LatencyUnit::for_nanos(nanos).format(nanos)
+    }
+}
+
+/// A fixed latency display unit, for formatting groups of related figures
+/// (e.g. every shard row of a `ServiceReport` table) with **one shared
+/// unit** so the magnitudes compare at a glance.
+///
+/// Pick the unit from the group's largest figure with
+/// [`LatencyUnit::for_nanos`], then format every member with
+/// [`LatencyUnit::format`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencyUnit {
+    /// Nanoseconds (`ns`).
+    Nanos,
+    /// Microseconds (`µs`).
+    Micros,
+    /// Milliseconds (`ms`).
+    Millis,
+    /// Seconds (`s`).
+    Secs,
+}
+
+impl LatencyUnit {
+    /// The unit [`LatencyRecorder::display_nanos`] would pick for this
+    /// figure — call it on a group's *largest* member to get a shared unit
+    /// every smaller member still reads naturally in.
+    #[must_use]
+    pub fn for_nanos(nanos: u64) -> Self {
+        if nanos < 1_000 {
+            LatencyUnit::Nanos
+        } else if nanos < 1_000_000 {
+            LatencyUnit::Micros
+        } else if nanos < 1_000_000_000 {
+            LatencyUnit::Millis
         } else {
-            format!("{:.2}s", nanos / 1_000_000_000.0)
+            LatencyUnit::Secs
+        }
+    }
+
+    /// The unit's display suffix.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LatencyUnit::Nanos => "ns",
+            LatencyUnit::Micros => "µs",
+            LatencyUnit::Millis => "ms",
+            LatencyUnit::Secs => "s",
+        }
+    }
+
+    /// Converts a nanosecond figure into this unit.
+    #[must_use]
+    pub fn convert(self, nanos: u64) -> f64 {
+        let nanos = nanos as f64;
+        match self {
+            LatencyUnit::Nanos => nanos,
+            LatencyUnit::Micros => nanos / 1_000.0,
+            LatencyUnit::Millis => nanos / 1_000_000.0,
+            LatencyUnit::Secs => nanos / 1_000_000_000.0,
+        }
+    }
+
+    /// Formats a nanosecond figure in this unit (no decimals for `ns`, two
+    /// otherwise).
+    #[must_use]
+    pub fn format(self, nanos: u64) -> String {
+        match self {
+            LatencyUnit::Nanos => format!("{}ns", nanos),
+            unit => format!("{:.2}{}", unit.convert(nanos), unit.label()),
         }
     }
 }
@@ -231,5 +298,30 @@ mod tests {
         assert_eq!(LatencyRecorder::display_nanos(1_500), "1.50µs");
         assert_eq!(LatencyRecorder::display_nanos(2_500_000), "2.50ms");
         assert_eq!(LatencyRecorder::display_nanos(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn shared_unit_formats_a_whole_group_comparably() {
+        // The per-recorder adaptive display renders these two figures in
+        // *different* units — visually incomparable in a table column.
+        assert_eq!(LatencyRecorder::display_nanos(980_000), "980.00µs");
+        assert_eq!(LatencyRecorder::display_nanos(1_020_000), "1.02ms");
+
+        // A shared unit picked from the group's maximum fixes that.
+        let unit = LatencyUnit::for_nanos(1_020_000);
+        assert_eq!(unit, LatencyUnit::Millis);
+        assert_eq!(unit.format(980_000), "0.98ms");
+        assert_eq!(unit.format(1_020_000), "1.02ms");
+        assert_eq!(unit.label(), "ms");
+    }
+
+    #[test]
+    fn unit_selection_matches_the_adaptive_display() {
+        for nanos in [1u64, 999, 1_000, 999_999, 1_000_000, 5_000_000_000] {
+            let unit = LatencyUnit::for_nanos(nanos);
+            assert_eq!(unit.format(nanos), LatencyRecorder::display_nanos(nanos));
+        }
+        assert_eq!(LatencyUnit::Nanos.convert(750), 750.0);
+        assert!((LatencyUnit::Secs.convert(1_500_000_000) - 1.5).abs() < 1e-12);
     }
 }

@@ -24,7 +24,7 @@ pub mod timeseries;
 pub use balance::LoadBalanceReport;
 pub use csv::CsvWriter;
 pub use gini::gini_coefficient;
-pub use latency::LatencyRecorder;
+pub use latency::{LatencyRecorder, LatencyUnit};
 pub use response::ResponseTimeStats;
 pub use summary::Summary;
 pub use table::Table;

@@ -23,7 +23,10 @@
 //!
 //! The mediator keeps its own mirror of everybody's satisfaction in a
 //! [`SatisfactionRegistry`], which is what the ω computation of Equation 2
-//! reads.
+//! reads. The [`gap`] module distils the registry's two sides into a cheap
+//! windowed **satisfaction-gap signal** ([`GapSample`] / [`GapWindow`]) that
+//! self-adapting components — the adaptive-`kn` controller in `sbqa_core` —
+//! consume on the hot path without extra registry scans.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@
 pub mod adequation;
 pub mod analysis;
 pub mod consumer;
+pub mod gap;
 pub mod provider;
 pub mod registry;
 pub mod window;
@@ -38,6 +42,7 @@ pub mod window;
 pub use adequation::{AllocationEfficiency, ConsumerAdequation, ProviderAdequation};
 pub use analysis::{SatisfactionAnalysis, SatisfactionSnapshot, SideSummary};
 pub use consumer::{ConsumerInteraction, ConsumerSatisfaction};
+pub use gap::{GapSample, GapWindow};
 pub use provider::{ProviderInteraction, ProviderSatisfaction};
 pub use registry::SatisfactionRegistry;
 pub use window::InteractionWindow;

@@ -35,7 +35,7 @@ use std::time::Instant;
 
 use sbqa_core::allocator::IntentionOracle;
 
-use crate::report::{OutcomeRecord, ServiceReport, ShardReport};
+use crate::report::{OutcomeRecord, ServiceReport};
 use crate::router::ShardRouter;
 use crate::shard::MediatorShard;
 use crate::sharded::ShardedMediator;
@@ -170,11 +170,7 @@ impl MediationService {
         let mut outcomes = Vec::with_capacity(self.enqueued);
         for worker in self.workers {
             let result = worker.join().expect("shard mediation thread panicked");
-            shard_reports.push(ShardReport {
-                shard: result.shard.index(),
-                report: result.shard.report(),
-                latency: result.shard.latency().clone(),
-            });
+            shard_reports.push(result.shard.report_snapshot());
             outcomes.extend(result.outcomes);
             shards.push(result.shard);
         }
@@ -206,6 +202,12 @@ fn drain(
 ) -> ShardResult {
     let mut outcomes = Vec::new();
     while let Ok(chunk) = receiver.recv() {
+        // Chunk boundary = this front's batch boundary: one adaptation
+        // round per received chunk (a no-op without a controller). With
+        // adaptation enabled the ingest chunking therefore *is* the
+        // adaptation cadence — producers that need decisions independent of
+        // chunk size keep adaptation off.
+        shard.mediator_mut().adapt_kn();
         for envelope in &chunk {
             let query = &envelope.query;
             let result = shard.submit_with_start(query, oracle, envelope.enqueued);

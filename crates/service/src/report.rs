@@ -11,8 +11,8 @@
 //!   latency can be compared *across* shards;
 //! * the aggregate [`BatchReport`] and latency distribution.
 
-use sbqa_core::BatchReport;
-use sbqa_metrics::LatencyRecorder;
+use sbqa_core::{BatchReport, KnAdjustment};
+use sbqa_metrics::{LatencyRecorder, LatencyUnit};
 use sbqa_types::{ConsumerId, ProviderId, QueryId, VirtualTime};
 
 /// The service-visible outcome of one query's mediation.
@@ -52,6 +52,9 @@ pub struct ShardReport {
     pub report: BatchReport,
     /// Per-query ingest-to-decision latency samples.
     pub latency: LatencyRecorder,
+    /// The shard's adaptive-`kn` trajectory (every recorded width change,
+    /// in adaptation order); empty when adaptation is disabled.
+    pub kn_trail: Vec<KnAdjustment>,
 }
 
 /// The merged report of a whole service run.
@@ -110,6 +113,46 @@ impl ServiceReport {
         }
         self.total.submitted() as f64 / secs
     }
+
+    /// The display unit every per-shard latency row of this report should
+    /// share, chosen from the largest per-shard p99 (falling back to the
+    /// aggregate maximum when no shard recorded anything).
+    ///
+    /// The per-recorder adaptive display
+    /// ([`LatencyRecorder::display_nanos`]) picks its unit per value, which
+    /// renders neighbouring shard rows in different units (`980.00µs` next
+    /// to `1.02ms`) — visually incomparable. Formatting every row with this
+    /// one unit keeps the shard comparison honest.
+    #[must_use]
+    pub fn shard_latency_unit(&self) -> LatencyUnit {
+        let widest = self
+            .shards
+            .iter()
+            .map(|shard| shard.latency.p99())
+            .max()
+            .filter(|&p99| p99 > 0)
+            .unwrap_or_else(|| self.aggregate_latency().max_nanos());
+        LatencyUnit::for_nanos(widest)
+    }
+
+    /// Every shard's adaptive-`kn` trajectory, flattened in `(shard, round)`
+    /// order — the service-level kn-over-time series. Empty when adaptation
+    /// is disabled.
+    #[must_use]
+    pub fn kn_trajectory(&self) -> Vec<(usize, KnAdjustment)> {
+        let mut trajectory: Vec<(usize, KnAdjustment)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .kn_trail
+                    .iter()
+                    .map(move |adjustment| (shard.shard, *adjustment))
+            })
+            .collect();
+        trajectory.sort_by_key(|(shard, adjustment)| (*shard, adjustment.round));
+        trajectory
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +179,7 @@ mod tests {
                 latency.record_nanos(100 * (shard as u64 + 1));
                 latency
             },
+            kn_trail: Vec::new(),
         }
     }
 

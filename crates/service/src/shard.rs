@@ -102,6 +102,29 @@ impl MediatorShard {
         self.submit_with_start(query, oracle, Instant::now())
     }
 
+    /// The shard's adaptive-`kn` trajectory: every width change its
+    /// controller recorded, in adaptation order. Empty when adaptation is
+    /// disabled.
+    #[must_use]
+    pub fn kn_trail(&self) -> Vec<sbqa_core::KnAdjustment> {
+        self.mediator
+            .adaptive_kn()
+            .map(|controller| controller.trail().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Snapshots this shard's view of a run: tallies, latency distribution
+    /// and the adaptive-`kn` trajectory.
+    #[must_use]
+    pub fn report_snapshot(&self) -> crate::report::ShardReport {
+        crate::report::ShardReport {
+            shard: self.index,
+            report: self.report,
+            latency: self.latency.clone(),
+            kn_trail: self.kn_trail(),
+        }
+    }
+
     /// Unwraps the shard back into its mediator, dropping the
     /// instrumentation.
     #[must_use]

@@ -3,7 +3,7 @@
 //! [`ShardedMediator`] partitions the provider population across `N`
 //! [`MediatorShard`]s through a [`ShardRouter`] and presents the same
 //! registration / batch-submission surface as a single
-//! [`Mediator`](sbqa_core::Mediator):
+//! [`Mediator`]:
 //!
 //! * **providers** are registered with exactly one shard (the router's
 //!   placement), so the shards' registries are pairwise disjoint and each
@@ -30,7 +30,7 @@
 //! or hasher state.
 
 use sbqa_core::allocator::{AllocationDecision, IntentionOracle};
-use sbqa_core::{BatchReport, Mediator};
+use sbqa_core::{BatchReport, KnControllerConfig, Mediator};
 use sbqa_metrics::LatencyRecorder;
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{
@@ -132,6 +132,19 @@ impl ShardedMediator {
         }
     }
 
+    /// Enables adaptive `kn` on **every shard**: each shard hosts its own
+    /// [`KnController`](sbqa_core::KnController) fed exclusively by the
+    /// mediations *it* performed, so shards adapt independently to their own
+    /// slice of the population (a hot shard can shrink its exploration while
+    /// a cold one widens). One adaptation round per shard runs at every
+    /// [`ShardedMediator::submit_batch`] boundary; the async ingest front
+    /// adapts per drained chunk instead.
+    pub fn enable_adaptive_kn(&mut self, config: KnControllerConfig) {
+        for shard in &mut self.shards {
+            shard.mediator_mut().enable_adaptive_kn(config);
+        }
+    }
+
     /// Marks a provider online or offline at its owning shard.
     pub fn set_provider_online(&mut self, id: ProviderId, online: bool) -> SbqaResult<()> {
         let shard = self.router.shard_of_provider(id);
@@ -197,6 +210,12 @@ impl ShardedMediator {
         self.order_scratch
             .sort_by_key(|&pos| merge_key(&queries[pos as usize]));
 
+        // Batch boundary: every shard runs one adaptation round (a no-op
+        // without a controller), mirroring `Mediator::submit_batch`.
+        for shard in &mut self.shards {
+            shard.mediator_mut().adapt_kn();
+        }
+
         let mut report = BatchReport::default();
         for &pos in &self.order_scratch {
             let query = &queries[pos as usize];
@@ -227,16 +246,13 @@ impl ShardedMediator {
         self.shards[shard].mediator().satisfaction()
     }
 
-    /// Snapshots the per-shard tallies and latency distributions.
+    /// Snapshots the per-shard tallies, latency distributions and
+    /// adaptive-`kn` trajectories.
     #[must_use]
     pub fn shard_reports(&self) -> Vec<ShardReport> {
         self.shards
             .iter()
-            .map(|shard| ShardReport {
-                shard: shard.index(),
-                report: shard.report(),
-                latency: shard.latency().clone(),
-            })
+            .map(MediatorShard::report_snapshot)
             .collect()
     }
 

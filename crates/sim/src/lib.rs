@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod config;
 pub mod consumer;
 pub mod departure;
@@ -37,6 +38,10 @@ pub mod runner;
 pub mod sharded;
 pub mod workload;
 
+pub use adaptive::{
+    generate_stepped_stream, run_adaptive_case, AdaptiveOracle, AdaptiveRunConfig,
+    AdaptiveRunReport, LoadStep,
+};
 pub use config::{DeparturePolicy, NetworkConfig, SimulationConfig};
 pub use consumer::{ConsumerSpec, ConsumerState};
 pub use event::{Event, EventQueue, ScheduledEvent};

@@ -8,7 +8,7 @@
 //! same [`WorkloadModel`] / [`ConsumerSpec`] vocabulary, then drives it —
 //! identically — through either
 //!
-//! * a plain instrumented [`Mediator`](sbqa_core::Mediator)
+//! * a plain instrumented [`Mediator`]
 //!   ([`run_single_mediator`], the single-mediator baseline), or
 //! * the sharded [`MediationService`] ([`run_sharded_service`]): providers
 //!   partitioned across `N` shards, producers enqueueing in configurable
@@ -225,11 +225,7 @@ pub fn run_single_mediator(
     }
     let wall = started.elapsed();
     Ok(BaselineRun {
-        shard: ShardReport {
-            shard: 0,
-            report: shard.report(),
-            latency: shard.latency().clone(),
-        },
+        shard: shard.report_snapshot(),
         outcomes,
         wall,
     })

@@ -1,6 +1,6 @@
 //! Query generation.
 //!
-//! The workload model turns a [`ConsumerSpec`](crate::consumer::ConsumerSpec)
+//! The workload model turns a [`ConsumerSpec`]
 //! into a stream of queries: exponential inter-arrival times (a Poisson
 //! process at the consumer's rate), exponentially-distributed work sizes
 //! around the consumer's mean, a Short/Medium/Long class mix, and —

@@ -57,9 +57,9 @@ pub enum AllocationPolicyKind {
     #[default]
     SbQA,
     /// Capacity-based allocation: queries go to the least-utilized capable
-    /// providers, weighted by capacity (BOINC's behaviour, [9] in the paper).
+    /// providers, weighted by capacity (BOINC's behaviour, \[9\] in the paper).
     Capacity,
-    /// Economic allocation: Mariposa-style bidding, lowest bid wins ([13]).
+    /// Economic allocation: Mariposa-style bidding, lowest bid wins (\[13\]).
     Economic,
     /// Uniformly random selection among capable providers.
     Random,

@@ -13,6 +13,9 @@ cargo fmt --check
 echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (no deps, rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "== tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -24,18 +27,21 @@ echo "== examples and benches compile"
 cargo build --examples
 cargo bench --no-run -p sbqa_bench
 
-echo "== bench smoke: scenario1 --quick, scenario_multicap --quick, scenario_sharded --quick and the registry bench"
+echo "== bench smoke: scenario1 --quick, scenario_multicap --quick, scenario_sharded --quick, scenario_adaptive --quick and the registry bench"
 # Exercises the allocation hot path end-to-end (golden-output protected by
 # tests/golden_scenario1.rs), the multi-capability postings-merge path
 # (golden-output protected by tests/golden_multicap.rs), the sharded
 # mediation service — the run itself asserts the 1-shard ≡ single-mediator
-# determinism contract and exercises the threaded ingest front — and the
+# determinism contract and exercises the threaded ingest front — the
+# adaptive-kn controller — whose run asserts the self-adaptation claim
+# (adaptive ≥ best static kn on aggregate consumer satisfaction) — and the
 # capability-index micro-bench — whose candidates/* series cover single-cap
 # lookup vs 2- and 4-way All/Any merges — so a hot-path regression that only
 # shows up at runtime still fails CI.
 cargo run --release -p sbqa_bench --bin scenario1 -- --quick > /dev/null
 cargo run --release -p sbqa_bench --bin scenario_multicap -- --quick > /dev/null
 cargo run --release -p sbqa_bench --bin scenario_sharded -- --quick --shards 1,2 > /dev/null
+cargo run --release -p sbqa_bench --bin scenario_adaptive -- --quick > /dev/null
 cargo bench -p sbqa_bench --bench registry > /dev/null
 
 echo "CI OK"
