@@ -15,7 +15,7 @@
 //! computing power.
 
 use sbqa_core::allocator::{
-    AllocationDecision, Candidates, IntentionOracle, ProviderSnapshot, QueryAllocator,
+    AllocationDecision, CandidateBlock, Candidates, IntentionOracle, QueryAllocator,
 };
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{Query, SbqaError, SbqaResult};
@@ -30,6 +30,10 @@ pub struct CapacityAllocator {
     consideration: usize,
     /// Candidate positions in rank order, reused across queries.
     order: Vec<u32>,
+    /// Dense gather of the candidate set's scoring columns: the ranking
+    /// comparator reads these instead of resolving view positions per
+    /// comparison.
+    block: CandidateBlock,
 }
 
 impl Default for CapacityAllocator {
@@ -37,6 +41,7 @@ impl Default for CapacityAllocator {
         Self {
             consideration: DEFAULT_CONSIDERATION,
             order: Vec::new(),
+            block: CandidateBlock::new(),
         }
     }
 }
@@ -56,9 +61,9 @@ impl CapacityAllocator {
         self
     }
 
-    fn relative_utilization(snapshot: &ProviderSnapshot) -> f64 {
-        if snapshot.capacity > 0.0 {
-            snapshot.utilization / snapshot.capacity
+    fn relative_utilization(utilization: f64, capacity: f64) -> f64 {
+        if capacity > 0.0 {
+            utilization / capacity
         } else {
             f64::INFINITY
         }
@@ -82,13 +87,16 @@ impl QueryAllocator for CapacityAllocator {
             return Err(SbqaError::NoProviderOnline { query: query.id });
         }
 
+        candidates.gather_all_into(&mut self.block);
+        let utilization = self.block.utilization();
+        let capacity = self.block.capacity();
+        let ids = self.block.ids();
         let by_spare_capacity = |&a: &u32, &b: &u32| {
-            let pa = candidates.get(a as usize);
-            let pb = candidates.get(b as usize);
-            Self::relative_utilization(pa)
-                .partial_cmp(&Self::relative_utilization(pb))
+            let (a, b) = (a as usize, b as usize);
+            Self::relative_utilization(utilization[a], capacity[a])
+                .partial_cmp(&Self::relative_utilization(utilization[b], capacity[b]))
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| pa.id.cmp(&pb.id))
+                .then_with(|| ids[a].cmp(&ids[b]))
         };
         let selected_count = query.replication.min(candidates.len());
         let considered_len = self.consideration.max(selected_count).min(candidates.len());
@@ -115,7 +123,7 @@ impl QueryAllocator for CapacityAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbqa_core::allocator::StaticIntentions;
+    use sbqa_core::allocator::{ProviderSnapshot, StaticIntentions};
     use sbqa_types::{Capability, CapabilitySet, ConsumerId, ProviderId, QueryId};
 
     fn query(replication: usize) -> Query {

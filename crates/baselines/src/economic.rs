@@ -17,7 +17,8 @@
 //! Scenario 1 is designed to expose.
 
 use sbqa_core::allocator::{
-    AllocationDecision, Candidates, IntentionOracle, ProviderSnapshot, QueryAllocator,
+    AllocationDecision, CandidateBlock, Candidates, IntentionOracle, ProviderSnapshot,
+    QueryAllocator,
 };
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{Query, SbqaError, SbqaResult};
@@ -39,6 +40,9 @@ pub struct EconomicAllocator {
     order: Vec<u32>,
     /// Negated bids of the considered prefix (the reported scores).
     scores: Vec<f64>,
+    /// Dense gather of the candidate set's scoring columns; bids and
+    /// tie-breaks are computed from these in one linear pass.
+    block: CandidateBlock,
 }
 
 impl Default for EconomicAllocator {
@@ -49,6 +53,7 @@ impl Default for EconomicAllocator {
             bids: Vec::new(),
             order: Vec::new(),
             scores: Vec::new(),
+            block: CandidateBlock::new(),
         }
     }
 }
@@ -106,21 +111,25 @@ impl QueryAllocator for EconomicAllocator {
             return Err(SbqaError::NoProviderOnline { query: query.id });
         }
 
+        candidates.gather_all_into(&mut self.block);
         self.bids.clear();
-        for snapshot in candidates.iter() {
-            self.bids.push(self.bid(snapshot, query));
+        for (&capacity, &utilization) in self
+            .block
+            .capacity()
+            .iter()
+            .zip(self.block.utilization().iter())
+        {
+            let service = query.service_time(capacity).seconds();
+            self.bids
+                .push(service + self.backlog_weight * utilization.max(0.0));
         }
         let bids = &self.bids;
+        let ids = self.block.ids();
         let by_cheapest_bid = |&a: &u32, &b: &u32| {
             bids[a as usize]
                 .partial_cmp(&bids[b as usize])
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| {
-                    candidates
-                        .get(a as usize)
-                        .id
-                        .cmp(&candidates.get(b as usize).id)
-                })
+                .then_with(|| ids[a as usize].cmp(&ids[b as usize]))
         };
         let selected_count = query.replication.min(candidates.len());
         let considered_len = self.consideration.max(selected_count).min(candidates.len());

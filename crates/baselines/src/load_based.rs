@@ -6,7 +6,9 @@
 //! times, and it is the natural "join the shortest queue" strawman for the
 //! ablation benches.
 
-use sbqa_core::allocator::{AllocationDecision, Candidates, IntentionOracle, QueryAllocator};
+use sbqa_core::allocator::{
+    AllocationDecision, CandidateBlock, Candidates, IntentionOracle, QueryAllocator,
+};
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{Query, SbqaError, SbqaResult};
 
@@ -18,6 +20,10 @@ pub struct LoadBasedAllocator {
     consideration: usize,
     /// Candidate positions in rank order, reused across queries.
     order: Vec<u32>,
+    /// Dense gather of the candidate set's scoring columns; the backlog
+    /// comparator reads these instead of resolving view positions per
+    /// comparison.
+    block: CandidateBlock,
 }
 
 impl Default for LoadBasedAllocator {
@@ -25,6 +31,7 @@ impl Default for LoadBasedAllocator {
         Self {
             consideration: DEFAULT_CONSIDERATION,
             order: Vec::new(),
+            block: CandidateBlock::new(),
         }
     }
 }
@@ -60,17 +67,20 @@ impl QueryAllocator for LoadBasedAllocator {
         if candidates.is_empty() {
             return Err(SbqaError::NoProviderOnline { query: query.id });
         }
+        candidates.gather_all_into(&mut self.block);
+        let queue_length = self.block.queue_length();
+        let utilization = self.block.utilization();
+        let ids = self.block.ids();
         let by_backlog = |&x: &u32, &y: &u32| {
-            let a = candidates.get(x as usize);
-            let b = candidates.get(y as usize);
-            a.queue_length
-                .cmp(&b.queue_length)
+            let (a, b) = (x as usize, y as usize);
+            queue_length[a]
+                .cmp(&queue_length[b])
                 .then_with(|| {
-                    a.utilization
-                        .partial_cmp(&b.utilization)
+                    utilization[a]
+                        .partial_cmp(&utilization[b])
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
-                .then_with(|| a.id.cmp(&b.id))
+                .then_with(|| ids[a].cmp(&ids[b]))
         };
         let selected_count = query.replication.min(candidates.len());
         let considered_len = self.consideration.max(selected_count).min(candidates.len());

@@ -5,7 +5,9 @@
 //! to provider heterogeneity (a slow volunteer receives as much work as a
 //! fast one), which makes it a useful contrast for the load-balance metrics.
 
-use sbqa_core::allocator::{AllocationDecision, Candidates, IntentionOracle, QueryAllocator};
+use sbqa_core::allocator::{
+    AllocationDecision, CandidateBlock, Candidates, IntentionOracle, QueryAllocator,
+};
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{Query, SbqaError, SbqaResult};
 
@@ -19,6 +21,8 @@ pub struct RoundRobinAllocator {
     order: Vec<u32>,
     /// The ring slice handed to this query, reused across queries.
     turn: Vec<u32>,
+    /// Dense gather of the candidate ids used to build the ring order.
+    block: CandidateBlock,
 }
 
 impl RoundRobinAllocator {
@@ -45,10 +49,11 @@ impl QueryAllocator for RoundRobinAllocator {
         if candidates.is_empty() {
             return Err(SbqaError::NoProviderOnline { query: query.id });
         }
+        candidates.gather_all_into(&mut self.block);
+        let ids = self.block.ids();
         self.order.clear();
         self.order.extend(0..candidates.len() as u32);
-        self.order
-            .sort_unstable_by_key(|&pos| candidates.get(pos as usize).id);
+        self.order.sort_unstable_by_key(|&pos| ids[pos as usize]);
 
         let count = query.replication.min(self.order.len());
         let start = (self.cursor as usize) % self.order.len();

@@ -11,9 +11,21 @@
 //! populations. The `candidates/*` series compare the single-capability
 //! lookup against 2- and 4-way postings merges (`All` intersection / `Any`
 //! union) so regressions in the merge cost — which should scale with
-//! Σ|postings|, not |P| — are visible. The `mediate` group measures the full
-//! `Mediator` hot path — `Pq` + KnBest + scoring + ranking + satisfaction
-//! bookkeeping — via `submit_in_place` and `submit_batch`.
+//! Σ|postings|, not |P| — are visible; the `candidates_vec/*` series
+//! reproduce the pre-bitmap flat sorted `Vec<u32>` postings representation
+//! (galloping binary-search intersection, k-way heap-less union) on the same
+//! populations, which is the baseline the bitmap containers must beat at
+//! 100k+ providers. The `mediate` group measures the full `Mediator` hot
+//! path — `Pq` + KnBest + scoring + ranking + satisfaction bookkeeping — via
+//! `submit_in_place` and `submit_batch`.
+//!
+//! The top population size is **1,000,000 providers**, the head-line scale
+//! this registry targets: single-class resolution must stay sub-µs there
+//! (the borrowed postings view costs O(1) regardless of population), and the
+//! merge and mediation series must keep scaling with Σ|postings| of the
+//! mentioned classes only. The O(|P|)-per-query `legacy` scan series stops
+//! at 100k — at 1M it spends tens of milliseconds per query, which is the
+//! point of its existence but a waste of benchmark wall-clock.
 
 use std::collections::HashMap;
 
@@ -114,6 +126,85 @@ fn legacy_capable_of(
     capable
 }
 
+/// The pre-bitmap postings representation: one flat sorted `Vec<u32>` of
+/// provider indices per capability class (lists hold only online providers,
+/// as the old registry's did). The merge routines below mirror the old
+/// registry's `All`/`Any` paths verbatim: a k-way forward-cursor
+/// intersection driven by the shortest list, and a min-head cursor union —
+/// the `Vec<u32>` baseline the bitmap containers must beat at 100k+.
+struct VecPostings {
+    classes: Vec<Vec<u32>>,
+}
+
+impl VecPostings {
+    fn build(n: usize) -> Self {
+        let mut classes = vec![Vec::new(); CLASSES as usize];
+        for i in 0..n {
+            let caps = capabilities(i);
+            for class in 0..CLASSES {
+                if caps.contains(Capability::new(class)) {
+                    classes[class as usize].push(i as u32);
+                }
+            }
+        }
+        Self { classes }
+    }
+
+    /// `All` merge: advance every list's cursor past the driver's id.
+    fn intersect(&self, classes: &[u8], out: &mut Vec<u32>) {
+        out.clear();
+        let driver = classes
+            .iter()
+            .map(|&c| c as usize)
+            .min_by_key(|&c| self.classes[c].len())
+            .expect("at least two classes");
+        let mut cursors = [0usize; CLASSES as usize];
+        'members: for &slot in &self.classes[driver] {
+            for &class in classes {
+                let class = class as usize;
+                if class == driver {
+                    continue;
+                }
+                let list = &self.classes[class];
+                let cursor = &mut cursors[class];
+                while *cursor < list.len() && list[*cursor] < slot {
+                    *cursor += 1;
+                }
+                if *cursor == list.len() {
+                    break 'members;
+                }
+                if list[*cursor] != slot {
+                    continue 'members;
+                }
+            }
+            out.push(slot);
+        }
+    }
+
+    /// `Any` merge: emit the minimum head across the lists, advance matches.
+    fn union(&self, classes: &[u8], out: &mut Vec<u32>) {
+        out.clear();
+        let mut cursors = [0usize; CLASSES as usize];
+        loop {
+            let mut next: Option<u32> = None;
+            for &class in classes {
+                let list = &self.classes[class as usize];
+                if let Some(&head) = list.get(cursors[class as usize]) {
+                    next = Some(next.map_or(head, |n: u32| n.min(head)));
+                }
+            }
+            let Some(next) = next else { break };
+            for &class in classes {
+                let class = class as usize;
+                if self.classes[class].get(cursors[class]) == Some(&next) {
+                    cursors[class] += 1;
+                }
+            }
+            out.push(next);
+        }
+    }
+}
+
 /// The pre-refactor KnBest: clone the candidates again, full-shuffle, sort.
 fn legacy_knbest(
     candidates: &[ProviderSnapshot],
@@ -138,20 +229,23 @@ fn bench_capable_of(c: &mut Criterion) {
     let mut group = c.benchmark_group("registry");
     let q = query(3);
 
-    for size in [1_000usize, 10_000, 100_000] {
-        let legacy = legacy_registry(size);
-        group.bench_with_input(
-            BenchmarkId::new("capable_of/legacy_scan_clone", size),
-            &legacy,
-            |b, legacy| {
-                let mut rng = ChaCha8Rng::seed_from_u64(42);
-                b.iter(|| {
-                    let candidates = legacy_capable_of(black_box(legacy), &q);
-                    let kn = legacy_knbest(&candidates, 20, 4, &mut rng);
-                    black_box(kn.len())
-                });
-            },
-        );
+    for size in [1_000usize, 10_000, 100_000, 1_000_000] {
+        // The O(|P|)-per-query legacy scan stops at 100k; see module docs.
+        if size <= 100_000 {
+            let legacy = legacy_registry(size);
+            group.bench_with_input(
+                BenchmarkId::new("capable_of/legacy_scan_clone", size),
+                &legacy,
+                |b, legacy| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(42);
+                    b.iter(|| {
+                        let candidates = legacy_capable_of(black_box(legacy), &q);
+                        let kn = legacy_knbest(&candidates, 20, 4, &mut rng);
+                        black_box(kn.len())
+                    });
+                },
+            );
+        }
 
         let mut indexed = indexed_registry(size);
         group.bench_function(
@@ -181,7 +275,7 @@ fn bench_capable_of(c: &mut Criterion) {
 fn bench_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("registry");
 
-    for size in [10_000usize, 100_000] {
+    for size in [10_000usize, 100_000, 1_000_000] {
         let mut registry = indexed_registry(size);
         let cases = [
             ("candidates/single", merge_query(1, true)),
@@ -198,6 +292,30 @@ fn bench_merge(c: &mut Criterion) {
                 });
             });
         }
+
+        // The same merges over the pre-bitmap flat sorted `Vec<u32>` lists.
+        // The class windows match `merge_query`: `width` consecutive classes
+        // starting at 3.
+        let vec_postings = VecPostings::build(size);
+        let mut out = Vec::new();
+        let vec_cases = [
+            ("candidates_vec/all_2way", [3u8, 4].as_slice(), true),
+            ("candidates_vec/all_4way", [3u8, 4, 5, 6].as_slice(), true),
+            ("candidates_vec/any_2way", [3u8, 4].as_slice(), false),
+            ("candidates_vec/any_4way", [3u8, 4, 5, 6].as_slice(), false),
+        ];
+        for (label, classes, conjunctive) in vec_cases {
+            group.bench_function(BenchmarkId::new(label, size), |b| {
+                b.iter(|| {
+                    if conjunctive {
+                        vec_postings.intersect(black_box(classes), &mut out);
+                    } else {
+                        vec_postings.union(black_box(classes), &mut out);
+                    }
+                    black_box(out.len())
+                });
+            });
+        }
     }
 
     group.finish();
@@ -207,7 +325,7 @@ fn bench_mediate(c: &mut Criterion) {
     let mut group = c.benchmark_group("mediate");
     let oracle = StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.3));
 
-    for size in [10_000usize, 100_000] {
+    for size in [10_000usize, 100_000, 1_000_000] {
         let build = |size: usize| {
             let mut mediator = Mediator::sbqa(SystemConfig::default(), 42).unwrap();
             for i in 0..size {

@@ -25,67 +25,50 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use sbqa_satisfaction::{GapSample, SatisfactionRegistry};
-use sbqa_types::{CapabilitySet, Intention, ProviderId, Query, SbqaResult};
+use sbqa_types::{Intention, ProviderId, Query, SbqaResult};
 
-/// The mediator-visible state of a provider at allocation time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ProviderSnapshot {
-    /// The provider's identity.
-    pub id: ProviderId,
-    /// Capabilities the provider advertises.
-    pub capabilities: CapabilitySet,
-    /// Processing capacity in work units per virtual second.
-    pub capacity: f64,
-    /// Current utilization, defined as outstanding work divided by capacity
-    /// (i.e. the virtual seconds of work already queued). KnBest uses this to
-    /// keep the `kn` least-utilized providers.
-    pub utilization: f64,
-    /// Number of queries currently queued or running at the provider.
-    pub queue_length: usize,
-    /// `true` if the provider is currently online.
-    pub online: bool,
-}
+pub use sbqa_types::{ProviderColumns, ProviderSnapshot};
 
-impl ProviderSnapshot {
-    /// Creates a snapshot for an idle, online provider.
-    #[must_use]
-    pub fn idle(id: ProviderId, capabilities: CapabilitySet, capacity: f64) -> Self {
-        Self {
-            id,
-            capabilities,
-            capacity: if capacity.is_finite() && capacity > 0.0 {
-                capacity
-            } else {
-                1.0
-            },
-            utilization: 0.0,
-            queue_length: 0,
-            online: true,
-        }
-    }
-
-    /// `true` if this provider can perform the given query and is online.
-    #[must_use]
-    pub fn can_perform(&self, query: &Query) -> bool {
-        self.online && query.required.matched_by(self.capabilities)
-    }
-}
+use crate::postings::{PostingsMap, SlotIter};
 
 /// A borrowed, zero-clone view of the candidate set `Pq`.
 ///
-/// The view either covers a contiguous slice of snapshots
-/// ([`Candidates::from_slice`], used by tests and ad-hoc callers) or a
-/// capability postings list into the registry's dense slab
-/// ([`Candidates::from_postings`], the zero-copy path the mediator uses).
+/// The view covers one of three shapes:
+///
+/// * a contiguous slice of snapshots ([`Candidates::from_slice`], used by
+///   tests and ad-hoc callers),
+/// * a materialised slot list into the registry's column store
+///   ([`Candidates::from_postings`], the multi-capability merge path), or
+/// * a capability's bitmap postings map wrapped directly
+///   ([`Candidates::from_map`], the single-capability path — nothing is
+///   materialised at all; positional access rank-selects into the bitmap).
+///
 /// Positions `0..len()` address candidates in a deterministic order — for
 /// registry-backed views that order is ascending provider id by
-/// construction.
+/// construction. [`Candidates::get`] assembles a row by value from the
+/// columns; hot paths that rank by a single field should prefer
+/// [`Candidates::load_key`] (utilization + id only) or gather the whole set
+/// once into a dense [`CandidateBlock`] and score column-wise.
 #[derive(Debug, Clone, Copy)]
 pub struct Candidates<'a> {
-    providers: &'a [ProviderSnapshot],
-    /// When `Some`, positions into `providers` forming the candidate set;
-    /// when `None`, every entry of `providers` is a candidate.
-    postings: Option<&'a [u32]>,
+    view: View<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum View<'a> {
+    /// Every snapshot of the slice is a candidate.
+    Slice(&'a [ProviderSnapshot]),
+    /// `slots` are positions into `columns`, in enumeration order.
+    Postings {
+        columns: &'a ProviderColumns,
+        slots: &'a [u32],
+    },
+    /// The members of `map` (slot payloads into `columns`), in ascending id
+    /// order.
+    Map {
+        columns: &'a ProviderColumns,
+        map: &'a PostingsMap,
+    },
 }
 
 impl<'a> Candidates<'a> {
@@ -93,25 +76,39 @@ impl<'a> Candidates<'a> {
     #[must_use]
     pub fn from_slice(providers: &'a [ProviderSnapshot]) -> Self {
         Self {
-            providers,
-            postings: None,
+            view: View::Slice(providers),
         }
     }
 
-    /// A view over a postings list: `postings` holds positions into the
-    /// `providers` slab, in the order candidates should be enumerated.
+    /// A view over a materialised slot list: `slots` holds positions into
+    /// the column store, in the order candidates should be enumerated.
     #[must_use]
-    pub fn from_postings(providers: &'a [ProviderSnapshot], postings: &'a [u32]) -> Self {
+    pub fn from_postings(columns: &'a ProviderColumns, slots: &'a [u32]) -> Self {
         Self {
-            providers,
-            postings: Some(postings),
+            view: View::Postings { columns, slots },
+        }
+    }
+
+    /// A view over a bitmap postings map: candidates are the map's members
+    /// in ascending id order, with nothing materialised. Positional access
+    /// ([`Candidates::get`], [`Candidates::load_key`]) rank-selects into the
+    /// map; sequential access ([`Candidates::iter`],
+    /// [`Candidates::gather_all_into`]) streams it.
+    #[must_use]
+    pub fn from_map(columns: &'a ProviderColumns, map: &'a PostingsMap) -> Self {
+        Self {
+            view: View::Map { columns, map },
         }
     }
 
     /// Number of candidates in the view.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.postings.map_or(self.providers.len(), <[u32]>::len)
+        match self.view {
+            View::Slice(providers) => providers.len(),
+            View::Postings { slots, .. } => slots.len(),
+            View::Map { map, .. } => map.len(),
+        }
     }
 
     /// `true` if the candidate set is empty.
@@ -120,22 +117,120 @@ impl<'a> Candidates<'a> {
         self.len() == 0
     }
 
-    /// The candidate at position `pos` (`0 <= pos < len()`).
+    /// The candidate at position `pos` (`0 <= pos < len()`), assembled by
+    /// value from the backing columns.
     ///
     /// # Panics
     /// Panics if `pos` is out of bounds.
     #[must_use]
-    pub fn get(&self, pos: usize) -> &'a ProviderSnapshot {
-        match self.postings {
-            Some(postings) => &self.providers[postings[pos] as usize],
-            None => &self.providers[pos],
+    pub fn get(&self, pos: usize) -> ProviderSnapshot {
+        match self.view {
+            View::Slice(providers) => providers[pos],
+            View::Postings { columns, slots } => columns.snapshot(slots[pos] as usize),
+            View::Map { columns, map } => columns.snapshot(map.select(pos) as usize),
         }
     }
 
-    /// Iterates over the candidates in position order.
-    pub fn iter(&self) -> impl Iterator<Item = &'a ProviderSnapshot> + 'a {
-        let view = *self;
-        (0..view.len()).map(move |pos| view.get(pos))
+    /// The `(utilization, id)` ranking key of the candidate at `pos`,
+    /// touching only the two columns KnBest orders by.
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of bounds.
+    #[must_use]
+    pub fn load_key(&self, pos: usize) -> (f64, ProviderId) {
+        match self.view {
+            View::Slice(providers) => {
+                let p = &providers[pos];
+                (p.utilization, p.id)
+            }
+            View::Postings { columns, slots } => {
+                let slot = slots[pos] as usize;
+                (columns.utilization()[slot], columns.ids()[slot])
+            }
+            View::Map { columns, map } => {
+                let slot = map.select(pos) as usize;
+                (columns.utilization()[slot], columns.ids()[slot])
+            }
+        }
+    }
+
+    /// Iterates over the candidates in position order, streaming the backing
+    /// store sequentially (no per-item rank-select, even for map views).
+    #[must_use]
+    pub fn iter(&self) -> CandidateIter<'a> {
+        CandidateIter {
+            inner: match self.view {
+                View::Slice(providers) => IterInner::Slice(providers.iter()),
+                View::Postings { columns, slots } => IterInner::Postings {
+                    columns,
+                    slots: slots.iter(),
+                },
+                View::Map { columns, map } => IterInner::Map {
+                    columns,
+                    slots: map.iter(),
+                },
+            },
+        }
+    }
+
+    /// Gathers every candidate's scoring fields into `block` (cleared
+    /// first), one sequential pass over the backing store. Techniques that
+    /// rank the whole set sort the block's dense columns instead of paying a
+    /// positional lookup per comparison.
+    pub fn gather_all_into(&self, block: &mut CandidateBlock) {
+        block.clear();
+        match self.view {
+            View::Slice(providers) => {
+                for p in providers {
+                    block.push(p.id, p.utilization, p.capacity, p.queue_length);
+                }
+            }
+            View::Postings { columns, slots } => {
+                for &slot in slots {
+                    block.push_slot(columns, slot as usize);
+                }
+            }
+            View::Map { columns, map } => {
+                for slot in map.iter() {
+                    block.push_slot(columns, slot as usize);
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over a [`Candidates`] view, yielding snapshots by value.
+#[derive(Debug, Clone)]
+pub struct CandidateIter<'a> {
+    inner: IterInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum IterInner<'a> {
+    Slice(std::slice::Iter<'a, ProviderSnapshot>),
+    Postings {
+        columns: &'a ProviderColumns,
+        slots: std::slice::Iter<'a, u32>,
+    },
+    Map {
+        columns: &'a ProviderColumns,
+        slots: SlotIter<'a>,
+    },
+}
+
+impl Iterator for CandidateIter<'_> {
+    type Item = ProviderSnapshot;
+
+    fn next(&mut self) -> Option<ProviderSnapshot> {
+        match &mut self.inner {
+            IterInner::Slice(iter) => iter.next().copied(),
+            IterInner::Postings { columns, slots } => {
+                slots.next().map(|&slot| columns.snapshot(slot as usize))
+            }
+            IterInner::Map { columns, slots } => {
+                slots.next().map(|slot| columns.snapshot(slot as usize))
+            }
+        }
     }
 }
 
@@ -148,6 +243,91 @@ impl<'a> From<&'a [ProviderSnapshot]> for Candidates<'a> {
 impl<'a> From<&'a Vec<ProviderSnapshot>> for Candidates<'a> {
     fn from(providers: &'a Vec<ProviderSnapshot>) -> Self {
         Self::from_slice(providers.as_slice())
+    }
+}
+
+/// A dense struct-of-arrays gather of one candidate set's scoring fields.
+///
+/// Baseline techniques rank the *entire* candidate set by some field
+/// (utilization, capacity headroom, queue length, bid). Sorting through
+/// [`Candidates::get`] would pay a positional lookup — for bitmap-backed
+/// views a rank-select — *per comparison*; gathering once into parallel
+/// columns makes the sort read dense, cache-friendly arrays. The block is
+/// scratch: it lives in the technique and is reused across queries, so
+/// steady-state gathering allocates nothing once the columns have grown.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateBlock {
+    ids: Vec<ProviderId>,
+    utilization: Vec<f64>,
+    capacity: Vec<f64>,
+    queue_length: Vec<usize>,
+}
+
+impl CandidateBlock {
+    /// Creates an empty block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of gathered candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if nothing has been gathered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Empties the block, keeping the column capacities.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.utilization.clear();
+        self.capacity.clear();
+        self.queue_length.clear();
+    }
+
+    fn push(&mut self, id: ProviderId, utilization: f64, capacity: f64, queue_length: usize) {
+        self.ids.push(id);
+        self.utilization.push(utilization);
+        self.capacity.push(capacity);
+        self.queue_length.push(queue_length);
+    }
+
+    fn push_slot(&mut self, columns: &ProviderColumns, slot: usize) {
+        self.push(
+            columns.ids()[slot],
+            columns.utilization()[slot],
+            columns.capacity()[slot],
+            columns.queue_length()[slot],
+        );
+    }
+
+    /// The gathered id column, indexed by candidate position.
+    #[must_use]
+    pub fn ids(&self) -> &[ProviderId] {
+        &self.ids
+    }
+
+    /// The gathered utilization column, indexed by candidate position.
+    #[must_use]
+    pub fn utilization(&self) -> &[f64] {
+        &self.utilization
+    }
+
+    /// The gathered capacity column, indexed by candidate position.
+    #[must_use]
+    pub fn capacity(&self) -> &[f64] {
+        &self.capacity
+    }
+
+    /// The gathered queue-length column, indexed by candidate position.
+    #[must_use]
+    pub fn queue_length(&self) -> &[usize] {
+        &self.queue_length
     }
 }
 
@@ -367,20 +547,10 @@ pub trait QueryAllocator: Send {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbqa_types::{Capability, ConsumerId, QueryId};
+    use sbqa_types::{Capability, CapabilitySet, ConsumerId, QueryId};
 
     fn query() -> Query {
         Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(0)).build()
-    }
-
-    #[test]
-    fn idle_snapshot_sanitises_capacity() {
-        let snap = ProviderSnapshot::idle(ProviderId::new(1), CapabilitySet::ALL, -3.0);
-        assert_eq!(snap.capacity, 1.0);
-        assert!(snap.online);
-        assert_eq!(snap.queue_length, 0);
-        let ok = ProviderSnapshot::idle(ProviderId::new(1), CapabilitySet::ALL, 4.0);
-        assert_eq!(ok.capacity, 4.0);
     }
 
     #[test]
@@ -520,6 +690,14 @@ mod tests {
             .collect()
     }
 
+    fn columns(n: u64) -> ProviderColumns {
+        let mut cols = ProviderColumns::new();
+        for row in slab(n) {
+            cols.push(row);
+        }
+        cols
+    }
+
     #[test]
     fn candidates_slice_view_covers_everything() {
         let snapshots = slab(4);
@@ -527,27 +705,78 @@ mod tests {
         assert_eq!(view.len(), 4);
         assert!(!view.is_empty());
         assert_eq!(view.get(2).id, ProviderId::new(2));
+        assert_eq!(view.load_key(2), (0.0, ProviderId::new(2)));
         let ids: Vec<u64> = view.iter().map(|s| s.id.raw()).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn candidates_postings_view_restricts_and_orders() {
-        let snapshots = slab(5);
+        let cols = columns(5);
         let postings = [4u32, 1, 3];
-        let view = Candidates::from_postings(&snapshots, &postings);
+        let view = Candidates::from_postings(&cols, &postings);
         assert_eq!(view.len(), 3);
         let ids: Vec<u64> = view.iter().map(|s| s.id.raw()).collect();
         assert_eq!(ids, vec![4, 1, 3]);
         assert_eq!(view.get(1).id, ProviderId::new(1));
+        assert_eq!(view.load_key(0).1, ProviderId::new(4));
+    }
+
+    #[test]
+    fn candidates_map_view_enumerates_in_id_order() {
+        let mut cols = ProviderColumns::new();
+        // Slots deliberately out of id order.
+        for raw in [9u64, 2, 70_000, 5] {
+            cols.push(ProviderSnapshot::idle(
+                ProviderId::new(raw),
+                CapabilitySet::ALL,
+                1.0,
+            ));
+        }
+        let mut map = PostingsMap::new();
+        for slot in 0..cols.len() {
+            map.insert(cols.ids()[slot], slot as u32);
+        }
+        let view = Candidates::from_map(&cols, &map);
+        assert_eq!(view.len(), 4);
+        let ids: Vec<u64> = view.iter().map(|s| s.id.raw()).collect();
+        assert_eq!(ids, vec![2, 5, 9, 70_000]);
+        // Positional access rank-selects to the same enumeration.
+        for (pos, &raw) in [2u64, 5, 9, 70_000].iter().enumerate() {
+            assert_eq!(view.get(pos).id.raw(), raw);
+            assert_eq!(view.load_key(pos).1.raw(), raw);
+        }
+    }
+
+    #[test]
+    fn gather_all_into_fills_dense_columns_in_view_order() {
+        let mut cols = columns(6);
+        cols.set_load(4, 2.5, 7);
+        let postings = [4u32, 0, 5];
+        let view = Candidates::from_postings(&cols, &postings);
+        let mut block = CandidateBlock::new();
+        view.gather_all_into(&mut block);
+        assert_eq!(block.len(), 3);
+        let ids: Vec<u64> = block.ids().iter().map(|id| id.raw()).collect();
+        assert_eq!(ids, vec![4, 0, 5]);
+        assert_eq!(block.utilization()[0], 2.5);
+        assert_eq!(block.queue_length()[0], 7);
+        assert_eq!(block.capacity()[1], 1.0);
+        // Re-gathering clears first.
+        view.gather_all_into(&mut block);
+        assert_eq!(block.len(), 3);
     }
 
     #[test]
     fn candidates_empty_views() {
         let view = Candidates::from_slice(&[]);
         assert!(view.is_empty());
-        let snapshots = slab(2);
-        let view = Candidates::from_postings(&snapshots, &[]);
+        let cols = columns(2);
+        let view = Candidates::from_postings(&cols, &[]);
+        assert!(view.is_empty());
+        assert_eq!(view.iter().count(), 0);
+        let map = PostingsMap::new();
+        let view = Candidates::from_map(&cols, &map);
         assert!(view.is_empty());
         assert_eq!(view.iter().count(), 0);
     }

@@ -25,6 +25,8 @@
 
 use rand::Rng;
 
+use sbqa_types::ProviderId;
+
 use crate::allocator::{Candidates, ProviderSnapshot};
 
 /// A persistent identity permutation used to draw `count` distinct positions
@@ -74,11 +76,21 @@ impl IndexPool {
     }
 }
 
-/// Reusable working memory for [`KnBestSelector::select_into`]. One scratch
-/// per allocator instance keeps steady-state selection allocation-free.
+/// Reusable working memory for [`KnBestSelector::select_into`] /
+/// [`KnBestSelector::select_block`]. One scratch per allocator instance
+/// keeps steady-state selection allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct KnBestScratch {
     pool: IndexPool,
+    /// `(utilization, raw id, position)` ranking keys of the drawn set K —
+    /// gathered once from the candidate columns so the partition and sort
+    /// compare dense tuples instead of re-reading the view per comparison
+    /// (which, for bitmap-backed views, would rank-select every time).
+    keys: Vec<(f64, u64, u32)>,
+    /// Output columns of the selection, parallel and in ranking order.
+    positions: Vec<u32>,
+    ids: Vec<ProviderId>,
+    utilization: Vec<f64>,
 }
 
 impl KnBestScratch {
@@ -86,6 +98,35 @@ impl KnBestScratch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// The set `Kn` as dense parallel columns borrowed from the scratch:
+/// positions into the candidate view, provider ids and utilizations, all in
+/// ranking order (ascending utilization, id tie-break). Step 2 of SbQA reads
+/// ids and utilizations straight from here instead of re-resolving each
+/// position against the view.
+#[derive(Debug, Clone, Copy)]
+pub struct KnSelection<'s> {
+    /// Positions into the candidate view, in ranking order.
+    pub positions: &'s [u32],
+    /// Provider ids, parallel to `positions`.
+    pub ids: &'s [ProviderId],
+    /// Utilizations, parallel to `positions`.
+    pub utilization: &'s [f64],
+}
+
+impl KnSelection<'_> {
+    /// Number of selected providers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if nothing was selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
     }
 }
 
@@ -123,33 +164,63 @@ impl KnBestSelector {
         rng: &mut R,
         scratch: &'s mut KnBestScratch,
     ) -> &'s [u32] {
+        self.select_block(candidates, rng, scratch).positions
+    }
+
+    /// Applies KnBest to the candidate view, returning the set `Kn` as dense
+    /// parallel columns (positions, ids, utilizations) in ranking order —
+    /// ascending utilization with provider id as the tie-breaker,
+    /// deterministic for a given RNG stream and candidate order.
+    ///
+    /// The ranking keys of the drawn set K are gathered from the view
+    /// *once*; the partition and sort then run over dense tuples, so a
+    /// bitmap-backed view pays `k` rank-selects total instead of one per
+    /// comparison. Costs O(k + kn·log kn) regardless of `|Pq|` and performs
+    /// no heap allocation once `scratch` has warmed up.
+    pub fn select_block<'s, R: Rng>(
+        &self,
+        candidates: Candidates<'_>,
+        rng: &mut R,
+        scratch: &'s mut KnBestScratch,
+    ) -> KnSelection<'s> {
+        scratch.keys.clear();
+        scratch.positions.clear();
+        scratch.ids.clear();
+        scratch.utilization.clear();
         let n = candidates.len();
-        if n == 0 {
-            scratch.pool.drawn.clear();
-            return &scratch.pool.drawn;
-        }
+        if n > 0 {
+            // Step 1: the random subset K of size min(k, |Pq|), as
+            // positions, with each position's ranking key gathered once.
+            let drawn = scratch.pool.draw(n, self.k, rng);
+            for &pos in drawn {
+                let (utilization, id) = candidates.load_key(pos as usize);
+                scratch.keys.push((utilization, id.raw(), pos));
+            }
 
-        // Step 1: the random subset K of size min(k, |Pq|), as positions.
-        scratch.pool.draw(n, self.k, rng);
-        let drawn = &mut scratch.pool.drawn;
-
-        // Step 2: the kn least-utilized providers of K. Partition first so
-        // only the kn survivors pay for a full (deterministic) sort.
-        let by_load = |&a: &u32, &b: &u32| {
-            let pa = candidates.get(a as usize);
-            let pb = candidates.get(b as usize);
-            pa.utilization
-                .partial_cmp(&pb.utilization)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| pa.id.cmp(&pb.id))
-        };
-        let kn = self.kn.min(drawn.len());
-        if kn < drawn.len() {
-            drawn.select_nth_unstable_by(kn - 1, by_load);
-            drawn.truncate(kn);
+            // Step 2: the kn least-utilized providers of K. Partition first
+            // so only the kn survivors pay for a full (deterministic) sort.
+            let by_load = |a: &(f64, u64, u32), b: &(f64, u64, u32)| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.cmp(&b.1))
+            };
+            let kn = self.kn.min(scratch.keys.len());
+            if kn < scratch.keys.len() {
+                scratch.keys.select_nth_unstable_by(kn - 1, by_load);
+                scratch.keys.truncate(kn);
+            }
+            scratch.keys.sort_unstable_by(by_load);
+            for &(utilization, id, pos) in &scratch.keys {
+                scratch.positions.push(pos);
+                scratch.ids.push(ProviderId::new(id));
+                scratch.utilization.push(utilization);
+            }
         }
-        drawn.sort_unstable_by(by_load);
-        drawn
+        KnSelection {
+            positions: &scratch.positions,
+            ids: &scratch.ids,
+            utilization: &scratch.utilization,
+        }
     }
 
     /// Applies KnBest to a candidate slice, returning the snapshots of the
@@ -240,6 +311,30 @@ mod tests {
             .map(|&p| candidates[p as usize].id.raw())
             .collect();
         assert_eq!(ids, vec![13, 11]);
+    }
+
+    #[test]
+    fn select_block_columns_are_parallel_and_ranked() {
+        let candidates: Vec<ProviderSnapshot> = vec![
+            snapshot(10, 5.0),
+            snapshot(11, 0.5),
+            snapshot(12, 3.0),
+            snapshot(13, 0.1),
+        ];
+        let sel = KnBestSelector::new(10, 3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut scratch = KnBestScratch::new();
+        let kn = sel.select_block(Candidates::from_slice(&candidates), &mut rng, &mut scratch);
+        assert_eq!(kn.len(), 3);
+        assert!(!kn.is_empty());
+        // The columns agree with one another and with the view.
+        for i in 0..kn.len() {
+            let row = candidates[kn.positions[i] as usize];
+            assert_eq!(kn.ids[i], row.id);
+            assert_eq!(kn.utilization[i], row.utilization);
+        }
+        // Ranking order: ascending utilization.
+        assert!(kn.utilization.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -38,20 +38,22 @@ pub mod allocator;
 pub mod intention;
 pub mod knbest;
 pub mod mediator;
+pub mod postings;
 pub mod ranking;
 pub mod registry;
 pub mod scoring;
 
 pub use adaptive::{KnAdjustment, KnController, KnControllerConfig};
 pub use allocator::{
-    AllocationDecision, Candidates, IntentionOracle, ProposalRecord, ProviderSnapshot,
-    QueryAllocator, StaticIntentions,
+    AllocationDecision, CandidateBlock, Candidates, IntentionOracle, ProposalRecord,
+    ProviderColumns, ProviderSnapshot, QueryAllocator, StaticIntentions,
 };
 pub use intention::{
     ConsumerIntentionStrategy, ConsumerProfile, ProviderIntentionStrategy, ProviderProfile,
 };
-pub use knbest::{IndexPool, KnBestScratch, KnBestSelector};
+pub use knbest::{IndexPool, KnBestScratch, KnBestSelector, KnSelection};
 pub use mediator::{BatchReport, MediationOutcome, MediationScratch, Mediator};
+pub use postings::PostingsMap;
 pub use ranking::rank_by_score;
 pub use registry::ProviderRegistry;
 pub use sbqa_types::{OmegaPolicy, SystemConfig};

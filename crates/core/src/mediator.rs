@@ -110,10 +110,12 @@ impl QueryAllocator for SbqaAllocator {
         }
         decision.clear();
 
-        // Step 1 — KnBest: the kn least-utilized of k random capable providers.
+        // Step 1 — KnBest: the kn least-utilized of k random capable
+        // providers, returned as dense columns (ids included) so step 2
+        // never resolves a position against the view again.
         let kn = self
             .selector
-            .select_into(candidates, &mut self.rng, &mut self.knbest);
+            .select_block(candidates, &mut self.rng, &mut self.knbest);
 
         // Step 2 — gather intentions from the consumer and the Kn providers,
         // and score each pair with a per-pair ω (Equation 2 compares the
@@ -122,11 +124,10 @@ impl QueryAllocator for SbqaAllocator {
         self.scores.clear();
         let mut omega_sum = 0.0;
 
-        for &pos in kn {
-            let snapshot = candidates.get(pos as usize);
-            let consumer_intention = oracle.consumer_intention(query, snapshot.id);
-            let provider_intention = oracle.provider_intention(snapshot.id, query);
-            let provider_sat = satisfaction.provider_satisfaction(snapshot.id);
+        for &provider in kn.ids {
+            let consumer_intention = oracle.consumer_intention(query, provider);
+            let provider_intention = oracle.provider_intention(provider, query);
+            let provider_sat = satisfaction.provider_satisfaction(provider);
             let omega = resolve_omega(self.config.omega, consumer_sat, provider_sat);
             let score = provider_score(
                 provider_intention,
@@ -137,7 +138,7 @@ impl QueryAllocator for SbqaAllocator {
             omega_sum += omega;
             self.scores.push(score);
             decision.proposals.push(ProposalRecord {
-                provider: snapshot.id,
+                provider,
                 provider_intention,
                 consumer_intention,
                 score: Some(score),

@@ -1,0 +1,1028 @@
+//! Roaring-style bitmap postings: the registry's per-capability index of
+//! online providers, scaled for millions of entries.
+//!
+//! A [`PostingsMap`] maps *provider ids* to *slab slots*. Ids are split into
+//! 2^16-sized chunks by their high bits; each chunk stores its members in one
+//! of two container shapes, exactly as in the Roaring bitmap design:
+//!
+//! * **Array** — a sorted `Vec<u16>` of low-bit keys with a parallel
+//!   `Vec<u32>` of slot payloads. Compact and cache-friendly while the chunk
+//!   is sparse.
+//! * **Bitmap** — a 1024-word (`u64`) bitset plus a dense `u32` slot table
+//!   indexed by the low bits, with per-64-word-block popcount prefixes so
+//!   positional lookup (`select`) stays cheap. Used once a chunk is populous:
+//!   membership and slot lookup become O(1) and intersections become word-
+//!   parallel AND loops.
+//!
+//! A chunk promotes from Array to Bitmap when it outgrows
+//! [`ARRAY_MAX`] entries and demotes below [`BITMAP_MIN`]; the hysteresis gap
+//! keeps a provider flapping on the boundary (e.g. toggling online/offline)
+//! from re-shaping its chunk on every transition.
+//!
+//! Iteration order is ascending provider id *by construction*: chunk keys are
+//! kept sorted, Array keys are sorted, and Bitmap words are scanned from bit
+//! 0 upward. This is what keeps every downstream random draw byte-identical
+//! per seed — positions into a postings view enumerate the same providers in
+//! the same order as the flat sorted `Vec<u32>` lists they replaced.
+//!
+//! The slot payloads exist because the registry compacts its column store
+//! with a swap-remove on unregister: the moved provider's entries are updated
+//! in place through [`PostingsMap::patch_slot`] (an id-keyed point update per
+//! list) instead of the stale-entry binary-search the flat lists needed.
+
+use sbqa_types::ProviderId;
+
+/// Number of id bits indexing *within* a chunk.
+const CHUNK_BITS: u32 = 16;
+/// Capacity of one chunk (2^16 ids).
+const CHUNK_CAPACITY: usize = 1 << CHUNK_BITS;
+/// `u64` words in a chunk bitset.
+const WORDS_PER_CHUNK: usize = CHUNK_CAPACITY / 64;
+/// Words covered by one popcount-prefix block.
+const WORDS_PER_BLOCK: usize = 64;
+/// Popcount-prefix blocks per chunk.
+const BLOCKS_PER_CHUNK: usize = WORDS_PER_CHUNK / WORDS_PER_BLOCK;
+
+/// An Array chunk promotes to Bitmap when it would exceed this many entries.
+pub const ARRAY_MAX: usize = 4096;
+/// A Bitmap chunk demotes back to Array when it shrinks below this many
+/// entries. The gap to [`ARRAY_MAX`] is deliberate hysteresis: a chunk
+/// sitting on the boundary can churn by hundreds of entries without
+/// re-shaping (and therefore without reallocating) its container.
+pub const BITMAP_MIN: usize = 3584;
+
+/// The chunk key (high bits) of a provider id.
+fn chunk_key(id: ProviderId) -> u64 {
+    id.raw() >> CHUNK_BITS
+}
+
+/// The within-chunk key (low 16 bits) of a provider id.
+fn low_bits(id: ProviderId) -> u16 {
+    (id.raw() & (CHUNK_CAPACITY as u64 - 1)) as u16
+}
+
+/// Selects the index of the `rank`-th (0-based) set bit of `word`.
+/// `rank` must be less than `word.count_ones()`.
+fn select_in_word(mut word: u64, mut rank: u32) -> u32 {
+    loop {
+        debug_assert!(word != 0, "rank exceeds popcount");
+        if rank == 0 {
+            return word.trailing_zeros();
+        }
+        word &= word - 1;
+        rank -= 1;
+    }
+}
+
+/// A dense chunk: bitset membership plus a slot table indexed by low bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitmapChunk {
+    /// Membership bitset, `WORDS_PER_CHUNK` words.
+    words: Box<[u64]>,
+    /// Slot payloads, indexed by low bits; only positions whose bit is set
+    /// hold meaningful values.
+    slots: Box<[u32]>,
+    /// `blocks[b]` = number of set bits in words `0 .. b * WORDS_PER_BLOCK`,
+    /// so a positional lookup narrows to one 64-word block before scanning.
+    blocks: [u32; BLOCKS_PER_CHUNK],
+    /// Cached popcount of the whole chunk.
+    len: u32,
+}
+
+impl BitmapChunk {
+    fn empty() -> Self {
+        Self {
+            words: vec![0u64; WORDS_PER_CHUNK].into_boxed_slice(),
+            slots: vec![0u32; CHUNK_CAPACITY].into_boxed_slice(),
+            blocks: [0; BLOCKS_PER_CHUNK],
+            len: 0,
+        }
+    }
+
+    fn contains(&self, low: u16) -> bool {
+        self.words[low as usize / 64] & (1u64 << (low % 64)) != 0
+    }
+
+    fn slot_of(&self, low: u16) -> Option<u32> {
+        self.contains(low).then(|| self.slots[low as usize])
+    }
+
+    /// Inserts or updates; returns `true` if the key was new.
+    fn insert(&mut self, low: u16, slot: u32) -> bool {
+        let word = low as usize / 64;
+        let bit = 1u64 << (low % 64);
+        self.slots[low as usize] = slot;
+        if self.words[word] & bit != 0 {
+            return false;
+        }
+        self.words[word] |= bit;
+        self.len += 1;
+        for block in (word / WORDS_PER_BLOCK + 1)..BLOCKS_PER_CHUNK {
+            self.blocks[block] += 1;
+        }
+        true
+    }
+
+    fn remove(&mut self, low: u16) -> bool {
+        let word = low as usize / 64;
+        let bit = 1u64 << (low % 64);
+        if self.words[word] & bit == 0 {
+            return false;
+        }
+        self.words[word] &= !bit;
+        self.len -= 1;
+        for block in (word / WORDS_PER_BLOCK + 1)..BLOCKS_PER_CHUNK {
+            self.blocks[block] -= 1;
+        }
+        true
+    }
+
+    /// The slot of the `rank`-th member in ascending key order. `rank` must
+    /// be less than `self.len`.
+    fn select(&self, rank: u32) -> u32 {
+        // Narrow to the block holding the rank via the popcount prefixes,
+        // then walk its words.
+        let mut block = BLOCKS_PER_CHUNK - 1;
+        while self.blocks[block] > rank {
+            block -= 1;
+        }
+        let mut remaining = rank - self.blocks[block];
+        for word_idx in (block * WORDS_PER_BLOCK)..((block + 1) * WORDS_PER_BLOCK) {
+            let ones = self.words[word_idx].count_ones();
+            if remaining < ones {
+                let bit = select_in_word(self.words[word_idx], remaining);
+                return self.slots[word_idx * 64 + bit as usize];
+            }
+            remaining -= ones;
+        }
+        unreachable!("rank {rank} exceeds chunk population {}", self.len)
+    }
+}
+
+/// One chunk's container: sparse Array or dense Bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Container {
+    /// Sorted low-bit keys with parallel slot payloads.
+    Array { keys: Vec<u16>, slots: Vec<u32> },
+    /// Bitset membership with a dense slot table.
+    Bitmap(Box<BitmapChunk>),
+}
+
+impl Container {
+    fn len(&self) -> usize {
+        match self {
+            Container::Array { keys, .. } => keys.len(),
+            Container::Bitmap(chunk) => chunk.len as usize,
+        }
+    }
+
+    fn contains(&self, low: u16) -> bool {
+        match self {
+            Container::Array { keys, .. } => keys.binary_search(&low).is_ok(),
+            Container::Bitmap(chunk) => chunk.contains(low),
+        }
+    }
+
+    fn slot_of(&self, low: u16) -> Option<u32> {
+        match self {
+            Container::Array { keys, slots } => keys.binary_search(&low).ok().map(|at| slots[at]),
+            Container::Bitmap(chunk) => chunk.slot_of(low),
+        }
+    }
+
+    /// Inserts or updates; returns `true` if the key was new. Promotes an
+    /// Array that outgrows [`ARRAY_MAX`] to a Bitmap.
+    fn insert(&mut self, low: u16, slot: u32) -> bool {
+        match self {
+            Container::Array { keys, slots } => match keys.binary_search(&low) {
+                Ok(at) => {
+                    slots[at] = slot;
+                    false
+                }
+                Err(at) => {
+                    if keys.len() >= ARRAY_MAX {
+                        let mut chunk = BitmapChunk::empty();
+                        for (&key, &payload) in keys.iter().zip(slots.iter()) {
+                            chunk.insert(key, payload);
+                        }
+                        chunk.insert(low, slot);
+                        *self = Container::Bitmap(Box::new(chunk));
+                    } else {
+                        keys.insert(at, low);
+                        slots.insert(at, slot);
+                    }
+                    true
+                }
+            },
+            Container::Bitmap(chunk) => chunk.insert(low, slot),
+        }
+    }
+
+    /// Removes; returns `true` if the key was present. Demotes a Bitmap that
+    /// shrinks below [`BITMAP_MIN`] back to an Array.
+    fn remove(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array { keys, slots } => match keys.binary_search(&low) {
+                Ok(at) => {
+                    keys.remove(at);
+                    slots.remove(at);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bitmap(chunk) => {
+                if !chunk.remove(low) {
+                    return false;
+                }
+                if (chunk.len as usize) < BITMAP_MIN {
+                    let mut keys = Vec::with_capacity(chunk.len as usize);
+                    let mut slots = Vec::with_capacity(chunk.len as usize);
+                    chunk_for_each(chunk, |key, payload| {
+                        keys.push(key);
+                        slots.push(payload);
+                    });
+                    *self = Container::Array { keys, slots };
+                }
+                true
+            }
+        }
+    }
+
+    /// Overwrites the slot payload of an existing key; returns `true` if the
+    /// key was present.
+    fn patch(&mut self, low: u16, slot: u32) -> bool {
+        match self {
+            Container::Array { keys, slots } => match keys.binary_search(&low) {
+                Ok(at) => {
+                    slots[at] = slot;
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bitmap(chunk) => {
+                if chunk.contains(low) {
+                    chunk.slots[low as usize] = slot;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The slot of the `rank`-th member in ascending key order.
+    fn select(&self, rank: usize) -> u32 {
+        match self {
+            Container::Array { slots, .. } => slots[rank],
+            Container::Bitmap(chunk) => chunk.select(rank as u32),
+        }
+    }
+
+    /// Visits every `(low_key, slot)` pair in ascending key order.
+    fn for_each(&self, mut f: impl FnMut(u16, u32)) {
+        match self {
+            Container::Array { keys, slots } => {
+                for (&key, &slot) in keys.iter().zip(slots.iter()) {
+                    f(key, slot);
+                }
+            }
+            Container::Bitmap(chunk) => chunk_for_each(chunk, f),
+        }
+    }
+}
+
+/// Visits every `(low_key, slot)` pair of a bitmap chunk in ascending order.
+fn chunk_for_each(chunk: &BitmapChunk, mut f: impl FnMut(u16, u32)) {
+    for (word_idx, &word) in chunk.words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let low = word_idx * 64 + bits.trailing_zeros() as usize;
+            f(low as u16, chunk.slots[low]);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// A bitmap-postings map from provider ids to slab slots, enumerated in
+/// ascending id order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingsMap {
+    /// Sorted chunk keys (`id >> 16`).
+    keys: Vec<u64>,
+    /// Containers, parallel to `keys`.
+    chunks: Vec<Container>,
+    /// Total number of entries across all chunks.
+    len: usize,
+}
+
+impl PostingsMap {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the map holds no entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts (or re-points) `id → slot`; returns `true` if the id was new.
+    pub fn insert(&mut self, id: ProviderId, slot: u32) -> bool {
+        let key = chunk_key(id);
+        let chunk = match self.keys.binary_search(&key) {
+            Ok(at) => at,
+            Err(at) => {
+                self.keys.insert(at, key);
+                self.chunks.insert(
+                    at,
+                    Container::Array {
+                        keys: Vec::new(),
+                        slots: Vec::new(),
+                    },
+                );
+                at
+            }
+        };
+        let inserted = self.chunks[chunk].insert(low_bits(id), slot);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Removes `id`; returns `true` if it was present. An emptied chunk is
+    /// dropped entirely.
+    pub fn remove(&mut self, id: ProviderId) -> bool {
+        let Ok(chunk) = self.keys.binary_search(&chunk_key(id)) else {
+            return false;
+        };
+        if !self.chunks[chunk].remove(low_bits(id)) {
+            return false;
+        }
+        self.len -= 1;
+        if self.chunks[chunk].len() == 0 {
+            self.keys.remove(chunk);
+            self.chunks.remove(chunk);
+        }
+        true
+    }
+
+    /// `true` if `id` is a member.
+    #[must_use]
+    pub fn contains(&self, id: ProviderId) -> bool {
+        self.keys
+            .binary_search(&chunk_key(id))
+            .is_ok_and(|chunk| self.chunks[chunk].contains(low_bits(id)))
+    }
+
+    /// The slot stored for `id`, if present.
+    #[must_use]
+    pub fn slot_of(&self, id: ProviderId) -> Option<u32> {
+        self.keys
+            .binary_search(&chunk_key(id))
+            .ok()
+            .and_then(|chunk| self.chunks[chunk].slot_of(low_bits(id)))
+    }
+
+    /// Re-points an existing entry at a new slot (the swap-remove compaction
+    /// hook); returns `true` if `id` was present.
+    pub fn patch_slot(&mut self, id: ProviderId, slot: u32) -> bool {
+        match self.keys.binary_search(&chunk_key(id)) {
+            Ok(chunk) => self.chunks[chunk].patch(low_bits(id), slot),
+            Err(_) => false,
+        }
+    }
+
+    /// The slot of the `pos`-th member in ascending id order.
+    ///
+    /// # Panics
+    /// Panics if `pos >= len()`.
+    #[must_use]
+    pub fn select(&self, pos: usize) -> u32 {
+        let mut remaining = pos;
+        for chunk in &self.chunks {
+            let chunk_len = chunk.len();
+            if remaining < chunk_len {
+                return chunk.select(remaining);
+            }
+            remaining -= chunk_len;
+        }
+        panic!("postings position {pos} out of bounds (len {})", self.len)
+    }
+
+    /// Iterates the stored slots in ascending id order.
+    #[must_use]
+    pub fn iter(&self) -> SlotIter<'_> {
+        SlotIter {
+            chunks: self.chunks.iter(),
+            current: ContainerIter::Empty,
+        }
+    }
+
+    /// Appends every slot, in ascending id order, to `out`.
+    pub fn collect_into(&self, out: &mut Vec<u32>) {
+        for chunk in &self.chunks {
+            chunk.for_each(|_, slot| out.push(slot));
+        }
+    }
+}
+
+/// Sequential iterator over a [`PostingsMap`]'s slots in ascending id order.
+#[derive(Debug, Clone)]
+pub struct SlotIter<'a> {
+    chunks: std::slice::Iter<'a, Container>,
+    current: ContainerIter<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum ContainerIter<'a> {
+    Empty,
+    Array(std::slice::Iter<'a, u32>),
+    Bitmap {
+        chunk: &'a BitmapChunk,
+        word_idx: usize,
+        word: u64,
+    },
+}
+
+impl Iterator for ContainerIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            ContainerIter::Empty => None,
+            ContainerIter::Array(slots) => slots.next().copied(),
+            ContainerIter::Bitmap {
+                chunk,
+                word_idx,
+                word,
+            } => {
+                while *word == 0 {
+                    *word_idx += 1;
+                    if *word_idx >= WORDS_PER_CHUNK {
+                        return None;
+                    }
+                    *word = chunk.words[*word_idx];
+                }
+                let low = *word_idx * 64 + word.trailing_zeros() as usize;
+                *word &= *word - 1;
+                Some(chunk.slots[low])
+            }
+        }
+    }
+}
+
+impl Iterator for SlotIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if let Some(slot) = self.current.next() {
+                return Some(slot);
+            }
+            let chunk = self.chunks.next()?;
+            self.current = match chunk {
+                Container::Array { slots, .. } => ContainerIter::Array(slots.iter()),
+                Container::Bitmap(chunk) => ContainerIter::Bitmap {
+                    chunk,
+                    word_idx: 0,
+                    word: chunk.words[0],
+                },
+            };
+        }
+    }
+}
+
+/// Reusable word buffer for bitwise chunk merges. One per registry: merges
+/// borrow it instead of allocating, keeping the query path allocation-free.
+#[derive(Debug, Clone)]
+pub struct MergeScratch {
+    words: Vec<u64>,
+}
+
+impl Default for MergeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MergeScratch {
+    /// Creates a scratch with its word buffer pre-sized, so no merge ever
+    /// allocates.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            words: vec![0u64; WORDS_PER_CHUNK],
+        }
+    }
+}
+
+/// Fills `out` with the slots of providers present in **all** of
+/// `lists[classes[..]]`, in ascending id order.
+///
+/// Chunk-wise: only chunk keys present in every list are visited (driven by
+/// the list with the fewest entries). Within a chunk, an all-Bitmap
+/// population intersects with word-parallel ANDs through `bits`; any mixed or
+/// sparse population probes the smallest container's members against the
+/// others (binary search for Arrays, O(1) bit tests for Bitmaps) — the
+/// galloping analogue for id→slot containers.
+pub fn intersect_lists(
+    lists: &[PostingsMap],
+    classes: &[usize],
+    out: &mut Vec<u32>,
+    bits: &mut MergeScratch,
+) {
+    out.clear();
+    debug_assert!(classes.len() >= 2, "intersection needs at least two lists");
+    let Some(&driver_class) = classes.iter().min_by_key(|&&class| lists[class].len()) else {
+        return;
+    };
+    let driver = &lists[driver_class];
+    'chunks: for (chunk_at, &key) in driver.keys.iter().enumerate() {
+        // Gather this chunk's container from every list; a missing chunk in
+        // any list empties the whole chunk's intersection.
+        let mut members: [Option<&Container>; 64] = [None; 64];
+        let mut count = 0;
+        for &class in classes {
+            if class == driver_class {
+                continue;
+            }
+            match lists[class].keys.binary_search(&key) {
+                Ok(at) => {
+                    members[count] = Some(&lists[class].chunks[at]);
+                    count += 1;
+                }
+                Err(_) => continue 'chunks,
+            }
+        }
+        let members = &members[..count];
+        intersect_chunk(&driver.chunks[chunk_at], members, out, bits);
+    }
+}
+
+/// Intersects one chunk: `driver` against `others` (all same chunk key).
+fn intersect_chunk(
+    driver: &Container,
+    others: &[Option<&Container>],
+    out: &mut Vec<u32>,
+    bits: &mut MergeScratch,
+) {
+    let all_bitmaps = matches!(driver, Container::Bitmap(_))
+        && others
+            .iter()
+            .all(|c| matches!(c, Some(Container::Bitmap(_))));
+    if all_bitmaps {
+        let Container::Bitmap(driver_chunk) = driver else {
+            unreachable!("checked above");
+        };
+        bits.words.copy_from_slice(&driver_chunk.words);
+        for other in others {
+            let Some(Container::Bitmap(chunk)) = other else {
+                unreachable!("checked above");
+            };
+            for (word, &mask) in bits.words.iter_mut().zip(chunk.words.iter()) {
+                *word &= mask;
+            }
+        }
+        for (word_idx, &word) in bits.words.iter().enumerate() {
+            let mut remaining = word;
+            while remaining != 0 {
+                let low = word_idx * 64 + remaining.trailing_zeros() as usize;
+                out.push(driver_chunk.slots[low]);
+                remaining &= remaining - 1;
+            }
+        }
+        return;
+    }
+    // Probe from the smallest container of the chunk: every member must be
+    // present everywhere, so the smallest bounds the work. Bitmap membership
+    // is an O(1) bit test; Array membership uses a forward cursor — both
+    // sides ascend, so each array is walked at most once per chunk (the same
+    // k-way cursor merge the flat `Vec<u32>` postings used, rather than a
+    // binary search per probe member).
+    let mut probe = driver;
+    for other in others.iter().flatten() {
+        if other.len() < probe.len() {
+            probe = other;
+        }
+    }
+    let mut array_cursors: [(&[u16], usize); 64] = [(&[], 0); 64];
+    let mut array_count = 0;
+    let mut bitmap_tests: [Option<&BitmapChunk>; 64] = [None; 64];
+    let mut bitmap_count = 0;
+    for container in std::iter::once(driver).chain(others.iter().flatten().copied()) {
+        if std::ptr::eq(container, probe) {
+            continue;
+        }
+        match container {
+            Container::Array { keys, .. } => {
+                array_cursors[array_count] = (keys.as_slice(), 0);
+                array_count += 1;
+            }
+            Container::Bitmap(chunk) => {
+                bitmap_tests[bitmap_count] = Some(chunk);
+                bitmap_count += 1;
+            }
+        }
+    }
+    let arrays = &mut array_cursors[..array_count];
+    let bitmaps = &bitmap_tests[..bitmap_count];
+
+    match probe {
+        Container::Array { keys, slots } => {
+            'members: for (&low, &slot) in keys.iter().zip(slots.iter()) {
+                for (keys, cursor) in arrays.iter_mut() {
+                    while *cursor < keys.len() && keys[*cursor] < low {
+                        *cursor += 1;
+                    }
+                    if *cursor == keys.len() {
+                        // This list is exhausted: no later member can match.
+                        break 'members;
+                    }
+                    if keys[*cursor] != low {
+                        continue 'members;
+                    }
+                }
+                if bitmaps.iter().flatten().all(|chunk| chunk.contains(low)) {
+                    out.push(slot);
+                }
+            }
+        }
+        Container::Bitmap(probe_chunk) => {
+            'words: for (word_idx, &word) in probe_chunk.words.iter().enumerate() {
+                let mut remaining = word;
+                'members: while remaining != 0 {
+                    let low = (word_idx * 64 + remaining.trailing_zeros() as usize) as u16;
+                    remaining &= remaining - 1;
+                    for (keys, cursor) in arrays.iter_mut() {
+                        while *cursor < keys.len() && keys[*cursor] < low {
+                            *cursor += 1;
+                        }
+                        if *cursor == keys.len() {
+                            break 'words;
+                        }
+                        if keys[*cursor] != low {
+                            continue 'members;
+                        }
+                    }
+                    if bitmaps.iter().flatten().all(|chunk| chunk.contains(low)) {
+                        out.push(probe_chunk.slots[low as usize]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fills `out` with the slots of providers present in **any** of
+/// `lists[classes[..]]`, deduplicated and in ascending id order.
+///
+/// Chunk-wise over the union of chunk keys. A chunk with a single member
+/// container is copied straight through; a chunk containing any Bitmap is
+/// OR-ed word-parallel through `bits`; an all-Array chunk is k-way merged by
+/// low-bit key.
+pub fn union_lists(
+    lists: &[PostingsMap],
+    classes: &[usize],
+    out: &mut Vec<u32>,
+    bits: &mut MergeScratch,
+) {
+    out.clear();
+    // Per-class cursor over that list's chunk keys.
+    let mut cursors = [0usize; 64];
+    loop {
+        // The smallest unvisited chunk key across all lists.
+        let mut next_key: Option<u64> = None;
+        for (i, &class) in classes.iter().enumerate() {
+            let keys = &lists[class].keys;
+            if cursors[i] < keys.len() {
+                let key = keys[cursors[i]];
+                if next_key.is_none_or(|best| key < best) {
+                    next_key = Some(key);
+                }
+            }
+        }
+        let Some(key) = next_key else {
+            break;
+        };
+        // Gather the chunk's member containers and advance their cursors.
+        let mut members: [Option<&Container>; 64] = [None; 64];
+        let mut count = 0;
+        for (i, &class) in classes.iter().enumerate() {
+            let list = &lists[class];
+            if cursors[i] < list.keys.len() && list.keys[cursors[i]] == key {
+                members[count] = Some(&list.chunks[cursors[i]]);
+                count += 1;
+                cursors[i] += 1;
+            }
+        }
+        union_chunk(&members[..count], out, bits);
+    }
+}
+
+/// Unions one chunk's member containers (all same chunk key) into `out`.
+fn union_chunk(members: &[Option<&Container>], out: &mut Vec<u32>, bits: &mut MergeScratch) {
+    if members.len() == 1 {
+        let Some(only) = members[0] else {
+            return;
+        };
+        only.for_each(|_, slot| out.push(slot));
+        return;
+    }
+    if members
+        .iter()
+        .any(|c| matches!(c, Some(Container::Bitmap(_))))
+    {
+        // Word-parallel OR: bitmaps OR directly, arrays set their bits.
+        bits.words.fill(0);
+        for member in members.iter().flatten() {
+            match member {
+                Container::Bitmap(chunk) => {
+                    for (word, &mask) in bits.words.iter_mut().zip(chunk.words.iter()) {
+                        *word |= mask;
+                    }
+                }
+                Container::Array { keys, .. } => {
+                    for &low in keys {
+                        bits.words[low as usize / 64] |= 1u64 << (low % 64);
+                    }
+                }
+            }
+        }
+        for (word_idx, &word) in bits.words.iter().enumerate() {
+            let mut remaining = word;
+            while remaining != 0 {
+                let low = (word_idx * 64 + remaining.trailing_zeros() as usize) as u16;
+                // Every member holding the id stores the same slot; the
+                // first hit resolves it (O(1) for bitmaps).
+                let slot = members
+                    .iter()
+                    .flatten()
+                    .find_map(|c| c.slot_of(low))
+                    .expect("a member container set this bit");
+                out.push(slot);
+                remaining &= remaining - 1;
+            }
+        }
+        return;
+    }
+    // All-Array chunk: k-way merge over the sorted key vectors.
+    let mut cursors = [0usize; 64];
+    loop {
+        let mut next: Option<(u16, u32)> = None;
+        for (i, member) in members.iter().enumerate() {
+            let Some(Container::Array { keys, slots }) = member else {
+                continue;
+            };
+            if cursors[i] < keys.len() {
+                let key = keys[cursors[i]];
+                if next.is_none_or(|(best, _)| key < best) {
+                    next = Some((key, slots[cursors[i]]));
+                }
+            }
+        }
+        let Some((key, slot)) = next else {
+            break;
+        };
+        out.push(slot);
+        for (i, member) in members.iter().enumerate() {
+            let Some(Container::Array { keys, .. }) = member else {
+                continue;
+            };
+            if cursors[i] < keys.len() && keys[cursors[i]] == key {
+                cursors[i] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u64) -> ProviderId {
+        ProviderId::new(raw)
+    }
+
+    #[test]
+    fn insert_contains_remove_round_trip() {
+        let mut map = PostingsMap::new();
+        assert!(map.is_empty());
+        assert!(map.insert(id(5), 50));
+        assert!(map.insert(id(70_000), 7));
+        assert!(!map.insert(id(5), 51), "re-insert only re-points");
+        assert_eq!(map.len(), 2);
+        assert!(map.contains(id(5)));
+        assert_eq!(map.slot_of(id(5)), Some(51));
+        assert_eq!(map.slot_of(id(70_000)), Some(7));
+        assert!(!map.contains(id(6)));
+        assert!(map.remove(id(5)));
+        assert!(!map.remove(id(5)));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.slot_of(id(5)), None);
+    }
+
+    #[test]
+    fn iteration_is_ascending_by_id_across_chunks() {
+        let mut map = PostingsMap::new();
+        // Deliberately shuffled insert order across three chunks.
+        for (raw, slot) in [
+            (200_000u64, 1u32),
+            (3, 2),
+            (65_536, 3),
+            (65_535, 4),
+            (131_071, 5),
+            (9, 6),
+        ] {
+            map.insert(id(raw), slot);
+        }
+        let slots: Vec<u32> = map.iter().collect();
+        // Ascending id order: 3, 9, 65535, 65536, 131071, 200000.
+        assert_eq!(slots, vec![2, 6, 4, 3, 5, 1]);
+        let mut collected = Vec::new();
+        map.collect_into(&mut collected);
+        assert_eq!(collected, slots);
+        for (pos, &slot) in slots.iter().enumerate() {
+            assert_eq!(map.select(pos), slot, "select({pos})");
+        }
+    }
+
+    #[test]
+    fn promotion_and_demotion_preserve_contents() {
+        let mut map = PostingsMap::new();
+        let n = ARRAY_MAX + 200;
+        for raw in 0..n as u64 {
+            map.insert(id(raw * 3), raw as u32);
+        }
+        assert!(
+            matches!(map.chunks.first(), Some(Container::Bitmap(_))),
+            "chunk should have promoted past ARRAY_MAX"
+        );
+        assert_eq!(map.len(), n);
+        // Every member still resolves, in order.
+        let slots: Vec<u32> = map.iter().collect();
+        assert_eq!(slots.len(), n);
+        assert!(slots.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(map.select(7), 7);
+
+        // Shrink below the hysteresis floor: the chunk demotes back.
+        for raw in 0..n as u64 {
+            if raw as usize >= BITMAP_MIN - 100 {
+                assert!(map.remove(id(raw * 3)));
+            }
+        }
+        assert!(
+            matches!(map.chunks.first(), Some(Container::Array { .. })),
+            "chunk should have demoted below BITMAP_MIN"
+        );
+        let slots: Vec<u32> = map.iter().collect();
+        assert_eq!(slots.len(), BITMAP_MIN - 100);
+        assert!(slots.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn hysteresis_gap_avoids_reshaping_on_the_boundary() {
+        let mut map = PostingsMap::new();
+        for raw in 0..=ARRAY_MAX as u64 {
+            map.insert(id(raw), raw as u32);
+        }
+        assert!(matches!(map.chunks[0], Container::Bitmap(_)));
+        // Oscillate one entry around the promotion point: the container must
+        // stay a bitmap (no demotion until BITMAP_MIN).
+        for _ in 0..10 {
+            map.remove(id(0));
+            assert!(matches!(map.chunks[0], Container::Bitmap(_)));
+            map.insert(id(0), 0);
+        }
+    }
+
+    #[test]
+    fn patch_slot_re_points_existing_entries_only() {
+        let mut map = PostingsMap::new();
+        map.insert(id(10), 1);
+        for raw in 0..(ARRAY_MAX + 10) as u64 {
+            map.insert(id(100_000 + raw), raw as u32);
+        }
+        assert!(map.patch_slot(id(10), 99), "array entry");
+        assert_eq!(map.slot_of(id(10)), Some(99));
+        assert!(map.patch_slot(id(100_005), 77), "bitmap entry");
+        assert_eq!(map.slot_of(id(100_005)), Some(77));
+        assert!(!map.patch_slot(id(11), 5), "absent id");
+        assert!(!map.patch_slot(id(900_000), 5), "absent chunk");
+    }
+
+    #[test]
+    fn select_matches_iteration_in_bitmap_chunks() {
+        let mut map = PostingsMap::new();
+        // A dense low chunk (bitmap) plus a sparse high chunk (array).
+        for raw in 0..6000u64 {
+            map.insert(id(raw * 2), raw as u32);
+        }
+        for raw in 0..10u64 {
+            map.insert(id(1_000_000 + raw), (90_000 + raw) as u32);
+        }
+        let slots: Vec<u32> = map.iter().collect();
+        assert_eq!(slots.len(), map.len());
+        for (pos, &slot) in slots.iter().enumerate() {
+            assert_eq!(map.select(pos), slot, "select({pos})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn select_out_of_bounds_panics() {
+        let mut map = PostingsMap::new();
+        map.insert(id(1), 1);
+        let _ = map.select(1);
+    }
+
+    /// Slot payload for an id. Every list stores the same id→slot mapping
+    /// (as the registry guarantees: one slab slot per provider), so merges
+    /// may emit the payload from whichever member container is cheapest.
+    fn slot_for(raw: u64) -> u32 {
+        (raw as u32).wrapping_mul(3).wrapping_add(1)
+    }
+
+    fn build(ids: &[u64]) -> PostingsMap {
+        let mut map = PostingsMap::new();
+        for &raw in ids {
+            map.insert(id(raw), slot_for(raw));
+        }
+        map
+    }
+
+    /// Brute-force reference: ids in all / any of the given sets.
+    fn reference_merge(sets: &[&[u64]], all: bool) -> Vec<u64> {
+        let mut ids: Vec<u64> = sets.concat();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.retain(|&raw| {
+            let hits = sets.iter().filter(|set| set.contains(&raw)).count();
+            if all {
+                hits == sets.len()
+            } else {
+                hits > 0
+            }
+        });
+        ids
+    }
+
+    #[test]
+    fn merges_agree_with_brute_force_across_container_shapes() {
+        // Three lists spanning array chunks, bitmap chunks and chunk
+        // boundaries; list 1 is dense enough to promote.
+        let dense: Vec<u64> = (0..5000u64).map(|i| i * 2).collect();
+        let sparse: Vec<u64> = (0..500u64).map(|i| i * 20).collect();
+        let high: Vec<u64> = (0..300u64).map(|i| 60_000 + i * 40).collect();
+
+        let lists = vec![build(&dense), build(&sparse), build(&high)];
+        let mut bits = MergeScratch::new();
+        let mut out = Vec::new();
+
+        for classes in [vec![0usize, 1], vec![0, 2], vec![1, 2], vec![0, 1, 2]] {
+            let sets: Vec<&[u64]> = classes
+                .iter()
+                .map(|&c| match c {
+                    0 => dense.as_slice(),
+                    1 => sparse.as_slice(),
+                    _ => high.as_slice(),
+                })
+                .collect();
+
+            intersect_lists(&lists, &classes, &mut out, &mut bits);
+            let expected: Vec<u32> = reference_merge(&sets, true)
+                .iter()
+                .map(|&raw| slot_for(raw))
+                .collect();
+            assert_eq!(out, expected, "All over {classes:?}");
+
+            union_lists(&lists, &classes, &mut out, &mut bits);
+            let expected: Vec<u32> = reference_merge(&sets, false)
+                .iter()
+                .map(|&raw| slot_for(raw))
+                .collect();
+            assert_eq!(out, expected, "Any over {classes:?}");
+        }
+    }
+
+    #[test]
+    fn union_of_disjoint_chunks_concatenates_in_order() {
+        let a = build(&[1, 2, 3]);
+        let b = build(&[100_000, 100_001]);
+        let lists = vec![a, b];
+        let mut bits = MergeScratch::new();
+        let mut out = Vec::new();
+        union_lists(&lists, &[0, 1], &mut out, &mut bits);
+        assert_eq!(out.len(), 5);
+        intersect_lists(&lists, &[0, 1], &mut out, &mut bits);
+        assert!(out.is_empty());
+    }
+}

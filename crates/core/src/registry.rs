@@ -7,61 +7,69 @@
 //!
 //! ## Representation
 //!
-//! Snapshots live in a dense slab (`Vec<ProviderSnapshot>`) addressed through
-//! an id→slot map, and one postings list per capability class holds the slots
-//! of every *online* provider advertising that capability, kept sorted by
-//! provider id (one extra list tracks *every* online provider, which answers
-//! degenerate `All{}` requirements and makes `online_count` O(1)). For a
-//! single-capability query `Pq` is a postings-list lookup returning a
-//! borrowed [`Candidates`] view — no scan over the population, no clone of
-//! any snapshot. Multi-capability requirements are answered by a k-way merge
-//! of the id-sorted lists — intersection for `All`, union for `Any` — into a
-//! scratch buffer that is reused across queries, so steady-state mediation
-//! stays allocation-free and costs O(Σ|postings|) rather than O(|P|).
-//! Candidate order is ascending provider id *by construction* on every path,
-//! which makes every downstream random draw deterministic per seed. The
-//! lists are maintained incrementally on
+//! Provider state lives in a dense struct-of-arrays slab
+//! ([`ProviderColumns`]: one column per field, addressed by slot through an
+//! id→slot map), so batch scoring reads only the columns it ranks by. One
+//! [`PostingsMap`] per capability class — a Roaring-style id→slot bitmap
+//! container, see [`crate::postings`] — holds every *online* provider
+//! advertising that capability (one extra map tracks *every* online provider,
+//! which answers degenerate `All{}` requirements and makes `online_count`
+//! O(1)). For a single-capability query `Pq` is the class's map wrapped in a
+//! borrowed [`Candidates`] view — no scan over the population, no clone, no
+//! materialisation at all. Multi-capability requirements are answered by a
+//! chunk-wise merge of the maps — word-parallel intersection for `All`,
+//! OR-union for `Any` — into a slot scratch buffer reused across queries, so
+//! steady-state mediation stays allocation-free. Candidate order is ascending
+//! provider id *by construction* on every path (the bitmap containers
+//! enumerate in id order), which makes every downstream random draw
+//! deterministic per seed. The maps are maintained incrementally on
 //! [`register`](ProviderRegistry::register),
 //! [`unregister`](ProviderRegistry::unregister) and
 //! [`set_online`](ProviderRegistry::set_online); load updates touch only the
-//! slab.
+//! load columns. Slab compaction (`swap_remove` on unregister) re-points the
+//! moved provider's entries with an id-keyed
+//! [`patch_slot`](PostingsMap::patch_slot) per map.
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize, Value};
 
 use sbqa_types::{
-    CapabilityRequirement, CapabilitySet, ProviderId, Query, SbqaError, SbqaResult,
-    MAX_CAPABILITY_CLASSES,
+    CapabilityRequirement, CapabilitySet, ProviderColumns, ProviderId, Query, SbqaError,
+    SbqaResult, MAX_CAPABILITY_CLASSES,
 };
 
 use crate::allocator::{Candidates, ProviderSnapshot};
+use crate::postings::{intersect_lists, union_lists, MergeScratch, PostingsMap};
 
-/// Index of the postings list that tracks every online provider (used for
+/// Index of the postings map that tracks every online provider (used for
 /// degenerate `All{}` requirements and the O(1) `online_count`).
 const ONLINE_LIST: usize = MAX_CAPABILITY_CLASSES as usize;
 
-/// An empty postings list with `'static` lifetime, for requirements that
+/// An empty postings slice with `'static` lifetime, for requirements that
 /// match nobody by construction (`Any` over the empty set).
 const NO_POSTINGS: &[u32] = &[];
 
-/// Mediator-side registry of provider state: a dense snapshot slab plus a
-/// per-capability index of online providers.
+/// Mediator-side registry of provider state: a dense struct-of-arrays slab
+/// plus a per-capability bitmap index of online providers.
 #[derive(Debug, Clone)]
 pub struct ProviderRegistry {
-    /// Dense slab of snapshots; slots are compacted with `swap_remove` on
-    /// unregister, so a slot index is only stable between mutations.
-    slots: Vec<ProviderSnapshot>,
-    /// id → slot position in `slots`.
+    /// Dense column store of provider state; slots are compacted with a
+    /// column-wise `swap_remove` on unregister, so a slot index is only
+    /// stable between mutations.
+    columns: ProviderColumns,
+    /// id → slot position in `columns`.
     index: HashMap<ProviderId, u32>,
-    /// For each capability class, the slots of online providers advertising
-    /// it, sorted by ascending provider id; the final entry ([`ONLINE_LIST`])
-    /// holds every online provider.
-    postings: Vec<Vec<u32>>,
+    /// For each capability class, the id→slot bitmap postings of online
+    /// providers advertising it; the final entry ([`ONLINE_LIST`]) holds
+    /// every online provider.
+    postings: Vec<PostingsMap>,
     /// Reusable output buffer for multi-capability merges; grows once to the
     /// largest candidate set and is then recycled, so steady-state merges
     /// allocate nothing.
     merge_scratch: Vec<u32>,
+    /// Reusable 1024-word chunk buffer for the bitwise merge kernels.
+    merge_bits: MergeScratch,
     /// Number of *registered* providers (online or not) advertising each
     /// capability class. Lets `starvation_error` distinguish "nobody is able"
     /// from "the able ones are offline" without scanning the slab.
@@ -79,10 +87,11 @@ pub struct ProviderRegistry {
 impl Default for ProviderRegistry {
     fn default() -> Self {
         Self {
-            slots: Vec::new(),
+            columns: ProviderColumns::new(),
             index: HashMap::new(),
-            postings: vec![Vec::new(); ONLINE_LIST + 1],
+            postings: vec![PostingsMap::new(); ONLINE_LIST + 1],
             merge_scratch: Vec::new(),
+            merge_bits: MergeScratch::new(),
             class_counts: [0; MAX_CAPABILITY_CLASSES as usize],
             mask_counts: HashMap::new(),
         }
@@ -96,44 +105,32 @@ impl ProviderRegistry {
         Self::default()
     }
 
-    /// The postings lists a snapshot belongs to while online: one per
-    /// advertised capability class, plus the all-online list.
-    fn lists_of(snapshot: &ProviderSnapshot) -> impl Iterator<Item = usize> + '_ {
-        snapshot
-            .capabilities
+    /// The postings maps a provider belongs to while online: one per
+    /// advertised capability class, plus the all-online map.
+    fn lists_of(capabilities: CapabilitySet) -> impl Iterator<Item = usize> {
+        capabilities
             .iter()
             .map(|cap| cap.class() as usize)
             .chain(std::iter::once(ONLINE_LIST))
     }
 
-    /// Position of the provider `id` in postings list `list`, by binary
-    /// search on the (sorted) provider ids.
-    fn posting_position(&self, list: usize, id: ProviderId) -> Result<usize, usize> {
-        let slots = &self.slots;
-        self.postings[list].binary_search_by_key(&id, |&s| slots[s as usize].id)
-    }
-
-    /// Inserts `slot` into the postings lists of every capability the
-    /// snapshot advertises, and into the online list. The snapshot must be
+    /// Inserts `slot` into the postings maps of every capability the
+    /// provider advertises, and into the online map. The provider must be
     /// online.
     fn index_slot(&mut self, slot: u32) {
-        let snapshot = self.slots[slot as usize];
+        let snapshot = self.columns.snapshot(slot as usize);
         debug_assert!(snapshot.online);
-        for list in Self::lists_of(&snapshot) {
-            if let Err(at) = self.posting_position(list, snapshot.id) {
-                self.postings[list].insert(at, slot);
-            }
+        for list in Self::lists_of(snapshot.capabilities) {
+            self.postings[list].insert(snapshot.id, slot);
         }
     }
 
-    /// Removes `slot`'s entries from the postings lists of every capability
-    /// the snapshot advertises, and from the online list.
+    /// Removes the provider in `slot` from the postings maps of every
+    /// capability it advertises, and from the online map.
     fn unindex_slot(&mut self, slot: u32) {
-        let snapshot = self.slots[slot as usize];
-        for list in Self::lists_of(&snapshot) {
-            if let Ok(at) = self.posting_position(list, snapshot.id) {
-                self.postings[list].remove(at);
-            }
+        let snapshot = self.columns.snapshot(slot as usize);
+        for list in Self::lists_of(snapshot.capabilities) {
+            self.postings[list].remove(snapshot.id);
         }
     }
 
@@ -155,17 +152,18 @@ impl ProviderRegistry {
     /// any existing provider with the same id.
     fn insert_snapshot(&mut self, snapshot: ProviderSnapshot) {
         if let Some(&slot) = self.index.get(&snapshot.id) {
-            if self.slots[slot as usize].online {
+            let previous = self.columns.snapshot(slot as usize);
+            if previous.online {
                 self.unindex_slot(slot);
             }
-            self.count_profile(self.slots[slot as usize].capabilities, -1);
-            self.slots[slot as usize] = snapshot;
+            self.count_profile(previous.capabilities, -1);
+            self.columns.set(slot as usize, snapshot);
             if snapshot.online {
                 self.index_slot(slot);
             }
         } else {
-            let slot = u32::try_from(self.slots.len()).expect("provider population fits in u32");
-            self.slots.push(snapshot);
+            let slot = u32::try_from(self.columns.len()).expect("provider population fits in u32");
+            self.columns.push(snapshot);
             self.index.insert(snapshot.id, slot);
             if snapshot.online {
                 self.index_slot(slot);
@@ -186,33 +184,23 @@ impl ProviderRegistry {
         let Some(slot) = self.index.remove(&id) else {
             return false;
         };
-        if self.slots[slot as usize].online {
+        let removed = self.columns.snapshot(slot as usize);
+        if removed.online {
             self.unindex_slot(slot);
         }
-        self.count_profile(self.slots[slot as usize].capabilities, -1);
-        let last = (self.slots.len() - 1) as u32;
-        self.slots.swap_remove(slot as usize);
+        self.count_profile(removed.capabilities, -1);
+        let last = (self.columns.len() - 1) as u32;
+        self.columns.swap_remove(slot as usize);
         if slot != last {
-            // The former last snapshot moved into `slot`: re-point its index
-            // entry and every postings entry that referenced `last`. The
-            // postings stay sorted because the provider id did not change,
-            // but the stale entry still holds the out-of-range value `last`,
-            // so the id-keyed search must map it to the moved id itself.
-            let moved = self.slots[slot as usize];
+            // The former last row moved into `slot`: re-point its index entry
+            // and, if it is online, its postings payloads. The maps are keyed
+            // by provider id — which did not change — so each is an id-keyed
+            // point update, no ordering to repair.
+            let moved = self.columns.snapshot(slot as usize);
             self.index.insert(moved.id, slot);
             if moved.online {
-                let slots = &self.slots;
-                for list in Self::lists_of(&moved) {
-                    let list = &mut self.postings[list];
-                    if let Ok(at) = list.binary_search_by_key(&moved.id, |&s| {
-                        if s == last {
-                            moved.id
-                        } else {
-                            slots[s as usize].id
-                        }
-                    }) {
-                        list[at] = slot;
-                    }
+                for list in Self::lists_of(moved.capabilities) {
+                    self.postings[list].patch_slot(moved.id, slot);
                 }
             }
         }
@@ -224,14 +212,14 @@ impl ProviderRegistry {
         let Some(&slot) = self.index.get(&id) else {
             return Err(SbqaError::UnknownProvider { provider: id });
         };
-        let was_online = self.slots[slot as usize].online;
+        let was_online = self.columns.online()[slot as usize];
         if was_online == online {
             return Ok(());
         }
         if was_online {
             self.unindex_slot(slot);
         }
-        self.slots[slot as usize].online = online;
+        self.columns.set_online(slot as usize, online);
         if online {
             self.index_slot(slot);
         }
@@ -248,58 +236,62 @@ impl ProviderRegistry {
     ) -> SbqaResult<()> {
         match self.index.get(&id) {
             Some(&slot) => {
-                let p = &mut self.slots[slot as usize];
-                p.utilization = if utilization.is_finite() && utilization > 0.0 {
-                    utilization
-                } else {
-                    0.0
-                };
-                p.queue_length = queue_length;
+                self.columns
+                    .set_load(slot as usize, utilization, queue_length);
                 Ok(())
             }
             None => Err(SbqaError::UnknownProvider { provider: id }),
         }
     }
 
-    /// Looks up one provider's snapshot.
+    /// Looks up one provider's snapshot (assembled from the columns).
     #[must_use]
-    pub fn get(&self, id: ProviderId) -> Option<&ProviderSnapshot> {
-        self.index.get(&id).map(|&slot| &self.slots[slot as usize])
+    pub fn get(&self, id: ProviderId) -> Option<ProviderSnapshot> {
+        self.index
+            .get(&id)
+            .map(|&slot| self.columns.snapshot(slot as usize))
     }
 
     /// Number of registered providers.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.columns.len()
     }
 
     /// `true` if no provider is registered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.columns.is_empty()
     }
 
-    /// Number of providers currently online — the length of the all-online
-    /// postings list, O(1).
+    /// Number of providers currently online — the cached cardinality of the
+    /// all-online postings map, O(1).
     #[must_use]
     pub fn online_count(&self) -> usize {
         self.postings[ONLINE_LIST].len()
     }
 
     /// Iterates over all provider snapshots (online or not), in slab order.
-    pub fn iter(&self) -> impl Iterator<Item = &ProviderSnapshot> {
-        self.slots.iter()
+    pub fn iter(&self) -> impl Iterator<Item = ProviderSnapshot> + '_ {
+        self.columns.snapshots()
+    }
+
+    /// The underlying struct-of-arrays column store, slot-indexed.
+    #[must_use]
+    pub fn columns(&self) -> &ProviderColumns {
+        &self.columns
     }
 
     /// The set `Pq` as a borrowed, zero-clone view: every online provider
     /// able to perform `query`, in ascending id order.
     ///
-    /// Single-capability requirements (and degenerate `All{}` / `Any{}`) are
-    /// a postings lookup — O(1), no scan, no clone. Multi-capability
-    /// requirements are answered by merging the id-sorted postings lists of
-    /// the mentioned classes — an intersection for `All`, a union for `Any` —
-    /// into a scratch buffer reused across calls (hence `&mut self`), costing
-    /// O(Σ|postings|) and, once the buffer has grown, zero allocation.
+    /// Single-capability requirements (and degenerate `All{}` / `Any{}`) wrap
+    /// the class's postings map directly — O(1), no scan, no
+    /// materialisation. Multi-capability requirements are answered by a
+    /// chunk-wise merge of the mentioned classes' maps — a word-parallel
+    /// intersection for `All`, an OR-union for `Any` — into a scratch buffer
+    /// reused across calls (hence `&mut self`), allocation-free once the
+    /// buffer has grown.
     #[must_use]
     pub fn candidates(&mut self, query: &Query) -> Candidates<'_> {
         let required = query.required;
@@ -309,127 +301,61 @@ impl ProviderRegistry {
             // `Any{}` by none.
             0 => match required {
                 CapabilityRequirement::All(_) => {
-                    Candidates::from_postings(&self.slots, &self.postings[ONLINE_LIST])
+                    Candidates::from_map(&self.columns, &self.postings[ONLINE_LIST])
                 }
                 CapabilityRequirement::Any(_) => {
-                    Candidates::from_postings(&self.slots, NO_POSTINGS)
+                    Candidates::from_postings(&self.columns, NO_POSTINGS)
                 }
             },
-            // The trivial one-bit case, where All and Any coincide: borrow
-            // the class's postings list directly.
+            // The trivial one-bit case, where All and Any coincide: wrap the
+            // class's postings map directly.
             1 => {
                 let class = set.iter().next().expect("singleton set").class();
-                Candidates::from_postings(&self.slots, &self.postings[class as usize])
+                Candidates::from_map(&self.columns, &self.postings[class as usize])
             }
             _ => {
+                let mut class_buffer = [0usize; MAX_CAPABILITY_CLASSES as usize];
+                let count = Self::classes_of(set, &mut class_buffer);
+                let classes = &class_buffer[..count];
                 match required {
-                    CapabilityRequirement::All(_) => self.intersect_postings(set),
-                    CapabilityRequirement::Any(_) => self.union_postings(set),
+                    CapabilityRequirement::All(_) => intersect_lists(
+                        &self.postings,
+                        classes,
+                        &mut self.merge_scratch,
+                        &mut self.merge_bits,
+                    ),
+                    CapabilityRequirement::Any(_) => union_lists(
+                        &self.postings,
+                        classes,
+                        &mut self.merge_scratch,
+                        &mut self.merge_bits,
+                    ),
                 }
-                Candidates::from_postings(&self.slots, &self.merge_scratch)
+                Candidates::from_postings(&self.columns, &self.merge_scratch)
             }
         }
     }
 
     /// Materialises the classes of `set` into a stack buffer so the merge
-    /// loops iterate only the k mentioned classes instead of probing all 64
-    /// bitmask positions per emitted candidate. Returns the filled prefix.
-    fn classes_of(set: CapabilitySet, buffer: &mut [u8; MAX_CAPABILITY_CLASSES as usize]) -> usize {
+    /// kernels iterate only the k mentioned classes. Returns the filled
+    /// prefix length.
+    fn classes_of(
+        set: CapabilitySet,
+        buffer: &mut [usize; MAX_CAPABILITY_CLASSES as usize],
+    ) -> usize {
         let mut count = 0;
         for cap in set.iter() {
-            buffer[count] = cap.class();
+            buffer[count] = cap.class() as usize;
             count += 1;
         }
         count
-    }
-
-    /// Fills `merge_scratch` with the intersection of the postings lists of
-    /// every class in `set` (providers advertising *all* of them), in
-    /// ascending id order. Classic k-way merge driven by the shortest list:
-    /// each list's cursor only moves forward, so the cost is bounded by
-    /// Σ|postings| no matter how the ids interleave.
-    fn intersect_postings(&mut self, set: CapabilitySet) {
-        self.merge_scratch.clear();
-        let slots = &self.slots;
-        let postings = &self.postings;
-        let mut class_buffer = [0u8; MAX_CAPABILITY_CLASSES as usize];
-        let count = Self::classes_of(set, &mut class_buffer);
-        let classes = &class_buffer[..count];
-        let driver = classes
-            .iter()
-            .map(|&class| class as usize)
-            .min_by_key(|&class| postings[class].len())
-            .expect("set has at least two classes");
-        let mut cursors = [0usize; MAX_CAPABILITY_CLASSES as usize];
-        'candidates: for &slot in &postings[driver] {
-            let id = slots[slot as usize].id;
-            for &class in classes {
-                let class = class as usize;
-                if class == driver {
-                    continue;
-                }
-                let list = &postings[class];
-                let cursor = &mut cursors[class];
-                while *cursor < list.len() && slots[list[*cursor] as usize].id < id {
-                    *cursor += 1;
-                }
-                if *cursor == list.len() {
-                    // This list is exhausted: no later driver id can match.
-                    break 'candidates;
-                }
-                if slots[list[*cursor] as usize].id != id {
-                    continue 'candidates;
-                }
-            }
-            self.merge_scratch.push(slot);
-        }
-    }
-
-    /// Fills `merge_scratch` with the union of the postings lists of every
-    /// class in `set` (providers advertising *any* of them), deduplicated and
-    /// in ascending id order. Repeatedly emits the minimum id across the list
-    /// heads and advances every cursor that matches it; with k = |set| ≤ 64
-    /// lists the cost is O(k·Σ|postings|) with k small in practice.
-    fn union_postings(&mut self, set: CapabilitySet) {
-        self.merge_scratch.clear();
-        let slots = &self.slots;
-        let postings = &self.postings;
-        let mut class_buffer = [0u8; MAX_CAPABILITY_CLASSES as usize];
-        let count = Self::classes_of(set, &mut class_buffer);
-        let classes = &class_buffer[..count];
-        let mut cursors = [0usize; MAX_CAPABILITY_CLASSES as usize];
-        loop {
-            let mut next: Option<(ProviderId, u32)> = None;
-            for &class in classes {
-                let class = class as usize;
-                let list = &postings[class];
-                if cursors[class] < list.len() {
-                    let slot = list[cursors[class]];
-                    let id = slots[slot as usize].id;
-                    if next.is_none_or(|(best, _)| id < best) {
-                        next = Some((id, slot));
-                    }
-                }
-            }
-            let Some((id, slot)) = next else {
-                break;
-            };
-            self.merge_scratch.push(slot);
-            for &class in classes {
-                let class = class as usize;
-                let list = &postings[class];
-                if cursors[class] < list.len() && slots[list[cursors[class]] as usize].id == id {
-                    cursors[class] += 1;
-                }
-            }
-        }
     }
 
     /// The set `Pq` as an owned vector, sorted by id — an allocating
     /// convenience wrapper over [`ProviderRegistry::candidates`].
     #[must_use]
     pub fn capable_of(&mut self, query: &Query) -> Vec<ProviderSnapshot> {
-        self.candidates(query).iter().copied().collect()
+        self.candidates(query).iter().collect()
     }
 
     /// Classifies a starvation: distinguishes "nobody can ever perform this"
@@ -462,7 +388,7 @@ impl ProviderRegistry {
                 .any(|cap| self.class_counts[cap.class() as usize] > 0),
             CapabilityRequirement::All(_) => {
                 if set.is_empty() {
-                    return !self.slots.is_empty();
+                    return !self.columns.is_empty();
                 }
                 if set
                     .iter()
@@ -485,18 +411,20 @@ impl ProviderRegistry {
 }
 
 // The slab's index and postings are derived data: serialize only the
-// snapshots and rebuild the indexes on the way back in.
+// snapshots and rebuild the indexes on the way back in. The column store
+// serializes as the row vector, so the wire format is unchanged from the
+// array-of-structs layout.
 impl Serialize for ProviderRegistry {
     fn to_value(&self) -> Value {
-        self.slots.to_value()
+        self.columns.to_value()
     }
 }
 
 impl Deserialize for ProviderRegistry {
     fn from_value(value: &Value) -> Result<Self, serde::Error> {
-        let slots = Vec::<ProviderSnapshot>::from_value(value)?;
+        let rows = Vec::<ProviderSnapshot>::from_value(value)?;
         let mut registry = Self::new();
-        for snapshot in slots {
+        for snapshot in rows {
             registry.insert_snapshot(snapshot);
         }
         Ok(registry)
@@ -643,7 +571,7 @@ mod tests {
     #[test]
     fn unregister_patches_the_moved_slots_postings() {
         // Unregistering a middle provider swap-removes the slab: the last
-        // snapshot moves into the freed slot and its postings entries must
+        // row moves into the freed slot and its postings payloads must
         // follow, or the index would point at stale (or out-of-range) slots.
         let mut reg = ProviderRegistry::new();
         for id in 1..=5u64 {
@@ -870,5 +798,31 @@ mod tests {
             .map(|p| p.id.raw())
             .collect();
         assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn bitmap_scale_population_keeps_candidates_id_sorted() {
+        // Enough providers in one class to promote its chunk containers to
+        // bitmaps, with churn in the middle: the id-ordered enumeration
+        // contract must hold regardless of container shape.
+        let mut reg = ProviderRegistry::new();
+        let n = 6000u64;
+        for id in 0..n {
+            reg.register(ProviderId::new(id), caps(0), 1.0);
+        }
+        for id in (0..n).step_by(7) {
+            reg.set_online(ProviderId::new(id), false).unwrap();
+        }
+        for id in (0..n).step_by(11) {
+            reg.unregister(ProviderId::new(id));
+        }
+        let ids: Vec<u64> = reg
+            .candidates(&query(0))
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ascending ids");
+        let expected: Vec<u64> = (0..n).filter(|id| id % 7 != 0 && id % 11 != 0).collect();
+        assert_eq!(ids, expected);
     }
 }

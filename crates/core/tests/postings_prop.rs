@@ -1,0 +1,239 @@
+//! Property tests pinning the bitmap postings container to the legacy
+//! `Vec<u32>` postings model it replaced: after any churn history of
+//! insert / remove / patch-slot operations, a [`PostingsMap`] must agree
+//! with a sorted associative shadow on membership, slot payloads, length,
+//! ascending-id iteration order and rank-select — and the word-parallel
+//! `All`/`Any` merge kernels must agree with the naive sorted-vector
+//! intersection and union they replaced.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use sbqa_core::postings::{intersect_lists, union_lists, MergeScratch, PostingsMap, ARRAY_MAX};
+use sbqa_types::ProviderId;
+
+/// The slab slot a provider id maps to in these tests. Id-keyed (not
+/// list-keyed) because in production a provider occupies exactly one slab
+/// slot, recorded identically in every postings list that contains it.
+fn slot_for(raw: u64) -> u32 {
+    (raw as u32).wrapping_mul(2_654_435_761).wrapping_add(17)
+}
+
+/// Checks every equivalence the legacy `Vec<u32>` postings offered.
+fn assert_matches_shadow(map: &PostingsMap, shadow: &BTreeMap<u64, u32>) {
+    assert_eq!(map.len(), shadow.len());
+    assert_eq!(map.is_empty(), shadow.is_empty());
+
+    // Iteration yields the shadow's payloads in ascending-id order.
+    let got: Vec<u32> = map.iter().collect();
+    let expected: Vec<u32> = shadow.values().copied().collect();
+    assert_eq!(got, expected, "iteration order / payload mismatch");
+
+    // Rank-select agrees with iteration at every position.
+    for (pos, &slot) in expected.iter().enumerate() {
+        assert_eq!(map.select(pos), slot, "select({pos})");
+    }
+
+    // collect_into is iteration.
+    let mut collected = Vec::new();
+    map.collect_into(&mut collected);
+    assert_eq!(collected, expected);
+}
+
+proptest! {
+    /// Membership, payloads, iteration order and rank-select agree with a
+    /// sorted shadow model under arbitrary interleaved churn.
+    #[test]
+    fn postings_map_equals_sorted_shadow_under_churn(
+        // (op, id): 0 = insert, 1 = remove, 2 = patch slot. Ids span three
+        // 2^16 chunks so the chunk directory itself churns too.
+        ops in proptest::collection::vec((0u8..3, 0u64..0x3_0000), 1..250),
+        probes in proptest::collection::vec(0u64..0x3_0000, 1..40),
+    ) {
+        let mut map = PostingsMap::new();
+        let mut shadow: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut generation: u32 = 0;
+
+        for &(op, id) in &ops {
+            match op {
+                0 => {
+                    let inserted = map.insert(ProviderId::new(id), slot_for(id));
+                    let was_absent = shadow.insert(id, slot_for(id)).is_none();
+                    prop_assert_eq!(inserted, was_absent, "insert({})", id);
+                }
+                1 => {
+                    let removed = map.remove(ProviderId::new(id));
+                    let was_present = shadow.remove(&id).is_some();
+                    prop_assert_eq!(removed, was_present, "remove({})", id);
+                }
+                _ => {
+                    generation = generation.wrapping_add(1);
+                    let new_slot = slot_for(id).wrapping_add(generation);
+                    let patched = map.patch_slot(ProviderId::new(id), new_slot);
+                    let was_present = shadow.contains_key(&id);
+                    if was_present {
+                        shadow.insert(id, new_slot);
+                    }
+                    prop_assert_eq!(patched, was_present, "patch_slot({})", id);
+                }
+            }
+        }
+
+        assert_matches_shadow(&map, &shadow);
+
+        // Membership probes: hits and misses both agree.
+        for &id in probes.iter().chain(shadow.keys()) {
+            let pid = ProviderId::new(id);
+            prop_assert_eq!(map.contains(pid), shadow.contains_key(&id));
+            prop_assert_eq!(map.slot_of(pid), shadow.get(&id).copied());
+        }
+    }
+
+    /// The word-parallel merge kernels agree with naive sorted-vector
+    /// intersection/union over the member lists.
+    #[test]
+    fn merge_kernels_equal_naive_sorted_vec_merges(
+        // Per-provider membership mask over up to 4 lists; ids span two
+        // chunks so the cursor merge over chunk keys is exercised.
+        members in proptest::collection::vec((0u64..0x2_0000, 1u8..16), 1..120),
+        classes in proptest::collection::vec(0usize..4, 1..5),
+    ) {
+        let mut lists: Vec<PostingsMap> = (0..4).map(|_| PostingsMap::new()).collect();
+        let mut naive: Vec<BTreeMap<u64, u32>> = vec![BTreeMap::new(); 4];
+        for &(id, mask) in &members {
+            for list_idx in 0..4 {
+                if mask & (1 << list_idx) != 0 {
+                    lists[list_idx].insert(ProviderId::new(id), slot_for(id));
+                    naive[list_idx].insert(id, slot_for(id));
+                }
+            }
+        }
+
+        let mut dedup = classes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+
+        // Naive intersection / union over the selected lists' id sets.
+        let ids_in_all: Vec<u32> = naive[dedup[0]]
+            .keys()
+            .filter(|id| dedup.iter().all(|&c| naive[c].contains_key(id)))
+            .map(|&id| slot_for(id))
+            .collect();
+        let mut union_ids: Vec<u64> = dedup
+            .iter()
+            .flat_map(|&c| naive[c].keys().copied())
+            .collect();
+        union_ids.sort_unstable();
+        union_ids.dedup();
+        let ids_in_any: Vec<u32> = union_ids.iter().map(|&id| slot_for(id)).collect();
+
+        let mut out = Vec::new();
+        let mut bits = MergeScratch::new();
+        // The registry resolves a single class through the borrowed Map fast
+        // path; the intersection kernel's contract starts at two lists.
+        if dedup.len() >= 2 {
+            intersect_lists(&lists, &dedup, &mut out, &mut bits);
+            prop_assert_eq!(&out, &ids_in_all, "All merge over {:?}", &dedup);
+        }
+        union_lists(&lists, &dedup, &mut out, &mut bits);
+        prop_assert_eq!(&out, &ids_in_any, "Any merge over {:?}", &dedup);
+    }
+}
+
+/// Seeded large-scale churn that crosses the array→bitmap promotion
+/// threshold in both directions inside a single chunk, verifying shadow
+/// equivalence at every phase boundary. Proptest populations stay small for
+/// speed; this pins the container transitions the proptest can't reach.
+#[test]
+fn container_promotion_and_demotion_preserve_equivalence() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5b9a_2026);
+    let mut map = PostingsMap::new();
+    let mut shadow: BTreeMap<u64, u32> = BTreeMap::new();
+
+    // Phase 1: grow one chunk well past ARRAY_MAX (promotion), with a second
+    // chunk staying sparse (array) so mixed-shape directories are covered.
+    while shadow.len() < ARRAY_MAX + 1_500 {
+        let id = rng.gen_range(0u64..0x1_8000);
+        map.insert(ProviderId::new(id), slot_for(id));
+        shadow.insert(id, slot_for(id));
+    }
+    assert_matches_shadow(&map, &shadow);
+
+    // Phase 2: interleaved churn at scale — removals, re-inserts and slot
+    // patches against the bitmap container.
+    for _ in 0..4_000 {
+        let id = rng.gen_range(0u64..0x1_8000);
+        match rng.gen_range(0u8..3) {
+            0 => {
+                map.insert(ProviderId::new(id), slot_for(id));
+                shadow.insert(id, slot_for(id));
+            }
+            1 => {
+                assert_eq!(
+                    map.remove(ProviderId::new(id)),
+                    shadow.remove(&id).is_some()
+                );
+            }
+            _ => {
+                let new_slot = slot_for(id) ^ 0xdead_beef;
+                let patched = map.patch_slot(ProviderId::new(id), new_slot);
+                assert_eq!(patched, shadow.contains_key(&id));
+                if patched {
+                    shadow.insert(id, new_slot);
+                }
+            }
+        }
+    }
+    assert_matches_shadow(&map, &shadow);
+
+    // Phase 3: drain far below the demotion threshold (bitmap → array), then
+    // verify equivalence survives the shape change.
+    let victims: Vec<u64> = shadow.keys().copied().collect();
+    for id in victims {
+        if shadow.len() <= 512 {
+            break;
+        }
+        assert!(map.remove(ProviderId::new(id)));
+        shadow.remove(&id);
+    }
+    assert_matches_shadow(&map, &shadow);
+
+    // Phase 4: merges against the churned shapes still match the naive
+    // model. Payloads stay id-consistent across lists (the production
+    // invariant): `other` reuses the shadow's current slot where the id is
+    // shared.
+    let slot_of_id =
+        |id: u64, shadow: &BTreeMap<u64, u32>| shadow.get(&id).copied().unwrap_or(slot_for(id));
+    let mut other_ids: Vec<u64> = shadow.keys().copied().step_by(2).collect();
+    other_ids.extend((0..64u64).map(|i| 0x2_0000 + i)); // a chunk only `other` has
+    let mut other = PostingsMap::new();
+    for &id in &other_ids {
+        other.insert(ProviderId::new(id), slot_of_id(id, &shadow));
+    }
+
+    let mut out = Vec::new();
+    let mut bits = MergeScratch::new();
+
+    let expected_all: Vec<u32> = shadow
+        .iter()
+        .filter(|(id, _)| other.contains(ProviderId::new(**id)))
+        .map(|(_, &slot)| slot)
+        .collect();
+    let lists = [map, other];
+    intersect_lists(&lists, &[0, 1], &mut out, &mut bits);
+    assert_eq!(out, expected_all);
+
+    let mut union_ids: Vec<u64> = shadow.keys().copied().collect();
+    union_ids.extend(other_ids.iter().copied());
+    union_ids.sort_unstable();
+    union_ids.dedup();
+    let expected_any: Vec<u32> = union_ids
+        .iter()
+        .map(|&id| slot_of_id(id, &shadow))
+        .collect();
+    union_lists(&lists, &[0, 1], &mut out, &mut bits);
+    assert_eq!(out, expected_any);
+}

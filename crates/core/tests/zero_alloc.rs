@@ -72,10 +72,13 @@ fn multi_query(id: u64) -> Query {
 fn steady_state_mediation_does_not_allocate() {
     let config = SystemConfig::default().with_knbest(20, 4);
     let mut mediator = Mediator::sbqa(config, 42).unwrap();
-    for p in 0..256u64 {
-        // Overlapping two-class capability sets over classes {0, 1, 2}, so
-        // both the single-capability fast path and the All/Any merges see
-        // non-trivial postings lists.
+    // 13,000 providers over overlapping two-class capability sets on classes
+    // {0, 1, 2}: each class's postings list holds ~8,666 providers and the
+    // online list 13,000 — both far past the array→bitmap promotion
+    // threshold (`postings::ARRAY_MAX` = 4,096), so the measured merges run
+    // against bitmap containers, not the small-array fast shape.
+    const PROVIDERS: u64 = 13_000;
+    for p in 0..PROVIDERS {
         let caps = CapabilitySet::from_capabilities([
             Capability::new((p % 3) as u8),
             Capability::new(((p + 1) % 3) as u8),
@@ -86,8 +89,10 @@ fn steady_state_mediation_does_not_allocate() {
     let oracle = StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
 
     // Warm-up: fill every satisfaction window and grow all scratch buffers,
-    // including the registry's merge scratch.
-    for id in 0..2_000u64 {
+    // including the registry's merge scratch. The class populations are
+    // static here, so every All/Any class pair reaches its maximal merge
+    // output size during warm-up.
+    for id in 0..800u64 {
         mediator.submit_in_place(&query(id), &oracle).unwrap();
         mediator.submit_in_place(&multi_query(id), &oracle).unwrap();
     }
@@ -96,15 +101,15 @@ fn steady_state_mediation_does_not_allocate() {
 
     // Measured steady state: the single-capability fast path…
     COUNTING.store(true, Ordering::SeqCst);
-    for id in 2_000..3_000u64 {
+    for id in 2_000..2_500u64 {
         let decision = mediator.submit_in_place(&query(id), &oracle).unwrap();
         assert_eq!(decision.selected.len(), 2);
     }
     let report = mediator.submit_batch(&batch, &oracle, |_, _, result| {
         assert!(result.is_ok());
     });
-    // …and the multi-capability merge path (intersections and unions).
-    for id in 3_000..4_000u64 {
+    // …and the multi-capability merge path (bitmap intersections & unions).
+    for id in 3_000..3_500u64 {
         let decision = mediator.submit_in_place(&multi_query(id), &oracle).unwrap();
         assert_eq!(decision.selected.len(), 2);
     }

@@ -24,6 +24,7 @@ pub mod config;
 pub mod error;
 pub mod id;
 pub mod intention;
+pub mod provider;
 pub mod query;
 pub mod satisfaction_value;
 pub mod time;
@@ -33,6 +34,7 @@ pub use config::{AllocationPolicyKind, OmegaPolicy, SystemConfig};
 pub use error::{SbqaError, SbqaResult};
 pub use id::{ConsumerId, IdGenerator, ParticipantId, ProviderId, QueryId};
 pub use intention::Intention;
+pub use provider::{ProviderColumns, ProviderSnapshot};
 pub use query::{Query, QueryBuilder, QueryClass, QueryOutcome};
 pub use satisfaction_value::Satisfaction;
 pub use time::{Duration, VirtualTime};
