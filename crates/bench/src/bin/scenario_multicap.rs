@@ -144,6 +144,17 @@ fn main() -> ExitCode {
             "load gini",
         ],
     );
+    let mut cache_table = Table::new(
+        "Candidate-plan cache — multi-capability resolutions served without merge work",
+        &[
+            "technique",
+            "hits",
+            "misses",
+            "stale rebuilds",
+            "evictions",
+            "hit rate",
+        ],
+    );
     let mut all_series = Vec::new();
     for kind in [
         AllocationPolicyKind::SbQA,
@@ -167,6 +178,15 @@ fn main() -> ExitCode {
             report.response.starved().to_string(),
             Table::num(report.load_balance().gini),
         ]);
+        let cache = report.plan_cache;
+        cache_table.add_row(&[
+            kind.label().to_string(),
+            cache.hits.to_string(),
+            cache.misses.to_string(),
+            cache.stale_rebuilds.to_string(),
+            cache.evictions.to_string(),
+            Table::num(cache.hit_rate()),
+        ]);
         for series in &report.series {
             let mut named = series.clone();
             named.name = format!("{}/{}", series.name, kind.label());
@@ -175,6 +195,7 @@ fn main() -> ExitCode {
     }
 
     println!("{}", table.render());
+    println!("{}", cache_table.render());
     if let Some(path) = &options.csv {
         if let Err(err) = std::fs::write(path, CsvWriter::render_series(&all_series)) {
             eprintln!("cannot write {path}: {err}");

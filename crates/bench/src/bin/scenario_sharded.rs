@@ -163,6 +163,27 @@ fn main() -> ExitCode {
         "Per-shard ingest-to-decision latency",
         &["config", "shard", "drained", "p50", "p95", "p99"],
     );
+    let mut cache_table = Table::new(
+        "Candidate-plan cache (all shards merged)",
+        &[
+            "config",
+            "hits",
+            "misses",
+            "stale rebuilds",
+            "evictions",
+            "hit rate",
+        ],
+    );
+    let cache_row = |label: String, cache: sbqa_core::PlanCacheStats| {
+        [
+            label,
+            cache.hits.to_string(),
+            cache.misses.to_string(),
+            cache.stale_rebuilds.to_string(),
+            cache.evictions.to_string(),
+            Table::num(cache.hit_rate()),
+        ]
+    };
 
     let baseline = match run_single_mediator(system.clone(), seed, &providers, &consumers, &stream)
     {
@@ -184,6 +205,10 @@ fn main() -> ExitCode {
         format!("{:.1}", baseline.wall.as_secs_f64() * 1e3),
         format!("{:.0}", baseline.throughput_per_sec()),
     ]);
+    cache_table.add_row(&cache_row(
+        "single mediator".to_string(),
+        baseline.shard.cache,
+    ));
 
     for &shards in &shard_counts {
         let config = ShardedRunConfig {
@@ -238,6 +263,13 @@ fn main() -> ExitCode {
         // One shared unit per configuration (picked from the widest shard
         // p99), so the shard rows compare at a glance instead of flipping
         // units mid-column.
+        cache_table.add_row(&cache_row(
+            format!(
+                "service, {shards} shard{}",
+                if shards == 1 { "" } else { "s" }
+            ),
+            report.cache_stats(),
+        ));
         let unit = report.shard_latency_unit();
         for shard in &report.shards {
             let quantiles = shard.latency.percentiles(&[0.50, 0.95, 0.99]);
@@ -254,5 +286,6 @@ fn main() -> ExitCode {
 
     println!("{}", table.render());
     println!("{}", shard_table.render());
+    println!("{}", cache_table.render());
     ExitCode::SUCCESS
 }

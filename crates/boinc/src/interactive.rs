@@ -237,6 +237,7 @@ mod tests {
             series: vec![],
             consumer_final_satisfaction: vec![],
             provider_final_satisfaction: vec![(ProviderId::new(9_999), 0.7)],
+            plan_cache: Default::default(),
         };
         assert_eq!(volunteer.satisfaction_in(&report), Some(0.7));
         let absent =

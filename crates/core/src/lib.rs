@@ -45,7 +45,7 @@ pub mod scoring;
 
 pub use adaptive::{KnAdjustment, KnController, KnControllerConfig};
 pub use allocator::{
-    AllocationDecision, CandidateBlock, Candidates, IntentionOracle, ProposalRecord,
+    AllocationDecision, CandidateBlock, Candidates, IntentionOracle, PlanToken, ProposalRecord,
     ProviderColumns, ProviderSnapshot, QueryAllocator, StaticIntentions,
 };
 pub use intention::{
@@ -55,7 +55,7 @@ pub use knbest::{IndexPool, KnBestScratch, KnBestSelector, KnSelection};
 pub use mediator::{BatchReport, MediationOutcome, MediationScratch, Mediator};
 pub use postings::PostingsMap;
 pub use ranking::rank_by_score;
-pub use registry::ProviderRegistry;
+pub use registry::{PlanCacheStats, PlanHandle, ProviderRegistry};
 pub use sbqa_types::{OmegaPolicy, SystemConfig};
 pub use scoring::{provider_score, resolve_omega, ScoreInputs};
 

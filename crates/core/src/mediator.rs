@@ -36,7 +36,7 @@ use crate::allocator::{
 };
 use crate::knbest::{KnBestScratch, KnBestSelector};
 use crate::ranking::rank_indices_by_score;
-use crate::registry::ProviderRegistry;
+use crate::registry::{PlanCacheStats, PlanHandle, PlanKey, ProviderRegistry};
 use crate::scoring::{provider_score, resolve_omega};
 
 /// The Satisfaction-based Query Allocation technique (KnBest + SQLB).
@@ -220,14 +220,69 @@ impl MediationOutcome {
     }
 }
 
-/// Reusable per-mediator working memory: the decision buffer and the two
-/// satisfaction views derived from it. One scratch per mediator makes
-/// steady-state mediation allocation-free.
+/// Reusable per-mediator working memory: the decision buffer, the two
+/// satisfaction views derived from it, and the batch-level plan memo. One
+/// scratch per mediator makes steady-state mediation allocation-free.
 #[derive(Debug, Default)]
 pub struct MediationScratch {
     decision: AllocationDecision,
     consumer_view: Vec<(ProviderId, Intention)>,
     provider_view: Vec<(ProviderId, Intention, bool)>,
+    memo: BatchMemo,
+}
+
+/// Upper bound on memoized requirement groups. Realistic traffic issues a
+/// handful of distinct requirement sets; the bound keeps the linear-scan
+/// lookup fast and the memory constant under adversarial diversity.
+const BATCH_MEMO_LIMIT: usize = 64;
+
+/// Requirement → cached-plan memo for batch-level query-plan deduplication.
+///
+/// A tiny linear-scan table (distinct requirements per drain are few, so a
+/// scan beats hashing) from a requirement's [`PlanKey`] to the
+/// [`PlanHandle`] its first resolution produced. Later same-requirement
+/// queries re-enter the registry through
+/// [`ProviderRegistry::cached_plan_view`] — no key hash, no per-class epoch
+/// walk — after a [`ProviderRegistry::plan_is_current`] check, so a stale or
+/// evicted handle degrades to a normal resolution instead of serving wrong
+/// candidates. The handles stay sound across registry mutations for exactly
+/// that reason, which is why the memo survives between
+/// [`Mediator::submit_in_place`] calls and is only reset at
+/// [`Mediator::submit_batch`] boundaries.
+#[derive(Debug, Default)]
+struct BatchMemo {
+    entries: Vec<(PlanKey, PlanHandle)>,
+}
+
+impl BatchMemo {
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn get(&self, key: PlanKey) -> Option<PlanHandle> {
+        self.entries
+            .iter()
+            .find(|&&(memoized, _)| memoized == key)
+            .map(|&(_, handle)| handle)
+    }
+
+    fn put(&mut self, key: PlanKey, handle: PlanHandle) {
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|&&mut (memoized, _)| memoized == key)
+        {
+            slot.1 = handle;
+            return;
+        }
+        if self.entries.len() >= BATCH_MEMO_LIMIT {
+            // Pathological requirement diversity: start over rather than
+            // grow. The next occurrence of each dropped key re-resolves
+            // once — correctness is untouched.
+            self.entries.clear();
+        }
+        self.entries.push((key, handle));
+    }
 }
 
 /// Tallies of one [`Mediator::submit_batch`] drain.
@@ -266,6 +321,12 @@ pub struct Mediator {
     /// Adaptive-`kn` controller; `None` (the default) leaves the hosted
     /// technique's static width untouched, byte-for-byte.
     kn_controller: Option<KnController>,
+    /// Batch-level query-plan deduplication (on by default): same-requirement
+    /// queries within a drain share one resolution through the
+    /// [`BatchMemo`]. Per-query Kn selection still draws independently, so
+    /// RNG consumption — and therefore the decision stream — is
+    /// byte-identical with the memo on or off.
+    batch_dedup: bool,
 }
 
 impl Mediator {
@@ -279,6 +340,7 @@ impl Mediator {
             satisfaction: SatisfactionRegistry::new(satisfaction_window),
             scratch: MediationScratch::default(),
             kn_controller: None,
+            batch_dedup: true,
         }
     }
 
@@ -311,6 +373,7 @@ impl Mediator {
             satisfaction,
             scratch: MediationScratch::default(),
             kn_controller: None,
+            batch_dedup: true,
         }
     }
 
@@ -373,6 +436,38 @@ impl Mediator {
         &self.providers
     }
 
+    /// Counters of the registry's candidate-plan cache (hits include
+    /// batch-memo re-entries).
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.providers.plan_cache_stats()
+    }
+
+    /// Re-bounds the registry's candidate-plan cache; `0` disables caching
+    /// (and with it batch-level plan deduplication, which requires stable
+    /// cached storage to memoize).
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.providers.set_plan_cache_capacity(capacity);
+        self.scratch.memo.clear();
+    }
+
+    /// Enables or disables batch-level query-plan deduplication (on by
+    /// default). Purely a fast path: the decision stream is byte-identical
+    /// either way.
+    pub fn set_batch_dedup(&mut self, enabled: bool) {
+        self.batch_dedup = enabled;
+        if !enabled {
+            self.scratch.memo.clear();
+        }
+    }
+
+    /// `true` if same-requirement queries within a drain share one cached
+    /// plan resolution.
+    #[must_use]
+    pub fn batch_dedup(&self) -> bool {
+        self.batch_dedup
+    }
+
     /// Immutable access to the satisfaction registry.
     #[must_use]
     pub fn satisfaction(&self) -> &SatisfactionRegistry {
@@ -429,25 +524,51 @@ impl Mediator {
         self.kn_controller.as_mut().map_or(0, KnController::adapt)
     }
 
-    /// The shared mediation core: computes `Pq` as a borrowed view, lets the
-    /// allocation technique fill the scratch decision, and records the
-    /// mediation result on both sides' satisfaction — all without allocating
-    /// in steady state.
+    /// The shared mediation core: computes `Pq` as a borrowed view (through
+    /// the plan memo when batch dedup applies), lets the allocation
+    /// technique fill the scratch decision, and records the mediation result
+    /// on both sides' satisfaction — all without allocating in steady state.
     fn mediate(&mut self, query: &Query, oracle: &dyn IntentionOracle) -> SbqaResult<()> {
         // Split the borrows by field: `candidates` may merge postings lists
-        // into the registry's scratch buffer (hence `&mut providers`), while
-        // the allocator and the satisfaction registry are borrowed alongside.
+        // into the registry's cache (hence `&mut providers`), while the
+        // allocator, the satisfaction registry and the scratch memo are
+        // borrowed alongside.
         let Self {
             allocator,
             providers,
             satisfaction,
             scratch,
             kn_controller,
+            batch_dedup,
         } = self;
         if let Some(controller) = kn_controller {
             allocator.set_exploration_width(controller.kn_for_query(query));
         }
-        let candidates = providers.candidates(query);
+        let dedup =
+            *batch_dedup && providers.plan_cache_enabled() && query.required.classes().len() >= 2;
+        let candidates = if dedup {
+            let key = PlanKey::of(query.required);
+            match scratch.memo.get(key) {
+                // The memoized plan is still the same tenant and none of its
+                // postings epochs moved: serve it without touching the cache
+                // index.
+                Some(handle) if providers.plan_is_current(handle) => {
+                    providers.cached_plan_view(handle)
+                }
+                // First occurrence in this drain (or the handle went stale /
+                // was evicted): resolve normally and memoize the plan for
+                // the rest of the group.
+                _ => {
+                    let (view, handle) = providers.resolve_with_handle(query);
+                    if let Some(handle) = handle {
+                        scratch.memo.put(key, handle);
+                    }
+                    view
+                }
+            }
+        } else {
+            providers.candidates(query)
+        };
         if candidates.is_empty() {
             return Err(providers.starvation_error(query));
         }
@@ -471,6 +592,7 @@ impl Mediator {
             decision,
             consumer_view,
             provider_view,
+            ..
         } = &mut self.scratch;
         decision.consumer_view_into(consumer_view);
         decision.provider_view_into(provider_view);
@@ -526,8 +648,11 @@ impl Mediator {
     {
         // Batch boundary: one adaptation round before the drain, so every
         // query of the batch is drawn with the widths the previous batches'
-        // evidence decided (a pure no-op when adaptation is disabled).
+        // evidence decided (a pure no-op when adaptation is disabled), and a
+        // fresh plan memo so the drain's requirement groups are deduplicated
+        // against this batch's resolutions.
         self.adapt_kn();
+        self.scratch.memo.clear();
         let mut report = BatchReport::default();
         for (position, query) in queries.iter().enumerate() {
             match self.mediate(query, oracle) {
@@ -559,7 +684,10 @@ impl std::fmt::Debug for Mediator {
 mod tests {
     use super::*;
     use crate::allocator::{ProviderSnapshot, StaticIntentions};
-    use sbqa_types::{Capability, ConsumerId, Intention, OmegaPolicy, QueryId, Satisfaction};
+    use sbqa_types::{
+        Capability, CapabilityRequirement, ConsumerId, Intention, OmegaPolicy, QueryId,
+        Satisfaction,
+    };
 
     fn caps() -> CapabilitySet {
         CapabilitySet::singleton(Capability::new(0))
@@ -1132,5 +1260,144 @@ mod tests {
             got.push(result.unwrap().selected.clone());
         });
         assert_eq!(expected, got);
+    }
+
+    /// A multi-capability query cycling over overlapping class pairs.
+    fn multi_query(id: u64) -> Query {
+        let a = Capability::new((id % 3) as u8);
+        let b = Capability::new(((id + 1) % 3) as u8);
+        let set = CapabilitySet::from_capabilities([a, b]);
+        let required = if id.is_multiple_of(2) {
+            CapabilityRequirement::All(set)
+        } else {
+            CapabilityRequirement::Any(set)
+        };
+        Query::requiring(QueryId::new(id), ConsumerId::new(1), required)
+            .replication(2)
+            .build()
+    }
+
+    fn multi_mediator(seed: u64) -> Mediator {
+        let config = SystemConfig::default().with_knbest(8, 3);
+        let mut mediator = Mediator::sbqa(config, seed).unwrap();
+        for p in 0..12u64 {
+            let caps = CapabilitySet::from_capabilities([
+                Capability::new((p % 3) as u8),
+                Capability::new(((p + 1) % 3) as u8),
+            ]);
+            mediator.register_provider(ProviderId::new(p), caps, 1.0);
+        }
+        mediator.register_consumer(ConsumerId::new(1));
+        mediator
+    }
+
+    #[test]
+    fn batch_dedup_resolves_each_requirement_once_per_batch() {
+        let mut mediator = multi_mediator(5);
+        assert!(mediator.batch_dedup());
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
+
+        // 24 queries over 6 distinct requirements: the plan cache should see
+        // one miss per requirement and the rest served (memo hits re-enter
+        // the cache's hit counter through `cached_plan_view`).
+        let batch: Vec<Query> = (0..24u64).map(multi_query).collect();
+        let report = mediator.submit_batch(&batch, &oracle, |_, _, result| {
+            assert!(result.is_ok());
+        });
+        assert_eq!(report.mediated, 24);
+        let stats = mediator.plan_cache_stats();
+        assert_eq!(stats.misses, 6, "one merge per distinct requirement");
+        assert_eq!(stats.hits, 18, "every repetition rode the memo");
+        assert_eq!(stats.stale_rebuilds, 0);
+
+        // A second identical batch is all hits: the memo is cleared at the
+        // batch boundary, but its first probe per requirement revalidates
+        // against the (unchanged) cache.
+        mediator.submit_batch(&batch, &oracle, |_, _, _| {});
+        let stats = mediator.plan_cache_stats();
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.hits, 42);
+    }
+
+    #[test]
+    fn batch_dedup_off_and_disabled_cache_stay_byte_identical() {
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
+        let batch: Vec<Query> = (0..30u64).map(multi_query).collect();
+
+        let run = |mut mediator: Mediator| -> Vec<AllocationDecision> {
+            let mut decisions = Vec::new();
+            // Mid-run churn: offline/online flips between batches invalidate
+            // plans without changing the candidate sets the queries see.
+            for chunk in batch.chunks(10) {
+                mediator.submit_batch(chunk, &oracle, |_, _, result| {
+                    decisions.push(result.unwrap().clone());
+                });
+                mediator
+                    .set_provider_online(ProviderId::new(11), false)
+                    .unwrap();
+                mediator
+                    .set_provider_online(ProviderId::new(11), true)
+                    .unwrap();
+            }
+            decisions
+        };
+
+        let expected = run(multi_mediator(5));
+        let mut no_dedup = multi_mediator(5);
+        no_dedup.set_batch_dedup(false);
+        assert!(!no_dedup.batch_dedup());
+        let mut no_cache = multi_mediator(5);
+        no_cache.set_plan_cache_capacity(0);
+
+        assert_eq!(run(no_dedup), expected);
+        assert_eq!(run(no_cache), expected);
+    }
+
+    #[test]
+    fn batch_dedup_survives_a_thrashing_plan_cache() {
+        // Cache capacity 1 with 6 distinct requirements: every memoized
+        // handle is evicted before its next use, so `plan_is_current` fails
+        // and the memo falls back to a fresh resolution — correctness must
+        // not depend on the memo ever hitting.
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
+        let batch: Vec<Query> = (0..24u64).map(multi_query).collect();
+
+        let mut thrashing = multi_mediator(5);
+        thrashing.set_plan_cache_capacity(1);
+        let mut expected = Vec::new();
+        thrashing.submit_batch(&batch, &oracle, |_, _, result| {
+            expected.push(result.unwrap().clone());
+        });
+        assert!(thrashing.plan_cache_stats().evictions > 0);
+
+        let mut roomy = multi_mediator(5);
+        let mut got = Vec::new();
+        roomy.submit_batch(&batch, &oracle, |_, _, result| {
+            got.push(result.unwrap().clone());
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn plan_cache_stats_pass_through_the_mediator() {
+        let mut mediator = multi_mediator(5);
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
+        mediator.submit_in_place(&multi_query(0), &oracle).unwrap();
+        mediator.submit_in_place(&multi_query(0), &oracle).unwrap();
+        let stats = mediator.plan_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats, mediator.providers().plan_cache_stats());
+
+        // Disabling the cache through the mediator clears the entries and
+        // the memo but keeps the counters.
+        mediator.set_plan_cache_capacity(0);
+        let stats = mediator.plan_cache_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 1);
     }
 }

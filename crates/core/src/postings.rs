@@ -313,6 +313,16 @@ pub struct PostingsMap {
     chunks: Vec<Container>,
     /// Total number of entries across all chunks.
     len: usize,
+    /// Mutation epoch: bumped by every call that may change membership or a
+    /// stored slot payload ([`insert`](PostingsMap::insert),
+    /// a successful [`remove`](PostingsMap::remove) or
+    /// [`patch_slot`](PostingsMap::patch_slot)). Cached merge results stamp
+    /// the epoch of every map they read; an unchanged epoch proves the map's
+    /// contribution to the merge is byte-identical, so equality over the
+    /// stamps is a sound (and O(#classes)) cache-validity check. The bump
+    /// lives *inside* the container rather than at the call sites so no
+    /// mutation path can forget it.
+    generation: u64,
 }
 
 impl PostingsMap {
@@ -334,8 +344,20 @@ impl PostingsMap {
         self.len == 0
     }
 
+    /// The map's mutation epoch. Strictly increases on every
+    /// membership or slot-payload change; two reads returning the same value
+    /// bracket a window in which the map was not mutated at all.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Inserts (or re-points) `id → slot`; returns `true` if the id was new.
     pub fn insert(&mut self, id: ProviderId, slot: u32) -> bool {
+        // An existing id may be re-pointed at a new slot, which `inserted`
+        // does not report: bump unconditionally. A spurious bump only costs a
+        // cache re-merge, never a stale hit.
+        self.generation += 1;
         let key = chunk_key(id);
         let chunk = match self.keys.binary_search(&key) {
             Ok(at) => at,
@@ -367,6 +389,7 @@ impl PostingsMap {
         if !self.chunks[chunk].remove(low_bits(id)) {
             return false;
         }
+        self.generation += 1;
         self.len -= 1;
         if self.chunks[chunk].len() == 0 {
             self.keys.remove(chunk);
@@ -396,7 +419,16 @@ impl PostingsMap {
     /// hook); returns `true` if `id` was present.
     pub fn patch_slot(&mut self, id: ProviderId, slot: u32) -> bool {
         match self.keys.binary_search(&chunk_key(id)) {
-            Ok(chunk) => self.chunks[chunk].patch(low_bits(id), slot),
+            Ok(chunk) => {
+                let patched = self.chunks[chunk].patch(low_bits(id), slot);
+                if patched {
+                    // Membership is unchanged but a payload moved — the one
+                    // mutation that would silently corrupt a cached plan's
+                    // slot list if it did not advance the epoch.
+                    self.generation += 1;
+                }
+                patched
+            }
             Err(_) => false,
         }
     }

@@ -39,7 +39,7 @@ use sbqa_types::{
     SbqaResult, MAX_CAPABILITY_CLASSES,
 };
 
-use crate::allocator::{Candidates, ProviderSnapshot};
+use crate::allocator::{Candidates, PlanToken, ProviderSnapshot};
 use crate::postings::{intersect_lists, union_lists, MergeScratch, PostingsMap};
 
 /// Index of the postings map that tracks every online provider (used for
@@ -49,6 +49,169 @@ const ONLINE_LIST: usize = MAX_CAPABILITY_CLASSES as usize;
 /// An empty postings slice with `'static` lifetime, for requirements that
 /// match nobody by construction (`Any` over the empty set).
 const NO_POSTINGS: &[u32] = &[];
+
+/// Default number of materialised merge plans the candidate-plan cache
+/// retains. Realistic workloads issue a handful of distinct requirement sets,
+/// so the bound exists to cap memory under adversarial requirement diversity,
+/// not to be reached in normal operation.
+const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+/// First occupancy number handed to a cache entry. Values `0..=ONLINE_LIST`
+/// are reserved as [`PlanToken::plan`] names for the per-class postings maps
+/// (the single-capability fast path), so entry occupancies start above them
+/// and the two namespaces can never collide.
+const FIRST_OCCUPANCY: u64 = ONLINE_LIST as u64 + 1;
+
+/// Cache key of a multi-capability requirement: the `All`/`Any` kind plus the
+/// mentioned-class bit set. Two queries with equal keys have byte-identical
+/// candidate plans against the same registry state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    conjunctive: bool,
+    bits: u64,
+}
+
+impl PlanKey {
+    /// The cache key of a requirement.
+    pub(crate) fn of(required: CapabilityRequirement) -> Self {
+        Self {
+            conjunctive: matches!(required, CapabilityRequirement::All(_)),
+            bits: required.classes().bits(),
+        }
+    }
+}
+
+/// An opaque reference to a cached candidate plan, as returned by
+/// [`ProviderRegistry::resolve_with_handle`]. The handle names the entry
+/// *and* its occupancy number, so a holder can detect (via
+/// [`ProviderRegistry::plan_is_current`]) that the entry has since been
+/// evicted and reassigned to a different requirement, or invalidated by a
+/// registry mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanHandle {
+    entry: u32,
+    occupancy: u64,
+}
+
+/// Counters and occupancy of the candidate-plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanCacheStats {
+    /// Lookups answered from a still-valid cached plan (zero merge work).
+    pub hits: u64,
+    /// Lookups for a requirement with no cached plan (full merge).
+    pub misses: u64,
+    /// Lookups that found a cached plan invalidated by an epoch bump since
+    /// its merge (full re-merge into the same entry).
+    pub stale_rebuilds: u64,
+    /// Entries reassigned to a different requirement by the LRU bound.
+    pub evictions: u64,
+    /// Plans currently materialised.
+    pub entries: usize,
+    /// Configured entry bound (`0` = caching disabled).
+    pub capacity: usize,
+}
+
+impl PlanCacheStats {
+    /// Total lookups against the cache.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.stale_rebuilds
+    }
+
+    /// Fraction of lookups served with zero merge work, in `[0, 1]`
+    /// (`0` when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Folds another cache's counters into this one (the sharded service
+    /// aggregates per-shard stats this way). Counters add; `entries` and
+    /// `capacity` add too, so the aggregate reads as the fleet-wide totals.
+    pub fn merge(&mut self, other: &Self) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stale_rebuilds += other.stale_rebuilds;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+        self.capacity += other.capacity;
+    }
+}
+
+/// One materialised merge plan: the id-sorted slot list of a requirement's
+/// candidate set, plus the postings epochs it was merged from.
+#[derive(Debug, Clone)]
+struct PlanEntry {
+    /// The requirement this entry currently answers.
+    key: PlanKey,
+    /// Unique occupancy number of this (entry, key) assignment; never reused,
+    /// so a [`PlanHandle`] or [`PlanToken`] carrying it can outlive an
+    /// eviction without ever matching the entry's next tenant.
+    occupancy: u64,
+    /// The merged slot list — stable storage owned by the entry, unlike the
+    /// registry-wide `merge_scratch` the uncached path shares across queries.
+    slots: Vec<u32>,
+    /// `(class, generation)` of every postings map the merge read. The plan
+    /// is valid iff each class's map still reports the stamped generation.
+    stamps: Vec<(u32, u64)>,
+    /// LRU clock value of the last lookup that touched this entry.
+    last_used: u64,
+}
+
+impl PlanEntry {
+    fn vacant(key: PlanKey) -> Self {
+        Self {
+            key,
+            occupancy: 0,
+            slots: Vec::new(),
+            stamps: Vec::new(),
+            last_used: 0,
+        }
+    }
+}
+
+/// The candidate-plan cache: requirement-keyed materialised merge results
+/// with per-class epoch invalidation and an LRU entry bound.
+#[derive(Debug, Clone)]
+struct PlanCache {
+    /// Maximum number of entries; `0` disables caching entirely (the
+    /// registry falls back to the shared-scratch merge path).
+    capacity: usize,
+    /// Requirement key → entry position.
+    index: HashMap<PlanKey, u32>,
+    /// The materialised plans. Eviction reassigns an entry in place, so its
+    /// grown `slots`/`stamps` buffers are recycled rather than freed.
+    entries: Vec<PlanEntry>,
+    /// LRU clock, advanced once per lookup.
+    tick: u64,
+    /// Next occupancy number to hand out (see [`PlanEntry::occupancy`]).
+    next_occupancy: u64,
+    hits: u64,
+    misses: u64,
+    stale: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            index: HashMap::new(),
+            entries: Vec::new(),
+            tick: 0,
+            next_occupancy: FIRST_OCCUPANCY,
+            hits: 0,
+            misses: 0,
+            stale: 0,
+            evictions: 0,
+        }
+    }
+}
 
 /// Mediator-side registry of provider state: a dense struct-of-arrays slab
 /// plus a per-capability bitmap index of online providers.
@@ -82,6 +245,15 @@ pub struct ProviderRegistry {
     /// populations keep tiny (a handful of deployment configurations) even
     /// though an adversarial population could make it approach |P|.
     mask_counts: HashMap<u64, usize>,
+    /// Materialised multi-capability merge plans, keyed by requirement (see
+    /// [`PlanCache`]).
+    plan_cache: PlanCache,
+    /// Registry-wide mutation stamp: bumped by **every** mutating call —
+    /// register, unregister, online toggles *and load updates*. Stamps the
+    /// [`PlanToken`] of every stable view, so equal tokens bracket a window
+    /// with no mutation at all and a gathered [`CandidateBlock`]
+    /// (`crate::allocator::CandidateBlock`) can be reused verbatim.
+    mutation_stamp: u64,
 }
 
 impl Default for ProviderRegistry {
@@ -94,6 +266,8 @@ impl Default for ProviderRegistry {
             merge_bits: MergeScratch::new(),
             class_counts: [0; MAX_CAPABILITY_CLASSES as usize],
             mask_counts: HashMap::new(),
+            plan_cache: PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY),
+            mutation_stamp: 0,
         }
     }
 }
@@ -151,6 +325,7 @@ impl ProviderRegistry {
     /// Inserts a snapshot into the slab and indexes it if online. Replaces
     /// any existing provider with the same id.
     fn insert_snapshot(&mut self, snapshot: ProviderSnapshot) {
+        self.mutation_stamp += 1;
         if let Some(&slot) = self.index.get(&snapshot.id) {
             let previous = self.columns.snapshot(slot as usize);
             if previous.online {
@@ -184,6 +359,7 @@ impl ProviderRegistry {
         let Some(slot) = self.index.remove(&id) else {
             return false;
         };
+        self.mutation_stamp += 1;
         let removed = self.columns.snapshot(slot as usize);
         if removed.online {
             self.unindex_slot(slot);
@@ -216,6 +392,7 @@ impl ProviderRegistry {
         if was_online == online {
             return Ok(());
         }
+        self.mutation_stamp += 1;
         if was_online {
             self.unindex_slot(slot);
         }
@@ -236,6 +413,11 @@ impl ProviderRegistry {
     ) -> SbqaResult<()> {
         match self.index.get(&id) {
             Some(&slot) => {
+                // Load changes never invalidate cached plans (membership and
+                // slots are untouched) but they do change column values, so
+                // the token stamp must move or a memoized column gather
+                // would serve yesterday's utilization.
+                self.mutation_stamp += 1;
                 self.columns
                     .set_load(slot as usize, utilization, queue_length);
                 Ok(())
@@ -287,13 +469,30 @@ impl ProviderRegistry {
     ///
     /// Single-capability requirements (and degenerate `All{}` / `Any{}`) wrap
     /// the class's postings map directly — O(1), no scan, no
-    /// materialisation. Multi-capability requirements are answered by a
-    /// chunk-wise merge of the mentioned classes' maps — a word-parallel
-    /// intersection for `All`, an OR-union for `Any` — into a scratch buffer
-    /// reused across calls (hence `&mut self`), allocation-free once the
-    /// buffer has grown.
+    /// materialisation. Multi-capability requirements go through the
+    /// candidate-plan cache: a requirement seen before whose mentioned
+    /// classes' postings epochs are unchanged is answered from its
+    /// materialised slot list with **zero merge work** — an
+    /// O(#classes-in-requirement) validity check. Misses (and stale plans)
+    /// pay the chunk-wise merge — a word-parallel intersection for `All`, an
+    /// OR-union for `Any` — into the entry's own stable buffer, so a
+    /// later resolution can no longer clobber the storage behind a
+    /// previously returned view. With the cache disabled
+    /// ([`set_plan_cache_capacity(0)`](ProviderRegistry::set_plan_cache_capacity))
+    /// merges land in a registry-wide scratch buffer reused across calls
+    /// (hence `&mut self`). Every path is allocation-free once warmed up.
     #[must_use]
     pub fn candidates(&mut self, query: &Query) -> Candidates<'_> {
+        self.resolve_with_handle(query).0
+    }
+
+    /// [`candidates`](ProviderRegistry::candidates), additionally returning a
+    /// [`PlanHandle`] when the view came from the candidate-plan cache.
+    /// Batch drains memoize the handle per requirement and re-enter through
+    /// [`cached_plan_view`](ProviderRegistry::cached_plan_view), skipping
+    /// even the key lookup for the second and later queries of a group.
+    #[must_use]
+    pub fn resolve_with_handle(&mut self, query: &Query) -> (Candidates<'_>, Option<PlanHandle>) {
         let required = query.required;
         let set = required.classes();
         match set.len() {
@@ -301,39 +500,229 @@ impl ProviderRegistry {
             // `Any{}` by none.
             0 => match required {
                 CapabilityRequirement::All(_) => {
-                    Candidates::from_map(&self.columns, &self.postings[ONLINE_LIST])
+                    let view = Candidates::from_map(&self.columns, &self.postings[ONLINE_LIST])
+                        .with_token(PlanToken {
+                            plan: ONLINE_LIST as u64,
+                            stamp: self.mutation_stamp,
+                        });
+                    (view, None)
                 }
                 CapabilityRequirement::Any(_) => {
-                    Candidates::from_postings(&self.columns, NO_POSTINGS)
+                    (Candidates::from_postings(&self.columns, NO_POSTINGS), None)
                 }
             },
             // The trivial one-bit case, where All and Any coincide: wrap the
             // class's postings map directly.
             1 => {
                 let class = set.iter().next().expect("singleton set").class();
-                Candidates::from_map(&self.columns, &self.postings[class as usize])
+                let view = Candidates::from_map(&self.columns, &self.postings[class as usize])
+                    .with_token(PlanToken {
+                        plan: u64::from(class),
+                        stamp: self.mutation_stamp,
+                    });
+                (view, None)
             }
             _ => {
                 let mut class_buffer = [0usize; MAX_CAPABILITY_CLASSES as usize];
                 let count = Self::classes_of(set, &mut class_buffer);
                 let classes = &class_buffer[..count];
-                match required {
-                    CapabilityRequirement::All(_) => intersect_lists(
-                        &self.postings,
-                        classes,
-                        &mut self.merge_scratch,
-                        &mut self.merge_bits,
-                    ),
-                    CapabilityRequirement::Any(_) => union_lists(
-                        &self.postings,
-                        classes,
-                        &mut self.merge_scratch,
-                        &mut self.merge_bits,
-                    ),
+                let conjunctive = matches!(required, CapabilityRequirement::All(_));
+                if self.plan_cache.capacity == 0 {
+                    // Caching disabled: merge into the shared scratch. The
+                    // view gets no token — its backing buffer is clobbered
+                    // by the next multi-class resolution, so nothing
+                    // downstream may memoize it.
+                    if conjunctive {
+                        intersect_lists(
+                            &self.postings,
+                            classes,
+                            &mut self.merge_scratch,
+                            &mut self.merge_bits,
+                        );
+                    } else {
+                        union_lists(
+                            &self.postings,
+                            classes,
+                            &mut self.merge_scratch,
+                            &mut self.merge_bits,
+                        );
+                    }
+                    return (
+                        Candidates::from_postings(&self.columns, &self.merge_scratch),
+                        None,
+                    );
                 }
-                Candidates::from_postings(&self.columns, &self.merge_scratch)
+                let key = PlanKey::of(required);
+                let idx = self.lookup_or_merge(key, classes, conjunctive);
+                let entry = &self.plan_cache.entries[idx];
+                let token = PlanToken {
+                    plan: entry.occupancy,
+                    stamp: self.mutation_stamp,
+                };
+                let handle = PlanHandle {
+                    entry: idx as u32,
+                    occupancy: entry.occupancy,
+                };
+                (
+                    Candidates::from_postings(&self.columns, &entry.slots).with_token(token),
+                    Some(handle),
+                )
             }
         }
+    }
+
+    /// Resolves a multi-class requirement through the plan cache, returning
+    /// the index of a fresh (hit) or freshly merged (miss/stale) entry.
+    fn lookup_or_merge(&mut self, key: PlanKey, classes: &[usize], conjunctive: bool) -> usize {
+        let cache = &mut self.plan_cache;
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(&idx) = cache.index.get(&key) {
+            let idx = idx as usize;
+            let fresh = cache.entries[idx]
+                .stamps
+                .iter()
+                .all(|&(class, generation)| {
+                    self.postings[class as usize].generation() == generation
+                });
+            cache.entries[idx].last_used = tick;
+            if fresh {
+                cache.hits += 1;
+            } else {
+                cache.stale += 1;
+                Self::merge_into_entry(
+                    &self.postings,
+                    &mut self.merge_bits,
+                    &mut cache.entries[idx],
+                    classes,
+                    conjunctive,
+                );
+            }
+            return idx;
+        }
+        cache.misses += 1;
+        let idx = if cache.entries.len() < cache.capacity {
+            cache.entries.push(PlanEntry::vacant(key));
+            cache.entries.len() - 1
+        } else {
+            // Evict the least-recently-used entry in place: its grown
+            // buffers are recycled for the new tenant.
+            let idx = cache
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(pos, _)| pos)
+                .expect("capacity > 0 implies at least one entry");
+            cache.evictions += 1;
+            let old_key = cache.entries[idx].key;
+            cache.index.remove(&old_key);
+            idx
+        };
+        let occupancy = cache.next_occupancy;
+        cache.next_occupancy += 1;
+        cache.index.insert(key, idx as u32);
+        let entry = &mut cache.entries[idx];
+        entry.key = key;
+        entry.occupancy = occupancy;
+        entry.last_used = tick;
+        Self::merge_into_entry(
+            &self.postings,
+            &mut self.merge_bits,
+            entry,
+            classes,
+            conjunctive,
+        );
+        idx
+    }
+
+    /// Merges the mentioned classes' postings into the entry's slot buffer
+    /// and stamps the epoch of every map the merge read.
+    fn merge_into_entry(
+        postings: &[PostingsMap],
+        bits: &mut MergeScratch,
+        entry: &mut PlanEntry,
+        classes: &[usize],
+        conjunctive: bool,
+    ) {
+        if conjunctive {
+            intersect_lists(postings, classes, &mut entry.slots, bits);
+        } else {
+            union_lists(postings, classes, &mut entry.slots, bits);
+        }
+        entry.stamps.clear();
+        entry.stamps.extend(
+            classes
+                .iter()
+                .map(|&class| (class as u32, postings[class].generation())),
+        );
+    }
+
+    /// `true` if `handle` still names a valid plan: the entry has not been
+    /// reassigned to another requirement (occupancy match) and no postings
+    /// map it was merged from has been mutated since (epoch match).
+    #[must_use]
+    pub fn plan_is_current(&self, handle: PlanHandle) -> bool {
+        match self.plan_cache.entries.get(handle.entry as usize) {
+            Some(entry) if entry.occupancy == handle.occupancy => {
+                entry.stamps.iter().all(|&(class, generation)| {
+                    self.postings[class as usize].generation() == generation
+                })
+            }
+            _ => false,
+        }
+    }
+
+    /// The cached plan behind `handle` as a candidates view, counting a
+    /// cache hit and refreshing the entry's LRU position. Callers must have
+    /// just checked [`plan_is_current`](ProviderRegistry::plan_is_current);
+    /// serving a non-current handle would return another requirement's (or a
+    /// stale) candidate set.
+    #[must_use]
+    pub fn cached_plan_view(&mut self, handle: PlanHandle) -> Candidates<'_> {
+        debug_assert!(self.plan_is_current(handle), "handle validated by caller");
+        let cache = &mut self.plan_cache;
+        cache.tick += 1;
+        cache.hits += 1;
+        let tick = cache.tick;
+        let entry = &mut cache.entries[handle.entry as usize];
+        entry.last_used = tick;
+        let token = PlanToken {
+            plan: entry.occupancy,
+            stamp: self.mutation_stamp,
+        };
+        Candidates::from_postings(&self.columns, &entry.slots).with_token(token)
+    }
+
+    /// Counters and occupancy of the candidate-plan cache.
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        let cache = &self.plan_cache;
+        PlanCacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            stale_rebuilds: cache.stale,
+            evictions: cache.evictions,
+            entries: cache.entries.len(),
+            capacity: cache.capacity,
+        }
+    }
+
+    /// `true` if multi-capability resolutions go through the plan cache.
+    #[must_use]
+    pub fn plan_cache_enabled(&self) -> bool {
+        self.plan_cache.capacity > 0
+    }
+
+    /// Re-bounds the candidate-plan cache, dropping every materialised plan
+    /// (counters are kept). `0` disables caching: multi-capability merges
+    /// fall back to the registry-wide scratch buffer, re-merging on every
+    /// query — the pre-cache behaviour, kept for comparison benchmarks.
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        let cache = &mut self.plan_cache;
+        cache.capacity = capacity;
+        cache.entries.clear();
+        cache.index.clear();
     }
 
     /// Materialises the classes of `set` into a stack buffer so the merge
@@ -824,5 +1213,201 @@ mod tests {
         assert!(ids.windows(2).all(|w| w[0] < w[1]), "ascending ids");
         let expected: Vec<u64> = (0..n).filter(|id| id % 7 != 0 && id % 11 != 0).collect();
         assert_eq!(ids, expected);
+    }
+
+    /// A small overlapping population for the plan-cache tests.
+    fn cache_registry() -> ProviderRegistry {
+        let mut reg = ProviderRegistry::new();
+        reg.register(ProviderId::new(1), set_of(&[0, 1]), 1.0);
+        reg.register(ProviderId::new(2), set_of(&[0]), 1.0);
+        reg.register(ProviderId::new(3), set_of(&[0, 1, 2]), 1.0);
+        reg.register(ProviderId::new(4), set_of(&[1, 2]), 1.0);
+        reg.register(ProviderId::new(5), set_of(&[5]), 1.0);
+        reg
+    }
+
+    #[test]
+    fn plan_cache_counts_hits_and_misses() {
+        let mut reg = cache_registry();
+        assert!(reg.plan_cache_enabled());
+        let all01 = CapabilityRequirement::All(set_of(&[0, 1]));
+        let any12 = CapabilityRequirement::Any(set_of(&[1, 2]));
+
+        assert_eq!(ids_of(&mut reg, all01), vec![1, 3]);
+        assert_eq!(ids_of(&mut reg, all01), vec![1, 3]);
+        assert_eq!(ids_of(&mut reg, all01), vec![1, 3]);
+        let stats = reg.plan_cache_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
+        assert_eq!(stats.entries, 1);
+
+        assert_eq!(ids_of(&mut reg, any12), vec![1, 3, 4]);
+        let stats = reg.plan_cache_stats();
+        assert_eq!((stats.misses, stats.hits), (2, 2));
+        assert_eq!(stats.entries, 2);
+        // All and Any over the same set are distinct keys.
+        assert_eq!(
+            ids_of(&mut reg, CapabilityRequirement::All(set_of(&[1, 2]))),
+            vec![3, 4]
+        );
+        assert_eq!(reg.plan_cache_stats().entries, 3);
+        // Single-class and degenerate requirements never enter the cache.
+        assert_eq!(
+            ids_of(&mut reg, CapabilityRequirement::All(set_of(&[0]))),
+            vec![1, 2, 3]
+        );
+        assert_eq!(reg.plan_cache_stats().entries, 3);
+        assert!((reg.plan_cache_stats().hit_rate() - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutations_in_mentioned_classes_force_stale_rebuilds() {
+        let mut reg = cache_registry();
+        let all01 = CapabilityRequirement::All(set_of(&[0, 1]));
+        assert_eq!(ids_of(&mut reg, all01), vec![1, 3]);
+
+        // Online flip inside a mentioned class: rebuild, correct answer.
+        reg.set_online(ProviderId::new(3), false).unwrap();
+        assert_eq!(ids_of(&mut reg, all01), vec![1]);
+        assert_eq!(reg.plan_cache_stats().stale_rebuilds, 1);
+
+        // Unregister with slab compaction (provider 1 is not last: the
+        // swap-remove re-points the moved row's postings): rebuild again.
+        assert!(reg.unregister(ProviderId::new(1)));
+        assert!(ids_of(&mut reg, all01).is_empty());
+        assert_eq!(reg.plan_cache_stats().stale_rebuilds, 2);
+
+        // Registration into a mentioned class too.
+        reg.register(ProviderId::new(9), set_of(&[0, 1]), 1.0);
+        assert_eq!(ids_of(&mut reg, all01), vec![9]);
+        let stats = reg.plan_cache_stats();
+        assert_eq!(stats.stale_rebuilds, 3);
+        // One initial miss, never a second: the entry was rebuilt in place.
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn plans_survive_unrelated_churn_and_load_updates() {
+        let mut reg = cache_registry();
+        let all01 = CapabilityRequirement::All(set_of(&[0, 1]));
+        assert_eq!(ids_of(&mut reg, all01), vec![1, 3]);
+
+        // Churn confined to classes the plan never mentions…
+        reg.register(ProviderId::new(6), set_of(&[5, 6]), 1.0);
+        reg.set_online(ProviderId::new(5), false).unwrap();
+        // …and load updates on a provider *inside* the plan (load is column
+        // data, not membership: epochs stay put by design).
+        reg.update_load(ProviderId::new(1), 3.0, 2).unwrap();
+
+        assert_eq!(ids_of(&mut reg, all01), vec![1, 3]);
+        let stats = reg.plan_cache_stats();
+        assert_eq!(stats.stale_rebuilds, 0, "no mentioned class changed");
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        // The hit still serves the *current* columns: utilization is live.
+        let view = reg.candidates(&multi_query(all01));
+        assert_eq!(
+            view.iter().find(|p| p.id.raw() == 1).unwrap().utilization,
+            3.0
+        );
+    }
+
+    #[test]
+    fn plan_cache_lru_evicts_at_capacity_and_capacity_zero_disables() {
+        let mut reg = cache_registry();
+        reg.set_plan_cache_capacity(2);
+        let reqs = [
+            CapabilityRequirement::All(set_of(&[0, 1])),
+            CapabilityRequirement::Any(set_of(&[1, 2])),
+            CapabilityRequirement::All(set_of(&[1, 2])),
+        ];
+        for req in reqs {
+            let _ = ids_of(&mut reg, req);
+        }
+        let stats = reg.plan_cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.capacity, 2);
+        // The least-recently-used entry (the first) was the victim: probing
+        // it again misses, the survivor still hits.
+        let _ = ids_of(&mut reg, reqs[0]);
+        assert_eq!(reg.plan_cache_stats().misses, 4);
+        let _ = ids_of(&mut reg, reqs[2]);
+        assert_eq!(reg.plan_cache_stats().hits, 1);
+
+        // Capacity 0: the legacy always-merge path, no cache traffic at all,
+        // same answers.
+        reg.set_plan_cache_capacity(0);
+        assert!(!reg.plan_cache_enabled());
+        assert_eq!(ids_of(&mut reg, reqs[0]), vec![1, 3]);
+        assert_eq!(reg.plan_cache_stats().lookups(), 5);
+        assert_eq!(reg.plan_cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn plan_handles_validate_and_expire() {
+        let mut reg = cache_registry();
+        let q = multi_query(CapabilityRequirement::All(set_of(&[0, 1])));
+
+        let (view, handle) = reg.resolve_with_handle(&q);
+        assert_eq!(view.len(), 2);
+        let handle = handle.expect("multi-class resolution is cacheable");
+        assert!(reg.plan_is_current(handle));
+
+        // A cached view through the handle is the same plan — and a hit.
+        let hits_before = reg.plan_cache_stats().hits;
+        let ids: Vec<u64> = reg
+            .cached_plan_view(handle)
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(reg.plan_cache_stats().hits, hits_before + 1);
+
+        // Any mutation of a mentioned class expires the handle.
+        reg.set_online(ProviderId::new(2), false).unwrap();
+        assert!(!reg.plan_is_current(handle));
+
+        // Single-class and disabled-cache resolutions carry no handle.
+        let (_, single) = reg.resolve_with_handle(&query(0));
+        assert!(single.is_none());
+        reg.set_plan_cache_capacity(0);
+        let (_, none) = reg.resolve_with_handle(&q);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn plan_tokens_name_distinct_storage() {
+        let mut reg = cache_registry();
+        let all01 = multi_query(CapabilityRequirement::All(set_of(&[0, 1])));
+        let any12 = multi_query(CapabilityRequirement::Any(set_of(&[1, 2])));
+
+        // Distinct plans carry distinct token plan-numbers; the same plan
+        // re-resolved without intervening mutation carries the same token.
+        let token_a = reg.candidates(&all01).token().unwrap();
+        let token_b = reg.candidates(&any12).token().unwrap();
+        let token_a2 = reg.candidates(&all01).token().unwrap();
+        assert_ne!(token_a.plan, token_b.plan);
+        assert_eq!(token_a, token_a2);
+        // Cached-plan numbers never collide with the class-list namespace
+        // (0..=ONLINE_LIST), which single-class views use.
+        assert!(token_a.plan > ONLINE_LIST as u64);
+        assert!(token_b.plan > ONLINE_LIST as u64);
+        let single = reg.candidates(&query(0)).token().unwrap();
+        assert_eq!(single.plan, 0);
+
+        // Any mutation — even a pure load update — moves the stamp, so
+        // memoized column gathers can never serve stale utilization.
+        reg.update_load(ProviderId::new(1), 1.0, 1).unwrap();
+        let token_a3 = reg.candidates(&all01).token().unwrap();
+        assert_eq!(token_a3.plan, token_a.plan, "same storage, still a hit");
+        assert_ne!(token_a3.stamp, token_a.stamp, "stamp must move");
+
+        // An evicted-and-reassigned entry gets a fresh occupancy number, so
+        // a stale token can never alias recycled storage.
+        reg.set_plan_cache_capacity(1);
+        let token_c = reg.candidates(&all01).token().unwrap();
+        let token_d = reg.candidates(&any12).token().unwrap(); // evicts all01
+        let token_e = reg.candidates(&all01).token().unwrap(); // evicts any12
+        assert_ne!(token_c.plan, token_e.plan);
+        assert_ne!(token_d.plan, token_e.plan);
     }
 }

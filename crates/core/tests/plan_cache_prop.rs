@@ -1,0 +1,275 @@
+//! Property tests pinning the candidate-plan cache to its specification:
+//! resolution through the cache must be *observably identical* to resolution
+//! without it, for any population, churn history and requirement sequence —
+//! the cache may only change how fast an answer arrives, never the answer.
+//!
+//! Three layers are pinned:
+//!
+//! * the registry layer — cached `candidates` equals the capacity-0
+//!   (always-merge) path and the brute-force slab filter, with churn
+//!   interleaved *between* probes so hit, stale-rebuild and miss paths all
+//!   execute;
+//! * the LRU layer — a requirement working set larger than the cache
+//!   capacity (evictions on every probe) stays correct;
+//! * the mediation layer — full `submit_batch` mediation with batch dedup,
+//!   with the plan cache but no dedup, and with neither, produces
+//!   decision-for-decision identical outcomes from the same seed, i.e. the
+//!   memoized paths consume no extra randomness and serve no stale bytes.
+
+use proptest::prelude::*;
+
+use sbqa_core::{Mediator, ProviderRegistry, StaticIntentions};
+use sbqa_types::{
+    Capability, CapabilityRequirement, CapabilitySet, ConsumerId, Intention, ProviderId, Query,
+    QueryId, SystemConfig,
+};
+
+/// Capability classes the generated populations draw from.
+const CLASSES: u8 = 6;
+
+fn capability_set(mask: u8) -> CapabilitySet {
+    CapabilitySet::from_capabilities(
+        (0..CLASSES)
+            .filter(|class| mask & (1 << class) != 0)
+            .map(Capability::new),
+    )
+}
+
+fn requirement(mask: u8, conjunctive: bool) -> CapabilityRequirement {
+    let set = capability_set(mask);
+    if conjunctive {
+        CapabilityRequirement::All(set)
+    } else {
+        CapabilityRequirement::Any(set)
+    }
+}
+
+fn query(req: CapabilityRequirement) -> Query {
+    Query::requiring(QueryId::new(1), ConsumerId::new(1), req).build()
+}
+
+/// The specification: filter the whole slab with `can_perform`, sort by id.
+fn brute_force(registry: &ProviderRegistry, req: CapabilityRequirement) -> Vec<u64> {
+    let q = query(req);
+    let mut ids: Vec<u64> = registry
+        .iter()
+        .filter(|p| p.can_perform(&q))
+        .map(|p| p.id.raw())
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn resolve(registry: &mut ProviderRegistry, req: CapabilityRequirement) -> Vec<u64> {
+    registry
+        .candidates(&query(req))
+        .iter()
+        .map(|p| p.id.raw())
+        .collect()
+}
+
+/// One interleaved churn step against both registries.
+#[derive(Debug, Clone, Copy)]
+enum Churn {
+    Register(u64, u8),
+    Unregister(u64),
+    SetOnline(u64, bool),
+    UpdateLoad(u64, u8),
+}
+
+/// Raw churn encoding for the minimal vendored proptest (no `prop_oneof`):
+/// (kind, provider id, capability mask / load, online flag).
+type RawChurn = (u8, u64, u8, bool);
+
+fn churn_strategy() -> impl Strategy<Value = RawChurn> {
+    (0u8..4, 0u64..40, 1u8..64, proptest::bool::ANY)
+}
+
+fn decode((kind, id, mask, online): RawChurn) -> Churn {
+    match kind {
+        0 => Churn::Register(id, mask),
+        1 => Churn::Unregister(id),
+        2 => Churn::SetOnline(id, online),
+        _ => Churn::UpdateLoad(id, mask % 20),
+    }
+}
+
+fn apply(registry: &mut ProviderRegistry, churn: Churn) {
+    match churn {
+        Churn::Register(id, mask) => {
+            registry.register(ProviderId::new(id), capability_set(mask), 1.0);
+        }
+        Churn::Unregister(id) => {
+            registry.unregister(ProviderId::new(id));
+        }
+        // Both may address a never-registered provider: an error is as valid
+        // an outcome as success, as long as both registries agree.
+        Churn::SetOnline(id, online) => {
+            let _ = registry.set_online(ProviderId::new(id), online);
+        }
+        Churn::UpdateLoad(id, load) => {
+            let _ = registry.update_load(ProviderId::new(id), f64::from(load) * 0.5, load as usize);
+        }
+    }
+}
+
+proptest! {
+    /// Cached, uncached and brute-force resolution agree after every churn
+    /// step. Each probe runs *twice* against the cached registry so the
+    /// second resolution exercises the pure hit path, not just the rebuild.
+    #[test]
+    fn cached_resolution_is_invisible(
+        seed_providers in proptest::collection::vec((0u64..40, 1u8..64), 1..24),
+        steps in proptest::collection::vec(
+            (churn_strategy(), 1u8..64, proptest::bool::ANY),
+            1..24,
+        ),
+    ) {
+        let mut cached = ProviderRegistry::new();
+        let mut uncached = ProviderRegistry::new();
+        uncached.set_plan_cache_capacity(0);
+        prop_assert!(cached.plan_cache_enabled());
+        prop_assert!(!uncached.plan_cache_enabled());
+
+        for (id, mask) in &seed_providers {
+            cached.register(ProviderId::new(*id), capability_set(*mask), 1.0);
+            uncached.register(ProviderId::new(*id), capability_set(*mask), 1.0);
+        }
+
+        for &(churn, mask, conjunctive) in &steps {
+            let churn = decode(churn);
+            apply(&mut cached, churn);
+            apply(&mut uncached, churn);
+
+            let req = requirement(mask, conjunctive);
+            let expected = brute_force(&cached, req);
+            prop_assert_eq!(&resolve(&mut cached, req), &expected, "rebuild probe {}", req);
+            prop_assert_eq!(&resolve(&mut cached, req), &expected, "hit probe {}", req);
+            prop_assert_eq!(&resolve(&mut uncached, req), &expected, "uncached probe {}", req);
+        }
+
+        // The uncached registry never counts cache traffic; the cached one
+        // must have taken the hit path on every repeated probe.
+        prop_assert_eq!(uncached.plan_cache_stats().lookups(), 0);
+        let stats = cached.plan_cache_stats();
+        let multi_probes = steps
+            .iter()
+            .filter(|(_, mask, _)| mask.count_ones() >= 2)
+            .count() as u64;
+        prop_assert!(stats.hits >= multi_probes, "every second probe must hit");
+    }
+
+    /// A working set wider than the cache thrashes the LRU (evictions on
+    /// nearly every multi-class probe) without ever corrupting an answer.
+    #[test]
+    fn lru_thrash_stays_correct(
+        providers in proptest::collection::vec((0u64..40, 1u8..64), 1..24),
+        probes in proptest::collection::vec((3u8..64, proptest::bool::ANY), 8..40),
+        capacity in 1usize..3,
+    ) {
+        let mut registry = ProviderRegistry::new();
+        registry.set_plan_cache_capacity(capacity);
+        for (id, mask) in &providers {
+            registry.register(ProviderId::new(*id), capability_set(*mask), 1.0);
+        }
+        for &(mask, conjunctive) in &probes {
+            let req = requirement(mask, conjunctive);
+            let expected = brute_force(&registry, req);
+            prop_assert_eq!(&resolve(&mut registry, req), &expected, "{}", req);
+        }
+        prop_assert!(registry.plan_cache_stats().entries <= capacity);
+    }
+
+    /// Full mediation under the three cache configurations is
+    /// decision-for-decision identical: same winners, same proposals, same
+    /// RNG consumption, regardless of requirement repetition inside batches
+    /// or churn between them.
+    #[test]
+    fn mediation_is_byte_identical_across_cache_configs(
+        providers in proptest::collection::vec((0u64..40, 1u8..64), 4..24),
+        batches in proptest::collection::vec(
+            (
+                proptest::collection::vec((1u8..64, proptest::bool::ANY), 1..12),
+                churn_strategy(),
+            ),
+            1..5,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.3));
+        let build = |configure: fn(&mut Mediator)| -> Mediator {
+            let mut mediator =
+                Mediator::sbqa(SystemConfig::default().with_knbest(6, 2), seed).unwrap();
+            configure(&mut mediator);
+            for (id, mask) in &providers {
+                mediator.register_provider(ProviderId::new(*id), capability_set(*mask), 1.0);
+            }
+            mediator.register_consumer(ConsumerId::new(1));
+            mediator
+        };
+        let mut deduped = build(|_| {});
+        let mut undeduped = build(|m| m.set_batch_dedup(false));
+        let mut uncached = build(|m| m.set_plan_cache_capacity(0));
+        prop_assert!(deduped.batch_dedup());
+
+        let mut next_query = 0u64;
+        for (probes, churn) in &batches {
+            let batch: Vec<Query> = probes
+                .iter()
+                .map(|&(mask, conjunctive)| {
+                    next_query += 1;
+                    Query::requiring(
+                        QueryId::new(next_query),
+                        ConsumerId::new(1),
+                        requirement(mask, conjunctive),
+                    )
+                    .replication(2)
+                    .build()
+                })
+                .collect();
+
+            let run = |mediator: &mut Mediator| {
+                let mut outcomes = Vec::new();
+                mediator.submit_batch(&batch, &oracle, |index, _, result| {
+                    outcomes.push((index, result.ok().cloned()));
+                });
+                outcomes
+            };
+            let expected = run(&mut deduped);
+            prop_assert_eq!(&run(&mut undeduped), &expected);
+            prop_assert_eq!(&run(&mut uncached), &expected);
+
+            // Churn between batches, applied to all three mediators alike.
+            for mediator in [&mut deduped, &mut undeduped, &mut uncached] {
+                match decode(*churn) {
+                    Churn::Register(id, mask) => {
+                        mediator.register_provider(ProviderId::new(id), capability_set(mask), 1.0);
+                    }
+                    // The mediator has no unregister; re-registering with a
+                    // rotated profile is the closest membership churn (it
+                    // replaces the provider and bumps the touched epochs).
+                    Churn::Unregister(id) => {
+                        mediator.register_provider(
+                            ProviderId::new(id),
+                            capability_set(((id as u8) | 1) & 63),
+                            1.0,
+                        );
+                    }
+                    Churn::SetOnline(id, online) => {
+                        let _ = mediator.set_provider_online(ProviderId::new(id), online);
+                    }
+                    Churn::UpdateLoad(id, load) => {
+                        let _ = mediator.update_provider_load(
+                            ProviderId::new(id),
+                            f64::from(load) * 0.5,
+                            load as usize,
+                        );
+                    }
+                }
+            }
+        }
+
+        prop_assert_eq!(uncached.plan_cache_stats().lookups(), 0);
+    }
+}

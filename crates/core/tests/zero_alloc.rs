@@ -98,6 +98,13 @@ fn steady_state_mediation_does_not_allocate() {
     }
     let batch: Vec<Query> = (10_000..10_064u64).map(query).collect();
     let multi_batch: Vec<Query> = (20_000..20_064u64).map(multi_query).collect();
+    // One warm-up pass per batch so the batch-dedup memo's entry vector has
+    // grown to its steady-state capacity before counting starts.
+    mediator.submit_batch(&batch, &oracle, |_, _, result| assert!(result.is_ok()));
+    mediator.submit_batch(&multi_batch, &oracle, |_, _, result| {
+        assert!(result.is_ok());
+    });
+    let warm_stats = mediator.plan_cache_stats();
 
     // Measured steady state: the single-capability fast path…
     COUNTING.store(true, Ordering::SeqCst);
@@ -124,5 +131,20 @@ fn steady_state_mediation_does_not_allocate() {
     assert_eq!(
         allocations, 0,
         "steady-state mediation must not touch the heap ({allocations} allocations observed)"
+    );
+
+    // The measured multi-capability resolutions were served by the plan
+    // cache (the population is static, so nothing could go stale): hits
+    // advanced, and not a single new merge or rebuild happened while the
+    // allocation counter was armed — the zero above covers the hit path.
+    let stats = mediator.plan_cache_stats();
+    assert!(
+        stats.hits > warm_stats.hits,
+        "measured runs must hit the cache"
+    );
+    assert_eq!(stats.misses, warm_stats.misses, "no new plan was merged");
+    assert_eq!(
+        stats.stale_rebuilds, warm_stats.stale_rebuilds,
+        "nothing was invalidated mid-measurement"
     );
 }

@@ -11,7 +11,7 @@
 //!   latency can be compared *across* shards;
 //! * the aggregate [`BatchReport`] and latency distribution.
 
-use sbqa_core::{BatchReport, KnAdjustment};
+use sbqa_core::{BatchReport, KnAdjustment, PlanCacheStats};
 use sbqa_metrics::{LatencyRecorder, LatencyUnit};
 use sbqa_types::{ConsumerId, ProviderId, QueryId, VirtualTime};
 
@@ -55,6 +55,8 @@ pub struct ShardReport {
     /// The shard's adaptive-`kn` trajectory (every recorded width change,
     /// in adaptation order); empty when adaptation is disabled.
     pub kn_trail: Vec<KnAdjustment>,
+    /// Counters of the shard registry's candidate-plan cache.
+    pub cache: PlanCacheStats,
 }
 
 /// The merged report of a whole service run.
@@ -135,6 +137,17 @@ impl ServiceReport {
         LatencyUnit::for_nanos(widest)
     }
 
+    /// Fleet-wide candidate-plan cache counters: every shard's cache stats
+    /// folded together (`entries`/`capacity` sum across shards).
+    #[must_use]
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        let mut merged = PlanCacheStats::default();
+        for shard in &self.shards {
+            merged.merge(&shard.cache);
+        }
+        merged
+    }
+
     /// Every shard's adaptive-`kn` trajectory, flattened in `(shard, round)`
     /// order — the service-level kn-over-time series. Empty when adaptation
     /// is disabled.
@@ -180,6 +193,11 @@ mod tests {
                 latency
             },
             kn_trail: Vec::new(),
+            cache: PlanCacheStats {
+                hits: 4 * shard as u64,
+                misses: 1,
+                ..PlanCacheStats::default()
+            },
         }
     }
 
@@ -216,6 +234,12 @@ mod tests {
         assert_eq!(latency.count(), 2);
         assert_eq!(latency.max_nanos(), 200);
         assert!((report.throughput_per_sec() - 5.0).abs() < 1e-9);
+        // Cache counters fold across shards.
+        let cache = report.cache_stats();
+        assert_eq!(cache.hits, 4);
+        assert_eq!(cache.misses, 2);
+        assert_eq!(cache.lookups(), 6);
+        assert!((cache.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
 
         let degenerate = ServiceReport::merge(Vec::new(), Vec::new(), std::time::Duration::ZERO);
         assert_eq!(degenerate.throughput_per_sec(), 0.0);

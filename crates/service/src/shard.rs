@@ -113,8 +113,8 @@ impl MediatorShard {
             .unwrap_or_default()
     }
 
-    /// Snapshots this shard's view of a run: tallies, latency distribution
-    /// and the adaptive-`kn` trajectory.
+    /// Snapshots this shard's view of a run: tallies, latency distribution,
+    /// the adaptive-`kn` trajectory and the plan-cache counters.
     #[must_use]
     pub fn report_snapshot(&self) -> crate::report::ShardReport {
         crate::report::ShardReport {
@@ -122,6 +122,7 @@ impl MediatorShard {
             report: self.report,
             latency: self.latency.clone(),
             kn_trail: self.kn_trail(),
+            cache: self.mediator.plan_cache_stats(),
         }
     }
 

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use sbqa_core::PlanCacheStats;
 use sbqa_metrics::{LoadBalanceReport, ResponseTimeStats, TimeSeries};
 use sbqa_satisfaction::SatisfactionAnalysis;
 use sbqa_types::{ProviderId, VirtualTime};
@@ -79,6 +80,9 @@ pub struct SimulationReport {
     /// Final satisfaction of every provider still online at the end of the
     /// run (departed providers are absent).
     pub provider_final_satisfaction: Vec<(ProviderId, f64)>,
+    /// Counters of the mediator's candidate-plan cache at the end of the
+    /// run (all zero for single-capability workloads, which never merge).
+    pub plan_cache: PlanCacheStats,
 }
 
 impl SimulationReport {
@@ -220,6 +224,7 @@ mod tests {
             series: vec![series],
             consumer_final_satisfaction: vec![(sbqa_types::ConsumerId::new(1), 0.8)],
             provider_final_satisfaction: vec![(ProviderId::new(1), 0.6)],
+            plan_cache: PlanCacheStats::default(),
         }
     }
 

@@ -659,6 +659,7 @@ impl Simulation {
             ],
             consumer_final_satisfaction,
             provider_final_satisfaction,
+            plan_cache: self.mediator.plan_cache_stats(),
         }
     }
 }

@@ -30,7 +30,9 @@ cargo bench --no-run -p sbqa_bench
 echo "== bench smoke: scenario1 --quick, scenario_multicap --quick, scenario_sharded --quick, scenario_adaptive --quick and the registry bench"
 # Exercises the allocation hot path end-to-end (golden-output protected by
 # tests/golden_scenario1.rs), the multi-capability postings-merge path
-# (golden-output protected by tests/golden_multicap.rs), the sharded
+# (golden-output protected by tests/golden_multicap.rs; the candidate-plan
+# cache and batch dedup are on by default, so this smoke drives the cached
+# resolution path and prints the cache hit/miss table), the sharded
 # mediation service — the run itself asserts the 1-shard ≡ single-mediator
 # determinism contract and exercises the threaded ingest front — the
 # adaptive-kn controller — whose run asserts the self-adaptation claim
@@ -55,7 +57,10 @@ cargo run --release -p sbqa_bench --bin scenario_sharded -- \
 echo "== golden determinism gates (scenario1, multicap, sharded service)"
 # Byte-identical-per-seed is a hard invariant (ARCHITECTURE.md): these run
 # as part of the test suites above, but are re-run here by name so a
-# filtered or partial test invocation can never skip them silently.
+# filtered or partial test invocation can never skip them silently. The
+# plan cache and batch-level dedup are enabled by default in every one of
+# these runs, so the golden outputs double as proof that caching serves the
+# exact bytes the uncached merge path produced.
 cargo test --release -p sbqa --test golden_scenario1 --test golden_multicap --test determinism -q
 cargo test --release -p sbqa_service --test determinism -q
 
