@@ -93,10 +93,11 @@ impl QueryAllocator for CapacityAllocator {
         let ids = self.block.ids();
         let by_spare_capacity = |&a: &u32, &b: &u32| {
             let (a, b) = (a as usize, b as usize);
-            Self::relative_utilization(utilization[a], capacity[a])
-                .partial_cmp(&Self::relative_utilization(utilization[b], capacity[b]))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| ids[a].cmp(&ids[b]))
+            sbqa_types::f64_total_cmp(
+                Self::relative_utilization(utilization[a], capacity[a]),
+                Self::relative_utilization(utilization[b], capacity[b]),
+            )
+            .then_with(|| ids[a].cmp(&ids[b]))
         };
         let selected_count = query.replication.min(candidates.len());
         let considered_len = self.consideration.max(selected_count).min(candidates.len());

@@ -126,9 +126,7 @@ impl QueryAllocator for EconomicAllocator {
         let bids = &self.bids;
         let ids = self.block.ids();
         let by_cheapest_bid = |&a: &u32, &b: &u32| {
-            bids[a as usize]
-                .partial_cmp(&bids[b as usize])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            sbqa_types::f64_total_cmp(bids[a as usize], bids[b as usize])
                 .then_with(|| ids[a as usize].cmp(&ids[b as usize]))
         };
         let selected_count = query.replication.min(candidates.len());

@@ -23,7 +23,6 @@
 //! allocation principle").
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod capacity;
 pub mod economic;

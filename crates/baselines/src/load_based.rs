@@ -75,11 +75,7 @@ impl QueryAllocator for LoadBasedAllocator {
             let (a, b) = (x as usize, y as usize);
             queue_length[a]
                 .cmp(&queue_length[b])
-                .then_with(|| {
-                    utilization[a]
-                        .partial_cmp(&utilization[b])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .then_with(|| sbqa_types::f64_total_cmp(utilization[a], utilization[b]))
                 .then_with(|| ids[a].cmp(&ids[b]))
         };
         let selected_count = query.replication.min(candidates.len());

@@ -176,6 +176,8 @@ fn bench_churn(c: &mut Criterion) {
 /// with dedup every repetition after the first per requirement rides the
 /// batch memo, and without any cache every query pays its merge.
 fn bench_dedup(c: &mut Criterion) {
+    type MediatorBuilder = Box<dyn Fn() -> Mediator>;
+
     let mut group = c.benchmark_group("cache");
     let oracle = StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.3));
 
@@ -205,7 +207,6 @@ fn bench_dedup(c: &mut Criterion) {
     for size in [10_000usize, 100_000] {
         for batch_len in [16usize, 64, 256] {
             let batch = batch_of(batch_len);
-            type MediatorBuilder = Box<dyn Fn() -> Mediator>;
             let configs: [(&str, MediatorBuilder); 3] = [
                 (
                     "dedup_on",

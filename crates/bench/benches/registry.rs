@@ -216,10 +216,7 @@ fn legacy_knbest(
     pool.shuffle(rng);
     pool.truncate(k);
     pool.sort_by(|a, b| {
-        a.utilization
-            .partial_cmp(&b.utilization)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.id.cmp(&b.id))
+        sbqa_types::f64_total_cmp(a.utilization, b.utilization).then_with(|| a.id.cmp(&b.id))
     });
     pool.truncate(kn);
     pool

@@ -21,7 +21,6 @@
 //!   demo's live plots) as long-format CSV.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod cli;
 

@@ -211,6 +211,9 @@ mod tests {
 
     #[test]
     fn satisfaction_lookup_dispatches_on_role() {
+        use sbqa_metrics::ResponseTimeStats;
+        use sbqa_satisfaction::SatisfactionAnalysis;
+
         let mut population =
             BoincPopulation::generate(&PopulationConfig::default().with_volunteers(5));
         let volunteer = InteractiveParticipant::devoted_volunteer(
@@ -221,8 +224,6 @@ mod tests {
         volunteer.inject(&mut population);
 
         // Build a fake report with that provider present.
-        use sbqa_metrics::ResponseTimeStats;
-        use sbqa_satisfaction::SatisfactionAnalysis;
         let report = SimulationReport {
             technique: "SbQA".into(),
             duration: 1.0,

@@ -22,7 +22,6 @@
 //! around them.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod interactive;
 pub mod population;

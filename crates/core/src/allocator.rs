@@ -416,7 +416,9 @@ pub trait IntentionOracle {
 /// example where a scripted participant fixes its intentions in advance.
 #[derive(Debug, Clone, Default)]
 pub struct StaticIntentions {
+    // sbqa-lint: allow(hash-collection, "keyed point lookups only; the oracle is never iterated")
     consumer: HashMap<ProviderId, Intention>,
+    // sbqa-lint: allow(hash-collection, "keyed point lookups only; the oracle is never iterated")
     provider: HashMap<ProviderId, Intention>,
     consumer_default: Intention,
     provider_default: Intention,

@@ -5,7 +5,7 @@
 //! based on reputation or expected quality of service; Scenario 5 switches
 //! consumers to caring only about response times.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -45,7 +45,7 @@ pub enum ConsumerIntentionStrategy {
 pub struct ConsumerProfile {
     /// The strategy used to combine the signals below.
     pub strategy: ConsumerIntentionStrategy,
-    preferences: HashMap<ProviderId, Intention>,
+    preferences: BTreeMap<ProviderId, Intention>,
     default_preference: Intention,
 }
 
@@ -62,7 +62,7 @@ impl ConsumerProfile {
     pub fn new(strategy: ConsumerIntentionStrategy, default_preference: Intention) -> Self {
         Self {
             strategy,
-            preferences: HashMap::new(),
+            preferences: BTreeMap::new(),
             default_preference,
         }
     }

@@ -6,7 +6,7 @@
 //! providers to caring only about their own load, and the SQLB framework more
 //! generally lets a provider *trade its preferences for its utilization*.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -44,8 +44,8 @@ pub enum ProviderIntentionStrategy {
 pub struct ProviderProfile {
     /// The strategy used to combine the signals below.
     pub strategy: ProviderIntentionStrategy,
-    consumer_preferences: HashMap<ConsumerId, Intention>,
-    class_preferences: HashMap<QueryClass, Intention>,
+    consumer_preferences: BTreeMap<ConsumerId, Intention>,
+    class_preferences: BTreeMap<QueryClass, Intention>,
     default_preference: Intention,
 }
 
@@ -62,8 +62,8 @@ impl ProviderProfile {
     pub fn new(strategy: ProviderIntentionStrategy, default_preference: Intention) -> Self {
         Self {
             strategy,
-            consumer_preferences: HashMap::new(),
-            class_preferences: HashMap::new(),
+            consumer_preferences: BTreeMap::new(),
+            class_preferences: BTreeMap::new(),
             default_preference,
         }
     }

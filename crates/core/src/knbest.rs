@@ -200,9 +200,7 @@ impl KnBestSelector {
             // Step 2: the kn least-utilized providers of K. Partition first
             // so only the kn survivors pay for a full (deterministic) sort.
             let by_load = |a: &(f64, u64, u32), b: &(f64, u64, u32)| {
-                a.0.partial_cmp(&b.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.1.cmp(&b.1))
+                sbqa_types::f64_total_cmp(a.0, b.0).then_with(|| a.1.cmp(&b.1))
             };
             let kn = self.kn.min(scratch.keys.len());
             if kn < scratch.keys.len() {

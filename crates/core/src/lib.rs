@@ -31,7 +31,6 @@
 //! the scenario harnesses compare them under identical conditions.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod allocator;

@@ -82,6 +82,7 @@ impl SbqaAllocator {
     /// Creates an allocator with the default configuration.
     #[must_use]
     pub fn with_defaults(seed: u64) -> Self {
+        // sbqa-lint: allow(panic-hygiene, "SystemConfig::default() is validated by construction and covered by tests")
         Self::new(SystemConfig::default(), seed).expect("default configuration is valid")
     }
 
@@ -492,6 +493,7 @@ impl Mediator {
     /// at setup time, where a loud failure beats a silently inert controller.
     pub fn enable_adaptive_kn(&mut self, config: KnControllerConfig) {
         self.kn_controller =
+            // sbqa-lint: allow(panic-hygiene, "documented # Panics contract: loud failure at setup beats a silently inert controller")
             Some(KnController::new(config).expect("adaptive-kn configuration must be valid"));
     }
 

@@ -447,6 +447,7 @@ impl PostingsMap {
             }
             remaining -= chunk_len;
         }
+        // sbqa-lint: allow(panic-hygiene, "out-of-bounds position mirrors the slice-indexing contract; callers pass validated cursors")
         panic!("postings position {pos} out of bounds (len {})", self.len)
     }
 
@@ -799,6 +800,7 @@ fn union_chunk(members: &[Option<&Container>], out: &mut Vec<u32>, bits: &mut Me
                     .iter()
                     .flatten()
                     .find_map(|c| c.slot_of(low))
+                    // sbqa-lint: allow(panic-hygiene, "bitmap invariant: every set bit was installed by a member container")
                     .expect("a member container set this bit");
                 out.push(slot);
                 remaining &= remaining - 1;

@@ -38,8 +38,7 @@ where
     order.sort_unstable_by(|&a, &b| {
         let sa = finite_or_bottom(scores[a as usize]);
         let sb = finite_or_bottom(scores[b as usize]);
-        sb.partial_cmp(&sa)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        sbqa_types::f64_total_cmp(sb, sa)
             .then_with(|| tie_key(a as usize).cmp(&tie_key(b as usize)))
     });
 }

@@ -183,6 +183,7 @@ struct PlanCache {
     /// registry falls back to the shared-scratch merge path).
     capacity: usize,
     /// Requirement key → entry position.
+    // sbqa-lint: allow(hash-collection, "keyed point lookups only; eviction scans the entries Vec, never this map")
     index: HashMap<PlanKey, u32>,
     /// The materialised plans. Eviction reassigns an entry in place, so its
     /// grown `slots`/`stamps` buffers are recycled rather than freed.
@@ -201,6 +202,7 @@ impl PlanCache {
     fn with_capacity(capacity: usize) -> Self {
         Self {
             capacity,
+            // sbqa-lint: allow(hash-collection, "keyed point lookups only; eviction scans the entries Vec, never this map")
             index: HashMap::new(),
             entries: Vec::new(),
             tick: 0,
@@ -222,6 +224,7 @@ pub struct ProviderRegistry {
     /// stable between mutations.
     columns: ProviderColumns,
     /// id → slot position in `columns`.
+    // sbqa-lint: allow(hash-collection, "id-to-slot point lookups only; ordered traversal goes through the postings index")
     index: HashMap<ProviderId, u32>,
     /// For each capability class, the id→slot bitmap postings of online
     /// providers advertising it; the final entry ([`ONLINE_LIST`]) holds
@@ -244,6 +247,7 @@ pub struct ProviderRegistry {
     /// is the number of *distinct capability profiles*, which real
     /// populations keep tiny (a handful of deployment configurations) even
     /// though an adversarial population could make it approach |P|.
+    // sbqa-lint: allow(hash-collection, "point updates plus an order-insensitive existential scan (any), never ordered iteration")
     mask_counts: HashMap<u64, usize>,
     /// Materialised multi-capability merge plans, keyed by requirement (see
     /// [`PlanCache`]).
@@ -260,11 +264,13 @@ impl Default for ProviderRegistry {
     fn default() -> Self {
         Self {
             columns: ProviderColumns::new(),
+            // sbqa-lint: allow(hash-collection, "id-to-slot point lookups only; ordered traversal goes through the postings index")
             index: HashMap::new(),
             postings: vec![PostingsMap::new(); ONLINE_LIST + 1],
             merge_scratch: Vec::new(),
             merge_bits: MergeScratch::new(),
             class_counts: [0; MAX_CAPABILITY_CLASSES as usize],
+            // sbqa-lint: allow(hash-collection, "point updates plus an order-insensitive existential scan (any), never ordered iteration")
             mask_counts: HashMap::new(),
             plan_cache: PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY),
             mutation_stamp: 0,
@@ -313,9 +319,11 @@ impl ProviderRegistry {
     fn count_profile(&mut self, capabilities: CapabilitySet, delta: isize) {
         for cap in capabilities.iter() {
             let count = &mut self.class_counts[cap.class() as usize];
+            // sbqa-lint: allow(panic-hygiene, "register/deregister pairing keeps per-class counts non-negative; underflow is a caller bug")
             *count = count.checked_add_signed(delta).expect("count stays >= 0");
         }
         let entry = self.mask_counts.entry(capabilities.bits()).or_insert(0);
+        // sbqa-lint: allow(panic-hygiene, "register/deregister pairing keeps per-mask counts non-negative; underflow is a caller bug")
         *entry = entry.checked_add_signed(delta).expect("count stays >= 0");
         if *entry == 0 {
             self.mask_counts.remove(&capabilities.bits());
@@ -337,6 +345,7 @@ impl ProviderRegistry {
                 self.index_slot(slot);
             }
         } else {
+            // sbqa-lint: allow(panic-hygiene, "slot ids are u32 by design; a 4-billion-provider registry exceeds the design envelope")
             let slot = u32::try_from(self.columns.len()).expect("provider population fits in u32");
             self.columns.push(snapshot);
             self.index.insert(snapshot.id, slot);
@@ -514,6 +523,7 @@ impl ProviderRegistry {
             // The trivial one-bit case, where All and Any coincide: wrap the
             // class's postings map directly.
             1 => {
+                // sbqa-lint: allow(panic-hygiene, "arm is reached only when the set has exactly one class")
                 let class = set.iter().next().expect("singleton set").class();
                 let view = Candidates::from_map(&self.columns, &self.postings[class as usize])
                     .with_token(PlanToken {
@@ -613,6 +623,7 @@ impl ProviderRegistry {
                 .enumerate()
                 .min_by_key(|(_, entry)| entry.last_used)
                 .map(|(pos, _)| pos)
+                // sbqa-lint: allow(panic-hygiene, "guarded by capacity > 0: a non-empty cache always has a minimum element")
                 .expect("capacity > 0 implies at least one entry");
             cache.evictions += 1;
             let old_key = cache.entries[idx].key;

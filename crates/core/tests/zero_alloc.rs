@@ -23,23 +23,32 @@ static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
 struct CountingAllocator;
 
+// SAFETY: every method delegates verbatim to the `System` allocator and only
+// adds a relaxed atomic counter bump, so the layout/pointer contracts of
+// `GlobalAlloc` are exactly those `System` already upholds.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
-        System.alloc(layout)
+        // SAFETY: forwarded unchanged; the caller's `layout` obligations
+        // transfer directly to `System.alloc`.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: forwarded unchanged; `ptr` was produced by `System.alloc`
+        // (all paths of this allocator delegate to `System`).
+        unsafe { System.dealloc(ptr, layout) };
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: forwarded unchanged; `ptr`/`layout`/`new_size` obligations
+        // transfer directly to `System.realloc`.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 
@@ -70,14 +79,15 @@ fn multi_query(id: u64) -> Query {
 
 #[test]
 fn steady_state_mediation_does_not_allocate() {
-    let config = SystemConfig::default().with_knbest(20, 4);
-    let mut mediator = Mediator::sbqa(config, 42).unwrap();
     // 13,000 providers over overlapping two-class capability sets on classes
     // {0, 1, 2}: each class's postings list holds ~8,666 providers and the
     // online list 13,000 — both far past the array→bitmap promotion
     // threshold (`postings::ARRAY_MAX` = 4,096), so the measured merges run
     // against bitmap containers, not the small-array fast shape.
     const PROVIDERS: u64 = 13_000;
+
+    let config = SystemConfig::default().with_knbest(20, 4);
+    let mut mediator = Mediator::sbqa(config, 42).unwrap();
     for p in 0..PROVIDERS {
         let caps = CapabilitySet::from_capabilities([
             Capability::new((p % 3) as u8),

@@ -1,0 +1,469 @@
+//! A small hand-rolled Rust token scanner.
+//!
+//! The scanner understands exactly enough lexical Rust for lint rules to be
+//! sound: line and (nested) block comments, plain/byte/raw string literals,
+//! character literals vs. lifetimes, raw identifiers, and numeric literals.
+//! Forbidden names inside strings, chars or comments therefore never reach a
+//! rule — only real identifier tokens do.
+//!
+//! It is deliberately *not* a parser: rules operate on the token stream with
+//! a little local context (neighbouring punctuation, brace depth), which is
+//! sufficient because every contract the lints enforce is lexically
+//! recognizable (`Instant :: now`, `. unwrap`, `unsafe {`, …).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `partial_cmp`, …).
+    Ident,
+    /// A punctuation token. Multi-character operators are emitted as single
+    /// characters except `::`, which rules need as one unit.
+    Punct,
+    /// A string, byte-string, character or numeric literal (contents opaque).
+    Literal,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The lexeme kind.
+    pub kind: TokKind,
+    /// The token text (for literals: the raw source slice).
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+/// A comment, kept out of the token stream but retained for pragma parsing
+/// and the `unsafe-audit` rule's `// SAFETY:` check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comment<'a> {
+    /// The comment text including its delimiters.
+    pub text: &'a str,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (`> line` for multi-line blocks).
+    pub end_line: u32,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// All comments in source order.
+    pub comments: Vec<Comment<'a>>,
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_offset(&self) -> usize {
+        self.chars.get(self.pos).map_or(self.src.len(), |&(b, _)| b)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `src` into tokens and comments.
+///
+/// The scanner never fails: malformed input (unterminated strings or
+/// comments) is consumed to end-of-file, which matches the needs of a lint
+/// that only ever runs on code the compiler already accepted.
+#[must_use]
+pub fn lex(src: &str) -> Lexed<'_> {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while !cur.at_end() {
+        let start_byte = cur.byte_offset();
+        let (line, col) = (cur.line, cur.col);
+        let c = cur.peek(0).expect("not at end");
+
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(n) = cur.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text: &src[start_byte..cur.byte_offset()],
+                line,
+                end_line: line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 && !cur.at_end() {
+                if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                } else {
+                    cur.bump();
+                }
+            }
+            out.comments.push(Comment {
+                text: &src[start_byte..cur.byte_offset()],
+                line,
+                end_line: cur.line,
+            });
+            continue;
+        }
+
+        // String-ish prefixes and identifiers share a start character, so
+        // resolve the string forms first: r"", r#""#, b"", b'', br"", br#""#.
+        if is_ident_start(c) {
+            let raw_string = |hash_from: usize, cur: &Cursor<'_>| -> Option<usize> {
+                // Counts `#`s from `hash_from` and requires a quote after
+                // them; returns the hash count.
+                let mut hashes = 0usize;
+                while cur.peek(hash_from + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                (cur.peek(hash_from + hashes) == Some('"')).then_some(hashes)
+            };
+
+            if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier `r#ident`: emit the bare identifier.
+                cur.bump();
+                cur.bump();
+                let ident_start = cur.byte_offset();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: &src[ident_start..cur.byte_offset()],
+                    line,
+                    col,
+                });
+                continue;
+            }
+
+            let string_prefix = match c {
+                'r' => raw_string(1, &cur).map(|h| (1usize, h)),
+                'b' if cur.peek(1) == Some('"') => Some((1, 0)),
+                'b' if cur.peek(1) == Some('r') => raw_string(2, &cur).map(|h| (2usize, h)),
+                _ => None,
+            };
+            if let Some((prefix_len, hashes)) = string_prefix {
+                for _ in 0..prefix_len + hashes + 1 {
+                    cur.bump(); // prefix, hashes and the opening quote
+                }
+                if hashes == 0 && prefix_len == 1 && c == 'b' {
+                    // b"..." supports escapes.
+                    consume_quoted(&mut cur, '"');
+                } else if hashes == 0 {
+                    consume_quoted(&mut cur, '"');
+                } else {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    'raw: while let Some(n) = cur.bump() {
+                        if n == '"' {
+                            for k in 0..hashes {
+                                if cur.peek(k) != Some('#') {
+                                    continue 'raw;
+                                }
+                            }
+                            for _ in 0..hashes {
+                                cur.bump();
+                            }
+                            break;
+                        }
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: &src[start_byte..cur.byte_offset()],
+                    line,
+                    col,
+                });
+                continue;
+            }
+
+            if c == 'b' && cur.peek(1) == Some('\'') {
+                cur.bump();
+                cur.bump();
+                consume_quoted(&mut cur, '\'');
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: &src[start_byte..cur.byte_offset()],
+                    line,
+                    col,
+                });
+                continue;
+            }
+
+            // Plain identifier / keyword.
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: &src[start_byte..cur.byte_offset()],
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c == '"' {
+            cur.bump();
+            consume_quoted(&mut cur, '"');
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: &src[start_byte..cur.byte_offset()],
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c == '\'' {
+            // Lifetime/label vs. character literal: `'ident` not followed by
+            // a closing quote is a lifetime.
+            let is_lifetime = cur.peek(1).is_some_and(is_ident_start) && {
+                let mut k = 2;
+                while cur.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                cur.peek(k) != Some('\'')
+            };
+            cur.bump();
+            if is_lifetime {
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: &src[start_byte..cur.byte_offset()],
+                    line,
+                    col,
+                });
+            } else {
+                consume_quoted(&mut cur, '\'');
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: &src[start_byte..cur.byte_offset()],
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            // Numeric literal. Good enough for linting: digits, underscores,
+            // radix/exponent letters, and a fractional part — but `1..2`
+            // must leave the range dots alone, and a method call on a
+            // literal (`1.max(2)`) must not swallow the dot.
+            cur.bump();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                cur.bump();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: &src[start_byte..cur.byte_offset()],
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Punctuation. `::` is the only multi-character token rules need.
+        if c == ':' && cur.peek(1) == Some(':') {
+            cur.bump();
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: "::",
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: &src[start_byte..cur.byte_offset()],
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+/// Consumes the body and closing delimiter of a quoted literal, honouring
+/// backslash escapes. The opening delimiter must already be consumed.
+fn consume_quoted(cur: &mut Cursor<'_>, close: char) {
+    while let Some(n) = cur.bump() {
+        if n == '\\' {
+            cur.bump();
+        } else if n == close {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // Instant::now() in a line comment
+            /* HashMap::new() /* nested unwrap() */ still comment */
+            let s = "Instant::now()";
+            let r = r#"HashMap "quoted" unwrap"#;
+            let b = b"SystemTime";
+            let c = '"';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident"));
+        for forbidden in ["Instant", "HashMap", "unwrap", "SystemTime", "now"] {
+            assert!(!ids.contains(&forbidden), "{forbidden} leaked: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { 'x' ; x }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn escaped_quote_in_char_does_not_derail() {
+        let ids = idents(r"let q = '\''; after()");
+        assert!(ids.contains(&"after"));
+    }
+
+    #[test]
+    fn raw_identifier_is_bare_ident() {
+        let ids = idents("let r#type = 1; r#match()");
+        assert!(ids.contains(&"type"));
+        assert!(ids.contains(&"match"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  bc");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[0].col, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn numeric_range_keeps_dots() {
+        let toks = lex("for i in 0..13_000 { x = 1.5e3; y = 1.max(2); }").tokens;
+        assert!(toks.iter().any(|t| t.text == "1.5e3"));
+        assert!(toks.iter().any(|t| t.text == "max"));
+        let dots = toks.iter().filter(|t| t.text == ".").count();
+        assert_eq!(dots, 3, "{toks:?}"); // `..` is two dot puncts, `.max` one
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = lex("Instant::now()").tokens;
+        assert_eq!(toks[1].text, "::");
+        assert_eq!(toks[1].kind, TokKind::Punct);
+    }
+
+    #[test]
+    fn comment_line_spans_are_recorded() {
+        let lexed = lex("code();\n/* a\nb */\n// c\nmore();");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        assert_eq!(lexed.comments[1].line, 4);
+        assert_eq!(lexed.comments[1].end_line, 4);
+    }
+}

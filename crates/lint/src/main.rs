@@ -1,0 +1,113 @@
+//! The `sbqa-lint` command-line gate.
+//!
+//! ```text
+//! sbqa-lint [--root <dir>] [--json] [--deny-warnings] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (deny-level, or warn-level under
+//! `--deny-warnings`), `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sbqa_lint::report::Severity;
+use sbqa_lint::{lint_workspace, rules, workspace};
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    deny_warnings: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        deny_warnings: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let value = args.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sbqa-lint: static analysis for the SbQA workspace\n\n\
+                     USAGE: sbqa-lint [--root <dir>] [--json] [--deny-warnings] [--list-rules]\n\n\
+                     OPTIONS:\n  \
+                     --root <dir>      workspace root (default: discovered from cwd)\n  \
+                     --json            emit the machine-readable report on stdout\n  \
+                     --deny-warnings   treat warn-level findings as failures\n  \
+                     --list-rules      print the rule catalog and exit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("sbqa-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::RULES {
+            println!(
+                "{:<20} {:<5} {}",
+                rule.name,
+                rule.severity.to_string(),
+                rule.summary
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = opts.root.or_else(|| workspace::find_root(&cwd)) else {
+        eprintln!("sbqa-lint: no workspace root found (missing Cargo.toml with [workspace])");
+        return ExitCode::from(2);
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("sbqa-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            println!("{}", finding.render());
+        }
+        println!(
+            "sbqa-lint: checked {} files: {} deny, {} warn, {} justified suppressions",
+            report.files_scanned,
+            report.count(Severity::Deny),
+            report.count(Severity::Warn),
+            report.suppressions.len()
+        );
+    }
+
+    if report.failed(opts.deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,234 @@
+//! Fixture-driven rule tests: every rule gets a positive case (the seeded
+//! violation is flagged), a suppressed case (a justified pragma converts the
+//! finding into a documented suppression site) and an exempt-path case (the
+//! same source under a `tests/` classification reports nothing).
+//!
+//! The fixture sources live in `tests/fixtures/` — a directory the workspace
+//! walker never descends into, so the deliberately-violating inputs cannot
+//! leak into the self-lint gate.
+
+use sbqa_lint::report::{Finding, Severity, SuppressionSite};
+use sbqa_lint::rules::{check_file, FileClass, FileKind};
+
+fn lib(crate_name: &str) -> FileClass {
+    FileClass {
+        crate_name: crate_name.to_string(),
+        kind: FileKind::Library,
+    }
+}
+
+fn test_kind(crate_name: &str) -> FileClass {
+    FileClass {
+        crate_name: crate_name.to_string(),
+        kind: FileKind::Test,
+    }
+}
+
+fn run(source: &str, class: &FileClass) -> (Vec<Finding>, Vec<SuppressionSite>) {
+    check_file("fixture.rs", source, class)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn wall_clock_positive() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let (findings, _) = run(src, &lib("core"));
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules,
+        vec!["wall-clock", "wall-clock"],
+        "Instant::now() and SystemTime are flagged; comment/string mentions are not: {findings:?}"
+    );
+    assert_eq!(findings[0].line, 5, "Instant::now() call site");
+    assert_eq!(findings[1].line, 9, "SystemTime::now() call site");
+}
+
+#[test]
+fn wall_clock_exempt_in_tests_dir() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let (findings, _) = run(src, &test_kind("core"));
+    assert!(findings.is_empty(), "tests/ are exempt: {findings:?}");
+}
+
+#[test]
+fn wall_clock_exempt_outside_deterministic_crates() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let (findings, _) = run(src, &lib("metrics"));
+    assert!(
+        findings.is_empty(),
+        "metrics is not a deterministic crate: {findings:?}"
+    );
+}
+
+#[test]
+fn wall_clock_suppressed() {
+    let src = include_str!("fixtures/wall_clock_suppressed.rs");
+    let (findings, sites) = run(src, &lib("core"));
+    assert!(findings.is_empty(), "both forms suppressed: {findings:?}");
+    assert_eq!(sites.len(), 2, "standalone + trailing pragma both counted");
+    assert!(sites
+        .iter()
+        .all(|s| s.suppression.rule == "wall-clock" && !s.suppression.justification.is_empty()));
+}
+
+#[test]
+fn hash_collection_positive_skips_use_lines() {
+    let src = include_str!("fixtures/hash_collection.rs");
+    let (findings, sites) = run(src, &lib("sim"));
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules,
+        vec!["hash-collection"; 4],
+        "the field type, both HashSet positions and `documented`'s return type \
+         are flagged; the pragma covers only its target line (the constructor): {findings:?}"
+    );
+    assert!(
+        findings.iter().all(|f| f.line != 3 && f.line != 4),
+        "use lines exempt"
+    );
+    assert_eq!(
+        sites.len(),
+        1,
+        "documented constructor counted as a suppression site"
+    );
+}
+
+#[test]
+fn unseeded_rng_positive() {
+    let src = include_str!("fixtures/unseeded_rng.rs");
+    let (findings, _) = run(src, &lib("boinc"));
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules,
+        vec!["unseeded-rng", "unseeded-rng"],
+        "thread_rng and from_entropy flagged, seed_from_u64 not: {findings:?}"
+    );
+}
+
+#[test]
+fn unseeded_rng_applies_in_every_library_crate() {
+    let src = include_str!("fixtures/unseeded_rng.rs");
+    let (findings, _) = run(src, &lib("metrics"));
+    assert_eq!(
+        findings.len(),
+        2,
+        "rng hygiene is workspace-wide: {findings:?}"
+    );
+}
+
+#[test]
+fn panic_hygiene_positive_with_cfg_test_exemption() {
+    let src = include_str!("fixtures/panic_hygiene.rs");
+    let (findings, _) = run(src, &lib("core"));
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules,
+        vec![
+            "panic-hygiene",
+            "panic-hygiene",
+            "panic-hygiene",
+            "panic-hygiene",
+            "panic-hygiene"
+        ],
+        "unwrap/expect/panic!/todo!/unimplemented! flagged once each; the \
+         #[cfg(test)] module and the bare `unwrap` identifier are exempt: {findings:?}"
+    );
+    let last_flagged = findings.iter().map(|f| f.line).max().unwrap();
+    assert!(
+        last_flagged < 28,
+        "nothing inside the #[cfg(test)] module is flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn panic_hygiene_exempt_outside_panic_free_crates() {
+    let src = include_str!("fixtures/panic_hygiene.rs");
+    let (findings, _) = run(src, &lib("sim"));
+    assert!(
+        findings.is_empty(),
+        "sim may panic in library code: {findings:?}"
+    );
+}
+
+#[test]
+fn float_ordering_positive() {
+    let src = include_str!("fixtures/float_ordering.rs");
+    let (findings, _) = run(src, &lib("baselines"));
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules,
+        vec!["float-ordering", "float-ordering"],
+        "both partial_cmp call forms flagged, total_cmp not: {findings:?}"
+    );
+}
+
+#[test]
+fn unsafe_audit_positive() {
+    let src = include_str!("fixtures/unsafe_audit.rs");
+    let (findings, _) = run(src, &lib("core"));
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules,
+        vec!["unsafe-audit", "unsafe-audit"],
+        "undocumented block + undocumented impl flagged; SAFETY-commented ones not: {findings:?}"
+    );
+}
+
+#[test]
+fn unsafe_audit_holds_even_in_tests() {
+    let src = include_str!("fixtures/unsafe_audit.rs");
+    let (findings, _) = run(src, &test_kind("core"));
+    assert_eq!(
+        findings.len(),
+        2,
+        "unsafe-audit is the one rule tests are not exempt from: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_pragmas_are_deny_findings() {
+    let src = include_str!("fixtures/bad_pragma.rs");
+    let (findings, sites) = run(src, &lib("core"));
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules,
+        vec!["bad-pragma", "bad-pragma", "bad-pragma", "bad-pragma"],
+        "missing justification, unknown rule, empty justification, wrong verb: {findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.severity == Severity::Deny));
+    assert!(
+        sites.is_empty(),
+        "a malformed pragma never counts as a suppression"
+    );
+}
+
+#[test]
+fn unused_suppression_is_a_warning() {
+    let src = include_str!("fixtures/unused_suppression.rs");
+    let (findings, sites) = run(src, &lib("core"));
+    assert_eq!(rules_of(&findings), vec!["unused-suppression"]);
+    assert_eq!(findings[0].severity, Severity::Warn);
+    assert!(sites.is_empty());
+}
+
+#[test]
+fn every_fixture_rule_is_in_the_catalog() {
+    for name in [
+        "wall-clock",
+        "hash-collection",
+        "unseeded-rng",
+        "panic-hygiene",
+        "float-ordering",
+        "unsafe-audit",
+        "bad-pragma",
+        "unused-suppression",
+    ] {
+        assert!(
+            sbqa_lint::rules::rule(name).is_some(),
+            "missing rule {name}"
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: malformed pragmas are deny-level findings in their own right.
+
+fn a() -> u32 {
+    // sbqa-lint: allow(wall-clock)
+    1
+}
+
+fn b() -> u32 {
+    // sbqa-lint: allow(no-such-rule, "justified against a rule that does not exist")
+    2
+}
+
+fn c() -> u32 {
+    // sbqa-lint: allow(wall-clock, "")
+    3
+}
+
+fn d() -> u32 {
+    // sbqa-lint: permit(wall-clock, "wrong verb")
+    4
+}

@@ -1,0 +1,13 @@
+//! Fixture: float-ordering violations.
+
+fn sort_scores(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn compare(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+fn total_is_fine(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.total_cmp(b));
+}

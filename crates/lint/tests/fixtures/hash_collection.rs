@@ -1,0 +1,17 @@
+//! Fixture: hash-collection violations. The `use` line itself is exempt —
+//! only concrete type positions are contract sites.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+struct State {
+    index: HashMap<u64, u32>,
+}
+
+fn build() -> HashSet<u64> {
+    HashSet::new()
+}
+
+fn documented() -> HashMap<u64, u32> {
+    // sbqa-lint: allow(hash-collection, "point lookups only; never iterated")
+    HashMap::new()
+}

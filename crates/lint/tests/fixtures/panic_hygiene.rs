@@ -1,0 +1,38 @@
+//! Fixture: panic-hygiene violations, plus the `#[cfg(test)]` exemption.
+
+fn lookup(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn lookup2(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+fn boom() {
+    panic!("should never happen");
+}
+
+fn later() {
+    todo!()
+}
+
+fn never() {
+    unimplemented!()
+}
+
+fn named_unwrap_is_not_a_call() {
+    // A bare identifier `unwrap` without `.`/`(` context must not trip.
+    let unwrap = 1;
+    let _ = unwrap;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_test_modules() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Option<u32> = None;
+        assert!(std::panic::catch_unwind(|| w.expect("boom")).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: unsafe-audit — blocks and impls need a SAFETY comment.
+
+fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+struct Wrapper(u32);
+
+unsafe impl Send for Wrapper {}
+
+fn documented(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` points to a live, aligned u32.
+    unsafe { *p }
+}
+
+struct Audited(u32);
+
+// SAFETY: Audited owns only a plain integer; no thread affinity exists.
+unsafe impl Send for Audited {}

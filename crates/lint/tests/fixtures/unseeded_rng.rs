@@ -1,0 +1,15 @@
+//! Fixture: unseeded-rng violations.
+
+fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    0
+}
+
+fn os_seeded() {
+    let _ = rand_chacha::ChaCha8Rng::from_entropy();
+}
+
+fn seeded_is_fine() {
+    let _ = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+}

@@ -1,0 +1,6 @@
+//! Fixture: a pragma that suppresses nothing is a warn-level finding.
+
+fn clean() -> u32 {
+    // sbqa-lint: allow(wall-clock, "stale waiver: the call below was removed")
+    1
+}

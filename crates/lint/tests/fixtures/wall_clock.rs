@@ -1,0 +1,18 @@
+//! Fixture: wall-clock violations (positive cases).
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    Instant::now()
+}
+
+fn epoch() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}
+
+fn fine() {
+    // Mentions of Instant::now() in a comment must not trip the rule.
+    let s = "Instant::now() in a string must not trip the rule";
+    let _ = s;
+}

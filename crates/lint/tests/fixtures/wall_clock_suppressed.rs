@@ -1,0 +1,11 @@
+//! Fixture: wall-clock violations under justified pragmas.
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    // sbqa-lint: allow(wall-clock, "measurement-only: the stamp never reaches allocation")
+    Instant::now()
+}
+
+fn trailing() -> Instant {
+    Instant::now() // sbqa-lint: allow(wall-clock, "measurement-only trailing form")
+}

@@ -1,0 +1,51 @@
+//! The workspace must lint clean — this is the same invariant the
+//! `scripts/ci.sh` gate enforces, checked in-process so `cargo test` alone
+//! catches a regression.
+
+use std::path::Path;
+
+use sbqa_lint::lint_workspace;
+use sbqa_lint::report::Severity;
+
+#[test]
+fn workspace_is_clean_including_warnings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace is readable");
+    assert!(report.files_scanned > 100, "walker found the workspace");
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(sbqa_lint::report::Finding::render)
+        .collect();
+    assert_eq!(
+        report.count(Severity::Deny),
+        0,
+        "deny findings:\n{}",
+        rendered.join("\n")
+    );
+    assert_eq!(
+        report.count(Severity::Warn),
+        0,
+        "warn findings:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        !report.suppressions.is_empty(),
+        "the documented contract sites are visible to the walker"
+    );
+}
+
+#[test]
+fn every_suppression_is_justified() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace is readable");
+    for site in &report.suppressions {
+        assert!(
+            site.suppression.justification.len() >= 10,
+            "{}:{} has a throwaway justification: {:?}",
+            site.path,
+            site.suppression.comment_line,
+            site.suppression.justification
+        );
+    }
+}

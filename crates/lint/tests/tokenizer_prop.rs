@@ -1,0 +1,117 @@
+//! Tokenizer property tests: forbidden names embedded in string literals,
+//! raw strings or comments must never reach the rule matchers, and the lexer
+//! must stay total (no panics, sane line numbers) on arbitrary input.
+
+use proptest::prelude::*;
+
+use sbqa_lint::lexer::lex;
+use sbqa_lint::rules::{check_file, FileClass, FileKind};
+
+/// Snippets that would each be a deny finding if they appeared as code in a
+/// deterministic, panic-free crate.
+const FORBIDDEN: &[&str] = &[
+    "Instant::now()",
+    "SystemTime::now()",
+    "HashMap::new()",
+    "HashSet::new()",
+    "thread_rng()",
+    "from_entropy()",
+    "x.unwrap()",
+    "x.expect(\\\"msg\\\")",
+    "panic!(\\\"boom\\\")",
+    "todo!()",
+    "a.partial_cmp(&b)",
+];
+
+/// The same snippets without inner escapes, for comment/raw-string contexts
+/// where no escaping is needed.
+const FORBIDDEN_PLAIN: &[&str] = &[
+    "Instant::now()",
+    "SystemTime::now()",
+    "HashMap::new()",
+    "HashSet::new()",
+    "thread_rng()",
+    "from_entropy()",
+    "x.unwrap()",
+    "x.expect(\"msg\")",
+    "panic!(\"boom\")",
+    "todo!()",
+    "a.partial_cmp(&b)",
+];
+
+fn core_lib() -> FileClass {
+    FileClass {
+        crate_name: "core".to_string(),
+        kind: FileKind::Library,
+    }
+}
+
+/// Wraps a forbidden snippet in a non-code context chosen by `context`.
+fn embed(context: usize, snippet_escaped: &str, snippet_plain: &str) -> String {
+    match context % 4 {
+        0 => format!("let s = \"{snippet_escaped}\";\n"),
+        1 => format!("let s = r#\"{snippet_plain}\"#;\n"),
+        2 => format!("// comment: {snippet_plain}\n"),
+        _ => format!("/* block {snippet_plain} still a comment */ let y = 1;\n"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn forbidden_names_in_text_never_trip(
+        picks in proptest::collection::vec((0usize..4, 0usize..11), 1..12),
+    ) {
+        let mut src = String::from("fn fixture() {\n");
+        for &(context, idx) in &picks {
+            src.push_str("    ");
+            src.push_str(&embed(context, FORBIDDEN[idx], FORBIDDEN_PLAIN[idx]));
+        }
+        src.push_str("}\n");
+        let (findings, _) = check_file("prop.rs", &src, &core_lib());
+        prop_assert!(
+            findings.is_empty(),
+            "text-only mentions produced findings in:\n{}\n{:?}",
+            src,
+            findings
+        );
+    }
+
+    #[test]
+    fn the_same_snippets_as_code_always_trip(
+        idx in 0usize..11,
+    ) {
+        let src = format!("fn fixture() {{\n    let _ = {};\n}}\n", FORBIDDEN_PLAIN[idx]);
+        let (findings, _) = check_file("prop.rs", &src, &core_lib());
+        prop_assert!(
+            !findings.is_empty(),
+            "snippet `{}` as code produced no finding",
+            FORBIDDEN_PLAIN[idx]
+        );
+    }
+
+    #[test]
+    fn lexer_is_total_on_arbitrary_printable_input(
+        bytes in proptest::collection::vec(0u8..96, 0..200),
+    ) {
+        // Map into printable ASCII (space..=DEL-1) plus newlines.
+        let src: String = bytes
+            .iter()
+            .map(|&b| if b % 13 == 0 { '\n' } else { (b' ' + (b % 95)) as char })
+            .collect();
+        let lexed = lex(&src);
+        let line_count = src.lines().count() as u32 + 1;
+        let mut prev = (0u32, 0u32);
+        for tok in &lexed.tokens {
+            prop_assert!(tok.line >= 1 && tok.line <= line_count);
+            prop_assert!(tok.col >= 1);
+            prop_assert!((tok.line, tok.col) > prev, "token positions strictly increase");
+            prev = (tok.line, tok.col);
+            prop_assert!(!tok.text.is_empty());
+        }
+        for c in &lexed.comments {
+            prop_assert!(c.line >= 1 && c.end_line >= c.line);
+        }
+    }
+}

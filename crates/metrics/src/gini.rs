@@ -19,7 +19,7 @@ pub fn gini_coefficient(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.iter().map(|v| v.max(0.0)).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sbqa_types::float_ord::sort_ascending(&mut sorted);
     let n = sorted.len() as f64;
     let total: f64 = sorted.iter().sum();
     if total <= 0.0 {

@@ -202,7 +202,7 @@ impl LatencyUnit {
     #[must_use]
     pub fn format(self, nanos: u64) -> String {
         match self {
-            LatencyUnit::Nanos => format!("{}ns", nanos),
+            LatencyUnit::Nanos => format!("{nanos}ns"),
             unit => format!("{:.2}{}", unit.convert(nanos), unit.label()),
         }
     }

@@ -10,7 +10,6 @@
 //! same instruments, which is what makes the scenario comparisons meaningful.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod balance;
 pub mod csv;

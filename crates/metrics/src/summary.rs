@@ -121,7 +121,7 @@ impl Summary {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sbqa_types::float_ord::sort_ascending(&mut sorted);
         let q = q.clamp(0.0, 1.0);
         let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
         sorted[rank.min(sorted.len() - 1)]

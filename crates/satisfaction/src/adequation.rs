@@ -95,7 +95,7 @@ pub fn consumer_adequation(best_attainable: &[Satisfaction]) -> ConsumerAdequati
 pub fn best_attainable_satisfaction(intentions: &[Intention], n: usize) -> Satisfaction {
     let n = n.max(1);
     let mut units: Vec<f64> = intentions.iter().map(|i| i.to_unit().value()).collect();
-    units.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    sbqa_types::float_ord::sort_descending(&mut units);
     let sum: f64 = units.iter().take(n).sum();
     Satisfaction::new(sum / n as f64)
 }

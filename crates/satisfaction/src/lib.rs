@@ -29,7 +29,6 @@
 //! consume on the hot path without extra registry scans.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod adequation;
 pub mod analysis;

@@ -26,7 +26,9 @@ use crate::provider::ProviderSatisfaction;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SatisfactionRegistry {
     window: usize,
+    // sbqa-lint: allow(hash-collection, "per-id point lookups on the hot path; aggregation sorts ids before summing (analysis.rs)")
     consumers: HashMap<ConsumerId, ConsumerSatisfaction>,
+    // sbqa-lint: allow(hash-collection, "per-id point lookups on the hot path; aggregation sorts ids before summing (analysis.rs)")
     providers: HashMap<ProviderId, ProviderSatisfaction>,
 }
 
@@ -37,7 +39,9 @@ impl SatisfactionRegistry {
     pub fn new(satisfaction_window: usize) -> Self {
         Self {
             window: satisfaction_window.max(1),
+            // sbqa-lint: allow(hash-collection, "per-id point lookups on the hot path; aggregation sorts ids before summing (analysis.rs)")
             consumers: HashMap::new(),
+            // sbqa-lint: allow(hash-collection, "per-id point lookups on the hot path; aggregation sorts ids before summing (analysis.rs)")
             providers: HashMap::new(),
         }
     }

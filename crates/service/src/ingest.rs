@@ -90,6 +90,7 @@ impl MediationService {
             workers,
             staging,
             enqueued: 0,
+            // sbqa-lint: allow(wall-clock, "latency instrumentation only; enqueue stamps never influence allocation results")
             started: Instant::now(),
         }
     }
@@ -122,10 +123,12 @@ impl MediationService {
         let shard = self.router.shard_of_query(query.id);
         let envelope = Envelope {
             query,
+            // sbqa-lint: allow(wall-clock, "latency instrumentation only; enqueue stamps never influence allocation results")
             enqueued: Instant::now(),
         };
         self.senders[shard]
             .send(vec![envelope])
+            // sbqa-lint: allow(panic-hygiene, "mediation threads outlive the queue by construction; a dead shard is unrecoverable")
             .expect("shard mediation thread is alive");
         self.enqueued += 1;
     }
@@ -138,6 +141,7 @@ impl MediationService {
     /// # Panics
     /// Panics if a shard's mediation thread has died.
     pub fn enqueue_batch(&mut self, queries: impl IntoIterator<Item = sbqa_types::Query>) {
+        // sbqa-lint: allow(wall-clock, "latency instrumentation only; enqueue stamps never influence allocation results")
         let enqueued = Instant::now();
         for query in queries {
             let shard = self.router.shard_of_query(query.id);
@@ -148,6 +152,7 @@ impl MediationService {
             if !staged.is_empty() {
                 self.senders[shard]
                     .send(std::mem::take(staged))
+                    // sbqa-lint: allow(panic-hygiene, "mediation threads outlive the queue by construction; a dead shard is unrecoverable")
                     .expect("shard mediation thread is alive");
             }
         }
@@ -169,6 +174,7 @@ impl MediationService {
         let mut shards = Vec::with_capacity(self.workers.len());
         let mut outcomes = Vec::with_capacity(self.enqueued);
         for worker in self.workers {
+            // sbqa-lint: allow(panic-hygiene, "propagates a shard thread panic at shutdown instead of silently dropping outcomes")
             let result = worker.join().expect("shard mediation thread panicked");
             shard_reports.push(result.shard.report_snapshot());
             outcomes.extend(result.outcomes);

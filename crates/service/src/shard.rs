@@ -99,6 +99,7 @@ impl MediatorShard {
         query: &Query,
         oracle: &dyn IntentionOracle,
     ) -> SbqaResult<&AllocationDecision> {
+        // sbqa-lint: allow(wall-clock, "default submit stamp for latency measurement; allocation reads VirtualTime only")
         self.submit_with_start(query, oracle, Instant::now())
     }
 

@@ -83,6 +83,7 @@ impl ShardedMediator {
         }
         let mut mediators = built.into_iter();
         Ok(Self::new(shards, seed, |_| {
+            // sbqa-lint: allow(panic-hygiene, "builder produced exactly one mediator per shard two lines above")
             mediators.next().expect("one mediator per shard")
         }))
     }
@@ -206,6 +207,7 @@ impl ShardedMediator {
     {
         self.order_scratch.clear();
         self.order_scratch
+            // sbqa-lint: allow(panic-hygiene, "batch length is bounded by the ingest queue, far below u32::MAX")
             .extend(0..u32::try_from(queries.len()).expect("batch fits in u32"));
         self.order_scratch
             .sort_by_key(|&pos| merge_key(&queries[pos as usize]));

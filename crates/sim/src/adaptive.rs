@@ -147,6 +147,7 @@ pub struct AdaptiveOracle {
     preference_weight: f64,
     /// Backlog (virtual seconds) a provider considers acceptable.
     acceptable_backlog: f64,
+    // sbqa-lint: allow(hash-collection, "per-provider utilization point lookups; never iterated")
     utilization: RefCell<HashMap<ProviderId, f64>>,
 }
 
@@ -162,6 +163,7 @@ impl AdaptiveOracle {
             } else {
                 1.0
             },
+            // sbqa-lint: allow(hash-collection, "per-provider utilization point lookups; never iterated")
             utilization: RefCell::new(HashMap::new()),
         }
     }
@@ -335,6 +337,7 @@ pub fn run_adaptive_case(
 
     // The load mirror, aligned with `providers` (spec order — the
     // deterministic iteration order for every per-provider sweep).
+    // sbqa-lint: allow(hash-collection, "point lookups only; sweeps iterate the providers spec Vec, not this map")
     let index_of: HashMap<ProviderId, usize> = providers
         .iter()
         .enumerate()

@@ -23,7 +23,6 @@
 //! runs are fully deterministic for a given seed.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod config;

@@ -190,6 +190,7 @@ pub struct Simulation {
     network_rng: SimRng,
     workload_rng: SimRng,
     query_ids: IdGenerator,
+    // sbqa-lint: allow(hash-collection, "keyed point lookups by QueryId; completions are drained in departure-heap order")
     pending: HashMap<QueryId, PendingQuery>,
     /// Queries staged for the next mediation batch (arrivals at one instant).
     batch: Vec<Query>,
@@ -246,6 +247,7 @@ impl Simulation {
             events: EventQueue::new(),
             clock: VirtualTime::ZERO,
             query_ids: IdGenerator::new(),
+            // sbqa-lint: allow(hash-collection, "keyed point lookups by QueryId; completions are drained in departure-heap order")
             pending: HashMap::new(),
             batch: Vec::new(),
             batch_outcomes: Vec::new(),

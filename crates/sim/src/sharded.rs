@@ -208,6 +208,7 @@ pub fn run_single_mediator(
     let mut shard = MediatorShard::new(0, mediator);
     let oracle = HashIntentions::new(seed);
     let mut outcomes = Vec::with_capacity(stream.len());
+    // sbqa-lint: allow(wall-clock, "throughput measurement printed to the report only; allocation is driven by VirtualTime")
     let started = Instant::now();
     for query in stream {
         let (selected, starved) = match shard.submit_with_start(query, &oracle, started) {

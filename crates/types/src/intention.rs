@@ -144,8 +144,7 @@ impl PartialOrd for Intention {
 
 impl Ord for Intention {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Construction guarantees the value is finite, so total order is safe.
-        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+        crate::float_ord::f64_total_cmp(self.0, other.0)
     }
 }
 

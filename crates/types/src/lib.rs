@@ -17,11 +17,11 @@
 //! ordering, serialisation).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod capability;
 pub mod config;
 pub mod error;
+pub mod float_ord;
 pub mod id;
 pub mod intention;
 pub mod provider;
@@ -32,6 +32,7 @@ pub mod time;
 pub use capability::{Capability, CapabilityRequirement, CapabilitySet, MAX_CAPABILITY_CLASSES};
 pub use config::{AllocationPolicyKind, OmegaPolicy, SystemConfig};
 pub use error::{SbqaError, SbqaResult};
+pub use float_ord::f64_total_cmp;
 pub use id::{ConsumerId, IdGenerator, ParticipantId, ProviderId, QueryId};
 pub use intention::Intention;
 pub use provider::{ProviderColumns, ProviderSnapshot};

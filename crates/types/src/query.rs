@@ -22,7 +22,9 @@ use crate::time::{Duration, VirtualTime};
 
 /// A coarse class of query, used by workload generators to vary work size and
 /// by intention functions that prefer some query types over others.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum QueryClass {
     /// A short, cheap query (e.g. a small work unit).
     Short,

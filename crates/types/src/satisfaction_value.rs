@@ -119,7 +119,7 @@ impl PartialOrd for Satisfaction {
 
 impl Ord for Satisfaction {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+        crate::float_ord::f64_total_cmp(self.0, other.0)
     }
 }
 

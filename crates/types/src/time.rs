@@ -93,7 +93,7 @@ impl PartialOrd for VirtualTime {
 
 impl Ord for VirtualTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+        crate::float_ord::f64_total_cmp(self.0, other.0)
     }
 }
 
@@ -106,7 +106,7 @@ impl PartialOrd for Duration {
 
 impl Ord for Duration {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+        crate::float_ord::f64_total_cmp(self.0, other.0)
     }
 }
 

@@ -16,6 +16,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo doc (no deps, rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
+echo "== sbqa-lint (repo-specific static analysis, warnings are errors)"
+# Source-level proof of the determinism / panic-freedom / unsafe-audit
+# contracts (ARCHITECTURE.md "Statically-enforced invariants"): no wall
+# clock, hash-ordered collections or entropy-seeded RNG in deterministic
+# crates, no panics in mediator library code, no partial_cmp float ordering,
+# SAFETY comments on every unsafe block — with justified waivers pinned in
+# bench_results/LINT_baseline.json.
+cargo run --release -p sbqa-lint -- --deny-warnings
+
 echo "== tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q

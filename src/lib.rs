@@ -61,7 +61,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub use sbqa_baselines as baselines;
 pub use sbqa_boinc as boinc;

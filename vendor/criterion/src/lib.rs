@@ -194,12 +194,14 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs every benchmark target declared in this `criterion_group!`.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
         }
     };
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark target declared in this `criterion_group!`.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
