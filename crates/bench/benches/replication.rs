@@ -1,0 +1,179 @@
+//! Micro-benchmarks of the replication subsystem.
+//!
+//! Three claims the delta log makes, each measured directly:
+//!
+//! * `log/append` — appending one mutation record to the log: a sequence
+//!   increment and a `Vec` push (tens of nanoseconds), which is the entire
+//!   cost a registry mutation pays on top of its own work when a sink is
+//!   attached.
+//! * `replay/churn_1k` — applying a 1k-record churn tail to a standby
+//!   registry: the per-record cost of catch-up and promotion replay.
+//! * `submit/hook_{off,on}` — the acceptance series: one load update (the
+//!   mutation that emits a delta when the hook is armed) plus one
+//!   `submit_in_place` mediation, against 10k- and 100k-provider
+//!   registries, with and without a delta sink attached. The hook-on series
+//!   must stay within 5% of hook-off at 100k providers — mediation work
+//!   dwarfs the append, and a disabled hook is a single branch.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sbqa_core::allocator::StaticIntentions;
+use sbqa_core::{Mediator, ProviderRegistry, RegistryDelta};
+use sbqa_replication::{DeltaLog, SharedDeltaLog};
+use sbqa_types::{
+    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+};
+
+/// Number of capability classes the synthetic population spreads over.
+const CLASSES: u8 = 8;
+
+/// Overlapping capability profiles, identical to the `registry` bench.
+fn capabilities(i: usize) -> CapabilitySet {
+    let base = (i % CLASSES as usize) as u8;
+    let mut caps = CapabilitySet::singleton(Capability::new(base));
+    if i.is_multiple_of(3) {
+        caps.insert(Capability::new((base + 1) % CLASSES));
+    }
+    if i.is_multiple_of(5) {
+        caps.insert(Capability::new((base + 2) % CLASSES));
+    }
+    caps
+}
+
+fn registry(n: usize) -> ProviderRegistry {
+    let mut registry = ProviderRegistry::new();
+    for i in 0..n {
+        registry.register(ProviderId::new(i as u64), capabilities(i), 1.0);
+    }
+    registry
+}
+
+fn mediator(n: usize) -> Mediator {
+    let mut mediator = Mediator::sbqa(SystemConfig::default().with_knbest(20, 4), 42)
+        .expect("default config validates");
+    for i in 0..n {
+        mediator.register_provider(ProviderId::new(i as u64), capabilities(i), 1.0);
+    }
+    mediator.register_consumer(ConsumerId::new(1));
+    mediator
+}
+
+fn query() -> Query {
+    Query::builder(QueryId::new(1), ConsumerId::new(1), Capability::new(3))
+        .replication(2)
+        .build()
+}
+
+/// Appending one mutation record to a plain log.
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication");
+    let delta = RegistryDelta::UpdateLoad {
+        id: ProviderId::new(7),
+        utilization: 1.5,
+        queue_length: 3,
+    };
+    let mut log = DeltaLog::new();
+    group.bench_function("log/append", |b| {
+        b.iter(|| {
+            let sequence = log.append_mutation(black_box(delta));
+            // Bound memory: drop the retained prefix once in a while
+            // (amortized to nothing per iteration).
+            if log.depth() >= 1 << 20 {
+                log.prune_through(sequence);
+            }
+            black_box(sequence)
+        });
+    });
+    group.finish();
+}
+
+/// Replaying a 1k-record churn tail into a standby registry.
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication");
+
+    // Record a real churn tail by mutating a sink-armed registry. A
+    // no-op `set_online` emits nothing, so loop on the log depth rather
+    // than the op count to land on exactly 1k records.
+    let log = SharedDeltaLog::new();
+    let mut live = registry(10_000);
+    live.set_delta_sink(Box::new(log.clone()));
+    let mut i = 0usize;
+    while log.depth() < 1_000 {
+        let id = ProviderId::new((i as u64 * 37) % 10_000);
+        if i.is_multiple_of(4) {
+            live.set_online(id, !i.is_multiple_of(8))
+                .expect("provider exists");
+        } else {
+            live.update_load(id, (i % 32) as f64 * 0.25, i % 6)
+                .expect("provider exists");
+        }
+        i += 1;
+    }
+    let tail = log.collect_after(0).expect("nothing pruned");
+    assert_eq!(tail.len(), 1_000);
+
+    // Churn deltas only (no membership changes), so replaying the same tail
+    // repeatedly into the same standby is valid and allocation-free.
+    let mut standby = registry(10_000);
+    group.bench_function("replay/churn_1k", |b| {
+        b.iter(|| {
+            for record in &tail {
+                if let sbqa_replication::DeltaOp::Mutation(delta) = record.op {
+                    delta.apply(&mut standby).expect("churn replays cleanly");
+                }
+            }
+            black_box(standby.online_count())
+        });
+    });
+    group.finish();
+}
+
+/// The acceptance series: load-update + mediation with the hook off vs on.
+fn bench_submit_hook(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication");
+    let oracle = StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.2));
+    let q = query();
+
+    for size in [10_000usize, 100_000] {
+        let mut plain = mediator(size);
+        let mut tick = 0u64;
+        group.bench_function(BenchmarkId::new("submit/hook_off", size), |b| {
+            b.iter(|| {
+                tick = tick.wrapping_add(1);
+                let id = ProviderId::new(tick % size as u64);
+                plain
+                    .update_provider_load(id, (tick % 16) as f64 * 0.5, (tick % 4) as usize)
+                    .expect("provider exists");
+                let decision = plain.submit_in_place(black_box(&q), &oracle);
+                black_box(decision.is_ok())
+            });
+        });
+
+        let mut hooked = mediator(size);
+        let log = SharedDeltaLog::new();
+        hooked.set_delta_sink(Box::new(log.clone()));
+        let mut tick = 0u64;
+        group.bench_function(BenchmarkId::new("submit/hook_on", size), |b| {
+            b.iter(|| {
+                tick = tick.wrapping_add(1);
+                let id = ProviderId::new(tick % size as u64);
+                hooked
+                    .update_provider_load(id, (tick % 16) as f64 * 0.5, (tick % 4) as usize)
+                    .expect("provider exists");
+                let decision = hooked.submit_in_place(black_box(&q), &oracle);
+                // Bound the log the way a deployment does: checkpoints every
+                // few batches keep it a few thousand records deep. Letting it
+                // grow unboundedly instead would measure cache pollution from
+                // a multi-megabyte log no real configuration retains.
+                if log.depth() >= 1 << 12 {
+                    log.prune_through(log.last_sequence());
+                }
+                black_box(decision.is_ok())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_replay, bench_submit_hook);
+criterion_main!(benches);

@@ -609,6 +609,17 @@ pub trait QueryAllocator: Send {
     fn satisfaction_signal(&self) -> Option<GapSample> {
         None
     }
+
+    /// Forks the allocator's decision state — RNG stream position,
+    /// exploration width, configuration — into an independent copy, so a
+    /// standby can continue the exact decision sequence from this point if
+    /// the original is lost. Scratch buffers need not be copied (they carry
+    /// no decision state). `None` (the default) marks techniques that cannot
+    /// be checkpointed; replication refuses to arm on top of them rather
+    /// than silently diverging after a failover.
+    fn fork(&self) -> Option<Box<dyn QueryAllocator>> {
+        None
+    }
 }
 
 #[cfg(test)]

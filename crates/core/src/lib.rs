@@ -34,6 +34,7 @@
 
 pub mod adaptive;
 pub mod allocator;
+pub mod delta;
 pub mod intention;
 pub mod knbest;
 pub mod mediator;
@@ -47,6 +48,7 @@ pub use allocator::{
     AllocationDecision, CandidateBlock, Candidates, IntentionOracle, PlanToken, ProposalRecord,
     ProviderColumns, ProviderSnapshot, QueryAllocator, StaticIntentions,
 };
+pub use delta::{DeltaSink, RegistryDelta};
 pub use intention::{
     ConsumerIntentionStrategy, ConsumerProfile, ProviderIntentionStrategy, ProviderProfile,
 };

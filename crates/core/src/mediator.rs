@@ -98,6 +98,21 @@ impl QueryAllocator for SbqaAllocator {
         "SbQA"
     }
 
+    fn fork(&self) -> Option<Box<dyn QueryAllocator>> {
+        // Decision state is (config, selector, RNG position, last signal);
+        // the scratch buffers are rebuilt empty — they never outlive one
+        // allocation, so a fresh fork reproduces the decision stream exactly.
+        Some(Box::new(Self {
+            config: self.config.clone(),
+            selector: self.selector,
+            rng: self.rng.clone(),
+            knbest: KnBestScratch::new(),
+            scores: Vec::new(),
+            ranking: Vec::new(),
+            last_signal: self.last_signal,
+        }))
+    }
+
     fn allocate_into(
         &mut self,
         query: &Query,
@@ -429,6 +444,47 @@ impl Mediator {
         queue_length: usize,
     ) -> SbqaResult<()> {
         self.providers.update_load(id, utilization, queue_length)
+    }
+
+    /// Removes a provider from the registry entirely. Returns `true` if the
+    /// provider existed. Its satisfaction history is deliberately retained —
+    /// a returning provider resumes its window — and hosts that model
+    /// permanent departure remove it through
+    /// [`Mediator::satisfaction_mut`].
+    pub fn unregister_provider(&mut self, id: ProviderId) -> bool {
+        self.providers.unregister(id)
+    }
+
+    /// Attaches a replication sink to the provider registry: every effective
+    /// registry mutation from here on is emitted as a
+    /// [`RegistryDelta`](crate::delta::RegistryDelta) in commit order.
+    pub fn set_delta_sink(&mut self, sink: Box<dyn crate::delta::DeltaSink>) {
+        self.providers.set_delta_sink(sink);
+    }
+
+    /// Detaches and returns the registry's replication sink, if any.
+    pub fn take_delta_sink(&mut self) -> Option<Box<dyn crate::delta::DeltaSink>> {
+        self.providers.take_delta_sink()
+    }
+
+    /// Forks the mediator's replicable state — allocation technique (RNG
+    /// position included), provider registry and satisfaction registry —
+    /// without tearing the live mediator down. The forked registry carries
+    /// no delta sink (clones never inherit it), so the checkpoint is inert.
+    ///
+    /// Returns `None` when the hosted technique does not support
+    /// [`QueryAllocator::fork`]. Like [`Mediator::into_parts`], the scratch
+    /// and any adaptive-`kn` controller are not part of the fork.
+    #[must_use]
+    pub fn fork_state(
+        &self,
+    ) -> Option<(
+        Box<dyn QueryAllocator>,
+        ProviderRegistry,
+        SatisfactionRegistry,
+    )> {
+        let allocator = self.allocator.fork()?;
+        Some((allocator, self.providers.clone(), self.satisfaction.clone()))
     }
 
     /// Immutable access to the provider registry.

@@ -40,6 +40,7 @@ use sbqa_types::{
 };
 
 use crate::allocator::{Candidates, PlanToken, ProviderSnapshot};
+use crate::delta::{DeltaSink, RegistryDelta};
 use crate::postings::{intersect_lists, union_lists, MergeScratch, PostingsMap};
 
 /// Index of the postings map that tracks every online provider (used for
@@ -217,7 +218,7 @@ impl PlanCache {
 
 /// Mediator-side registry of provider state: a dense struct-of-arrays slab
 /// plus a per-capability bitmap index of online providers.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ProviderRegistry {
     /// Dense column store of provider state; slots are compacted with a
     /// column-wise `swap_remove` on unregister, so a slot index is only
@@ -258,6 +259,32 @@ pub struct ProviderRegistry {
     /// with no mutation at all and a gathered [`CandidateBlock`]
     /// (`crate::allocator::CandidateBlock`) can be reused verbatim.
     mutation_stamp: u64,
+    /// Replication hook: observes every *effective* mutation (exactly the
+    /// calls that bump `mutation_stamp`) in commit order. `None` — the
+    /// default — costs one null check per mutation. Clones never inherit it
+    /// (see [`Clone`] below): a clone is a state fork, and two registries
+    /// feeding one log would corrupt its sequencing.
+    sink: Option<Box<dyn DeltaSink>>,
+}
+
+/// Clones everything *except* the delta sink, which stays with the original:
+/// a cloned registry is a checkpoint or replica, not a second producer for
+/// the primary's log.
+impl Clone for ProviderRegistry {
+    fn clone(&self) -> Self {
+        Self {
+            columns: self.columns.clone(),
+            index: self.index.clone(),
+            postings: self.postings.clone(),
+            merge_scratch: self.merge_scratch.clone(),
+            merge_bits: self.merge_bits.clone(),
+            class_counts: self.class_counts,
+            mask_counts: self.mask_counts.clone(),
+            plan_cache: self.plan_cache.clone(),
+            mutation_stamp: self.mutation_stamp,
+            sink: None,
+        }
+    }
 }
 
 impl Default for ProviderRegistry {
@@ -274,6 +301,7 @@ impl Default for ProviderRegistry {
             mask_counts: HashMap::new(),
             plan_cache: PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY),
             mutation_stamp: 0,
+            sink: None,
         }
     }
 }
@@ -356,10 +384,41 @@ impl ProviderRegistry {
         self.count_profile(snapshot.capabilities, 1);
     }
 
+    /// Hands the effective mutation to the attached sink, if any. Call sites
+    /// mirror the `mutation_stamp` bumps one-for-one — that equivalence is
+    /// what lets a replica reproduce the primary's stamp by replay.
+    fn emit(&mut self, delta: RegistryDelta) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(&delta);
+        }
+    }
+
+    /// Attaches a replication sink that will observe every effective
+    /// mutation from here on. Replaces (and drops) any previous sink.
+    pub fn set_delta_sink(&mut self, sink: Box<dyn DeltaSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the replication sink, leaving the hook disabled.
+    pub fn take_delta_sink(&mut self) -> Option<Box<dyn DeltaSink>> {
+        self.sink.take()
+    }
+
+    /// Whether a replication sink is currently attached.
+    #[must_use]
+    pub fn delta_sink_attached(&self) -> bool {
+        self.sink.is_some()
+    }
+
     /// Registers (or replaces) a provider with the given capabilities and
     /// capacity, initially online and idle.
     pub fn register(&mut self, id: ProviderId, capabilities: CapabilitySet, capacity: f64) {
         self.insert_snapshot(ProviderSnapshot::idle(id, capabilities, capacity));
+        self.emit(RegistryDelta::Register {
+            id,
+            capabilities,
+            capacity,
+        });
     }
 
     /// Removes a provider entirely (it left the system for good).
@@ -389,6 +448,7 @@ impl ProviderRegistry {
                 }
             }
         }
+        self.emit(RegistryDelta::Unregister { id });
         true
     }
 
@@ -409,6 +469,7 @@ impl ProviderRegistry {
         if online {
             self.index_slot(slot);
         }
+        self.emit(RegistryDelta::SetOnline { id, online });
         Ok(())
     }
 
@@ -429,6 +490,11 @@ impl ProviderRegistry {
                 self.mutation_stamp += 1;
                 self.columns
                     .set_load(slot as usize, utilization, queue_length);
+                self.emit(RegistryDelta::UpdateLoad {
+                    id,
+                    utilization,
+                    queue_length,
+                });
                 Ok(())
             }
             None => Err(SbqaError::UnknownProvider { provider: id }),

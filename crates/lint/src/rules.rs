@@ -61,10 +61,17 @@ pub struct FileClass {
 
 /// Crates whose library code must stay a pure function of
 /// `(registry state, seed)`.
-pub const DETERMINISTIC_CRATES: &[&str] = &["core", "service", "sim", "satisfaction", "baselines"];
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "core",
+    "service",
+    "sim",
+    "satisfaction",
+    "baselines",
+    "replication",
+];
 
 /// Crates whose library code must not panic.
-pub const PANIC_FREE_CRATES: &[&str] = &["core", "service", "types"];
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "service", "types", "replication"];
 
 /// A rule's identity, severity and documentation.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,149 @@
+//! # sbqa-replication
+//!
+//! Crash-tolerance for the mediator: an append-only, monotonically-sequenced
+//! log of registry mutations, a standby that mirrors a live shard by
+//! snapshot + replay, and the handoff package that moves providers between
+//! shards without re-registering the world.
+//!
+//! ## Why replay can promise byte-identity
+//!
+//! Every decision the SbQA mediator makes is a pure function of its state:
+//! the provider registry (candidates enumerate in ascending provider id by
+//! construction), the satisfaction registry (ω per pair) and the allocator's
+//! RNG position. All three are reproducible:
+//!
+//! * registry state replays from the [delta log](log::DeltaLog) — the
+//!   emission rule mirrors the mutation-stamp rule one-for-one, so a replica
+//!   that applies the stream performs exactly the primary's mutations;
+//! * the allocator forks ([`sbqa_core::QueryAllocator::fork`]) with its RNG
+//!   stream position intact;
+//! * satisfaction and RNG state *between* checkpoint and crash depend on the
+//!   queries mediated in that window — a starved query consumes no RNG, a
+//!   mediated one consumes draws proportional to `k` — so the standby keeps
+//!   a [query journal](standby::StandbyShard::observe_query) and, at
+//!   promotion, replays deltas and queries interleaved by log watermark: the
+//!   exact order the primary saw them.
+//!
+//! After promotion the standby's mediator is in the primary's precise
+//! pre-crash state, and the decision stream continues byte-identically (the
+//! service crate's failover tests and `scenario_failover` pin this on seed
+//! 42).
+//!
+//! ## Sequence and epoch invariants
+//!
+//! Log sequences start at 1 and increase by exactly 1 per appended record —
+//! including [`DeltaOp::SnapshotMark`]s, which occupy a sequence so a
+//! checkpoint's cut point is totally ordered against mutations. A standby
+//! tracks the last sequence it applied and refuses gaps: a pruned-past-its-
+//! watermark log is reported as an error, never silently skipped. One
+//! checkpoint + contiguous tail is therefore sufficient *and necessary* to
+//! reconstruct the primary.
+
+pub mod handoff;
+pub mod log;
+pub mod standby;
+
+pub use handoff::HandoffPackage;
+pub use log::{DeltaLog, DeltaOp, DeltaRecord, SharedDeltaLog};
+pub use standby::{ReplayReport, StandbyShard};
+
+use sbqa_core::{Mediator, RegistryDelta};
+use sbqa_types::SbqaResult;
+
+/// Counters describing one shard's replication machinery, surfaced through
+/// the service's `ShardReport` tables next to the cache and latency rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicationStats {
+    /// Records currently retained in the shard's delta log.
+    pub log_depth: usize,
+    /// Highest sequence ever appended to the log.
+    pub last_appended: u64,
+    /// Highest sequence the standby has applied to its mirror.
+    pub last_applied: u64,
+    /// `last_appended - last_applied`: how far the standby trails the log.
+    pub replay_lag: u64,
+    /// Mutation records the standby holds beyond its checkpoint.
+    pub tail_depth: usize,
+    /// Queries journaled since the last checkpoint.
+    pub journal_depth: usize,
+    /// Checkpoints installed into the standby over its lifetime.
+    pub checkpoints: u64,
+    /// Promotions this shard slot has survived.
+    pub promotions: u64,
+}
+
+impl ReplicationStats {
+    /// Folds another shard's counters into a service-wide aggregate: depths
+    /// sum, sequence high-water marks and lag take the maximum (the
+    /// service-level lag is its worst shard's lag).
+    pub fn merge(&mut self, other: &ReplicationStats) {
+        self.log_depth += other.log_depth;
+        self.last_appended = self.last_appended.max(other.last_appended);
+        self.last_applied = self.last_applied.max(other.last_applied);
+        self.replay_lag = self.replay_lag.max(other.replay_lag);
+        self.tail_depth += other.tail_depth;
+        self.journal_depth += other.journal_depth;
+        self.checkpoints += other.checkpoints;
+        self.promotions += other.promotions;
+    }
+}
+
+/// Replays one registry delta through the mediator-level mutators, so the
+/// side effects beyond the registry match the primary's ingest path:
+/// `Register` also (idempotently) registers the provider's satisfaction
+/// tracker, exactly as [`Mediator::register_provider`] does live; the other
+/// three touch the registry alone.
+///
+/// # Errors
+///
+/// Propagates the registry's [`sbqa_types::SbqaError::UnknownProvider`] when
+/// the delta addresses a provider the mediator does not know — the
+/// out-of-sync signal of a corrupt or misrouted stream.
+pub fn apply_delta(mediator: &mut Mediator, delta: &RegistryDelta) -> SbqaResult<()> {
+    match *delta {
+        RegistryDelta::Register {
+            id,
+            capabilities,
+            capacity,
+        } => {
+            mediator.register_provider(id, capabilities, capacity);
+            Ok(())
+        }
+        RegistryDelta::Unregister { id } => {
+            if mediator.unregister_provider(id) {
+                Ok(())
+            } else {
+                Err(sbqa_types::SbqaError::UnknownProvider { provider: id })
+            }
+        }
+        RegistryDelta::SetOnline { id, online } => mediator.set_provider_online(id, online),
+        RegistryDelta::UpdateLoad {
+            id,
+            utilization,
+            queue_length,
+        } => mediator.update_provider_load(id, utilization, queue_length),
+    }
+}
+
+/// Order-sensitive digest of a registry's replicated state: the slab rows in
+/// slot order plus the online tally, folded through FNV-1a over the exact
+/// `Debug` rendering (which round-trips `f64` values). Two registries with
+/// equal digests agree on membership, slab layout, load columns and online
+/// flags — the byte-identity the standby's mirror is held to.
+#[must_use]
+pub fn registry_digest(registry: &sbqa_core::ProviderRegistry) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut fold = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for snapshot in registry.iter() {
+        fold(format!("{snapshot:?};").as_bytes());
+    }
+    fold(format!("online={}", registry.online_count()).as_bytes());
+    hash
+}

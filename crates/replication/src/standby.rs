@@ -1,0 +1,272 @@
+//! The standby: a mirror of a live mediator shard, promotable on crash.
+//!
+//! A standby owns three things:
+//!
+//! * a **checkpoint** — the primary's forked allocator (RNG position
+//!   intact), provider registry and satisfaction registry, frozen at a log
+//!   watermark;
+//! * a **mirror** — a lockstep registry replica that applies every delta as
+//!   it is observed, proving at any instant that snapshot + replay equals
+//!   the live registry (and measuring replay lag);
+//! * a **tail + query journal** — the mutations and queries the primary
+//!   processed after the checkpoint cut, in log order.
+//!
+//! On [`promote`](StandbyShard::promote) the checkpoint is rehydrated into a
+//! [`Mediator`] and the tail and journal are replayed *interleaved by log
+//! watermark* — the exact order the primary saw them. Interleaving is what
+//! makes the promise byte-level: a mediation's decision depends on the
+//! registry contents at that instant, its RNG consumption depends on whether
+//! it starved, and the next decision depends on both, so deltas-then-queries
+//! (or queries-then-deltas) would reconstruct a different mediator than the
+//! one that crashed.
+
+use sbqa_core::{IntentionOracle, Mediator, ProviderRegistry, QueryAllocator, RegistryDelta};
+use sbqa_satisfaction::SatisfactionRegistry;
+use sbqa_types::{ConsumerId, Query, SbqaError, SbqaResult};
+
+use crate::log::{DeltaOp, DeltaRecord, SharedDeltaLog};
+use crate::{apply_delta, registry_digest};
+
+/// Tallies of one promotion's replay work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Tail mutations replayed into the checkpoint.
+    pub deltas_replayed: usize,
+    /// Journaled queries re-mediated successfully.
+    pub queries_mediated: usize,
+    /// Journaled queries that starved on replay (exactly the ones that
+    /// starved on the primary: starvation is part of the decision stream).
+    pub queries_starved: usize,
+}
+
+/// A promotable mirror of one mediator shard.
+pub struct StandbyShard {
+    /// Checkpoint state, frozen at `watermark`.
+    allocator: Box<dyn QueryAllocator>,
+    providers: ProviderRegistry,
+    satisfaction: SatisfactionRegistry,
+    watermark: u64,
+    /// Lockstep registry replica, at `applied`.
+    mirror: ProviderRegistry,
+    applied: u64,
+    /// Mutations observed after `watermark`, in sequence order.
+    tail: Vec<(u64, RegistryDelta)>,
+    /// Queries the primary accepted after the checkpoint, each tagged with
+    /// the log watermark in force when it was submitted.
+    journal: Vec<(u64, Query)>,
+    checkpoints: u64,
+}
+
+/// The allocator trait object carries no `Debug` bound; report the
+/// technique name and the replication counters instead.
+impl std::fmt::Debug for StandbyShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StandbyShard")
+            .field("technique", &self.allocator.name())
+            .field("watermark", &self.watermark)
+            .field("applied", &self.applied)
+            .field("tail_depth", &self.tail.len())
+            .field("journal_depth", &self.journal.len())
+            .field("checkpoints", &self.checkpoints)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StandbyShard {
+    /// Bootstraps a standby from a mediator's decomposed state (the
+    /// [`Mediator::into_parts`] triple, or [`Mediator::fork_state`] of a
+    /// live one) cut at log watermark `watermark`.
+    #[must_use]
+    pub fn new(
+        allocator: Box<dyn QueryAllocator>,
+        providers: ProviderRegistry,
+        satisfaction: SatisfactionRegistry,
+        watermark: u64,
+    ) -> Self {
+        let mirror = providers.clone();
+        Self {
+            allocator,
+            providers,
+            satisfaction,
+            watermark,
+            mirror,
+            applied: watermark,
+            tail: Vec::new(),
+            journal: Vec::new(),
+            checkpoints: 1,
+        }
+    }
+
+    /// Observes one log record. Records at or below the applied watermark
+    /// are duplicates of something already observed and are skipped; a gap
+    /// above it is an error — the log was pruned past this standby, which
+    /// can then only be recovered by a fresh checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`SbqaError::InvalidConfiguration`] on a sequence gap, or any
+    /// registry error from applying a mutation to the mirror (both mean the
+    /// stream does not extend this standby's state).
+    pub fn observe(&mut self, record: &DeltaRecord) -> SbqaResult<()> {
+        if record.sequence <= self.applied {
+            return Ok(());
+        }
+        if record.sequence != self.applied + 1 {
+            return Err(SbqaError::InvalidConfiguration {
+                reason: format!(
+                    "replication gap: standby applied {} but next record is {}",
+                    self.applied, record.sequence
+                ),
+            });
+        }
+        if let DeltaOp::Mutation(delta) = record.op {
+            delta.apply(&mut self.mirror)?;
+            self.tail.push((record.sequence, delta));
+        }
+        self.applied = record.sequence;
+        Ok(())
+    }
+
+    /// Pulls every record the standby has not yet observed from the shared
+    /// log. Returns the number of new records applied.
+    ///
+    /// # Errors
+    ///
+    /// [`SbqaError::InvalidConfiguration`] when the log was pruned past this
+    /// standby's watermark, or any [`StandbyShard::observe`] error.
+    pub fn catch_up(&mut self, log: &SharedDeltaLog) -> SbqaResult<usize> {
+        let records =
+            log.collect_after(self.applied)
+                .ok_or_else(|| SbqaError::InvalidConfiguration {
+                    reason: format!(
+                        "replication gap: log pruned past standby watermark {}",
+                        self.applied
+                    ),
+                })?;
+        for record in &records {
+            self.observe(record)?;
+        }
+        Ok(records.len())
+    }
+
+    /// Journals a query the primary is about to mediate, tagged with the
+    /// current applied watermark so promotion can interleave it with the
+    /// tail at exactly the primary's position.
+    pub fn observe_query(&mut self, query: &Query) {
+        self.journal.push((self.applied, query.clone()));
+    }
+
+    /// Mirrors a control-plane consumer registration. Consumer churn is not
+    /// part of the registry delta stream, so the orchestrator forwards it
+    /// synchronously; registration is idempotent on both sides.
+    pub fn register_consumer(&mut self, id: ConsumerId) {
+        self.satisfaction.register_consumer(id);
+    }
+
+    /// Installs a fresh checkpoint cut at `watermark`, which must not be
+    /// behind the previous one. All journaled queries are presumed contained
+    /// in it (the orchestrator cuts checkpoints at batch boundaries, after
+    /// syncing the standby), so the journal resets and the tail keeps only
+    /// mutations past the new cut.
+    pub fn install_checkpoint(
+        &mut self,
+        allocator: Box<dyn QueryAllocator>,
+        providers: ProviderRegistry,
+        satisfaction: SatisfactionRegistry,
+        watermark: u64,
+    ) {
+        debug_assert!(watermark >= self.watermark, "checkpoints move forward");
+        if watermark > self.applied {
+            // The cut is ahead of the mirror (records between were never
+            // streamed): re-seat the mirror on the checkpoint itself.
+            self.mirror = providers.clone();
+            self.applied = watermark;
+        }
+        self.allocator = allocator;
+        self.providers = providers;
+        self.satisfaction = satisfaction;
+        self.watermark = watermark;
+        self.tail.retain(|&(sequence, _)| sequence > watermark);
+        self.journal.clear();
+        self.checkpoints += 1;
+    }
+
+    /// Promotes the standby into a live [`Mediator`] in the primary's exact
+    /// pre-crash state: the checkpoint is rehydrated and the tail and query
+    /// journal are replayed interleaved by log watermark.
+    ///
+    /// # Errors
+    ///
+    /// Any delta-application error (a corrupt or misrouted tail). Query
+    /// starvation during replay is *not* an error — it is part of the
+    /// decision stream being reproduced.
+    pub fn promote(mut self, oracle: &dyn IntentionOracle) -> SbqaResult<(Mediator, ReplayReport)> {
+        let mut mediator = Mediator::from_parts(self.allocator, self.providers, self.satisfaction);
+        let mut report = ReplayReport::default();
+        let mut deltas = self.tail.drain(..).peekable();
+        for (watermark, query) in self.journal.drain(..) {
+            while let Some(&(sequence, delta)) = deltas.peek() {
+                if sequence > watermark {
+                    break;
+                }
+                apply_delta(&mut mediator, &delta)?;
+                report.deltas_replayed += 1;
+                deltas.next();
+            }
+            if mediator.submit_in_place(&query, oracle).is_ok() {
+                report.queries_mediated += 1;
+            } else {
+                report.queries_starved += 1;
+            }
+        }
+        for (_, delta) in deltas {
+            apply_delta(&mut mediator, &delta)?;
+            report.deltas_replayed += 1;
+        }
+        Ok((mediator, report))
+    }
+
+    /// The log watermark of the installed checkpoint.
+    #[must_use]
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// The last log sequence applied to the mirror.
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Mutations buffered past the checkpoint.
+    #[must_use]
+    pub fn tail_depth(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Queries journaled since the checkpoint.
+    #[must_use]
+    pub fn journal_depth(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Checkpoints this standby has been seeded with (the bootstrap counts
+    /// as the first).
+    #[must_use]
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// The lockstep mirror registry.
+    #[must_use]
+    pub fn mirror(&self) -> &ProviderRegistry {
+        &self.mirror
+    }
+
+    /// Digest of the mirror's replicated state, for byte-identity checks
+    /// against the live registry (see [`registry_digest`]).
+    #[must_use]
+    pub fn mirror_digest(&self) -> u64 {
+        registry_digest(&self.mirror)
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests of the replication contract: for any churn history and any
+//! snapshot cut point, **snapshot + delta replay ≡ the live registry** —
+//! same slab iteration order, same online counts, same candidate answers —
+//! and the reconstruction does not depend on where the snapshot was cut.
+
+use proptest::prelude::*;
+
+use sbqa_core::{ProviderRegistry, RegistryDelta};
+use sbqa_replication::{registry_digest, DeltaOp, SharedDeltaLog};
+use sbqa_types::{
+    Capability, CapabilityRequirement, CapabilitySet, ConsumerId, ProviderId, Query, QueryId,
+};
+use serde::{Deserialize, Serialize};
+
+/// Capability classes the generated populations draw from.
+const CLASSES: u8 = 5;
+/// Provider id space; small so churn revisits the same providers.
+const IDS: u64 = 24;
+
+fn capability_set(mask: u8) -> CapabilitySet {
+    let mask = if mask & 0x1F == 0 { 1 } else { mask };
+    CapabilitySet::from_capabilities(
+        (0..CLASSES)
+            .filter(|class| mask & (1 << class) != 0)
+            .map(Capability::new),
+    )
+}
+
+/// One raw churn op: `(selector, provider id, mask/load byte, flag)`.
+type RawOp = (u8, u64, u8, bool);
+
+/// Applies one decoded op to a registry (the live one, or nothing — replay
+/// reaches the replica through the delta log instead).
+fn apply_op(registry: &mut ProviderRegistry, op: RawOp) {
+    let (selector, id, byte, flag) = op;
+    let id = ProviderId::new(id % IDS);
+    match selector % 4 {
+        0 => {
+            registry.register(id, capability_set(byte), 1.0 + f64::from(byte % 4));
+        }
+        1 => {
+            registry.unregister(id);
+        }
+        2 => {
+            // Unknown providers are an error at the API; not a mutation.
+            let _ = registry.set_online(id, flag);
+        }
+        _ => {
+            let _ = registry.update_load(id, f64::from(byte) * 0.25, usize::from(byte % 8));
+        }
+    }
+}
+
+/// The state probes replay must reproduce: slab iteration rows (order
+/// included), online tally, and candidate answers per class.
+fn observe(registry: &mut ProviderRegistry) -> (Vec<String>, usize, Vec<Vec<u64>>) {
+    let rows: Vec<String> = registry.iter().map(|s| format!("{s:?}")).collect();
+    let online = registry.online_count();
+    let candidates: Vec<Vec<u64>> = (0..CLASSES)
+        .map(|class| {
+            let query = Query::requiring(
+                QueryId::new(1),
+                ConsumerId::new(1),
+                CapabilityRequirement::All(CapabilitySet::singleton(Capability::new(class))),
+            )
+            .build();
+            registry
+                .candidates(&query)
+                .iter()
+                .map(|p| p.id.raw())
+                .collect()
+        })
+        .collect();
+    (rows, online, candidates)
+}
+
+/// Replays the log tail after `watermark` into `replica`.
+fn replay(replica: &mut ProviderRegistry, log: &SharedDeltaLog, watermark: u64) {
+    let records = log.collect_after(watermark).expect("log never pruned here");
+    for record in records {
+        if let DeltaOp::Mutation(delta) = record.op {
+            delta
+                .apply(replica)
+                .expect("a recorded mutation replays cleanly");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn snapshot_plus_replay_equals_live_state(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..IDS, 0u8..=255, proptest::bool::ANY),
+            1..60,
+        ),
+        cut_fraction in 0u8..=100,
+    ) {
+        let log = SharedDeltaLog::new();
+        let mut live = ProviderRegistry::new();
+        live.set_delta_sink(Box::new(log.clone()));
+
+        // Apply the prefix, cut a snapshot, then apply the suffix.
+        let cut = ops.len() * usize::from(cut_fraction) / 100;
+        for &op in &ops[..cut] {
+            apply_op(&mut live, op);
+        }
+        // Clones never inherit the sink: the snapshot is a passive fork.
+        let snapshot = live.clone();
+        prop_assert!(!snapshot.delta_sink_attached());
+        let watermark = log.last_sequence();
+        for &op in &ops[cut..] {
+            apply_op(&mut live, op);
+        }
+
+        // Replay the tail into the snapshot and compare against the live
+        // registry, byte for byte.
+        let mut replica = snapshot;
+        replay(&mut replica, &log, watermark);
+        prop_assert_eq!(registry_digest(&replica), registry_digest(&live));
+        let (live_rows, live_online, live_candidates) = observe(&mut live);
+        let (replica_rows, replica_online, replica_candidates) = observe(&mut replica);
+        prop_assert_eq!(replica_rows, live_rows);
+        prop_assert_eq!(replica_online, live_online);
+        prop_assert_eq!(replica_candidates, live_candidates);
+    }
+
+    #[test]
+    fn replay_is_insensitive_to_the_cut_point(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..IDS, 0u8..=255, proptest::bool::ANY),
+            2..50,
+        ),
+        early_fraction in 0u8..=50,
+        late_fraction in 51u8..=100,
+    ) {
+        let log = SharedDeltaLog::new();
+        let mut live = ProviderRegistry::new();
+        live.set_delta_sink(Box::new(log.clone()));
+
+        let early_cut = ops.len() * usize::from(early_fraction) / 100;
+        let late_cut = ops.len() * usize::from(late_fraction) / 100;
+
+        let mut early_snapshot = None;
+        let mut late_snapshot = None;
+        for (position, &op) in ops.iter().enumerate() {
+            if position == early_cut {
+                early_snapshot = Some((live.clone(), log.last_sequence()));
+            }
+            if position == late_cut {
+                late_snapshot = Some((live.clone(), log.last_sequence()));
+            }
+            apply_op(&mut live, op);
+        }
+        let (mut early_replica, early_mark) =
+            early_snapshot.unwrap_or_else(|| (ProviderRegistry::new(), 0));
+        let (mut late_replica, late_mark) =
+            late_snapshot.unwrap_or_else(|| (ProviderRegistry::new(), 0));
+
+        replay(&mut early_replica, &log, early_mark);
+        replay(&mut late_replica, &log, late_mark);
+        let reference = registry_digest(&live);
+        prop_assert_eq!(registry_digest(&early_replica), reference);
+        prop_assert_eq!(registry_digest(&late_replica), reference);
+    }
+
+    #[test]
+    fn recorded_deltas_round_trip_through_serde(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..IDS, 0u8..=255, proptest::bool::ANY),
+            1..30,
+        ),
+    ) {
+        let log = SharedDeltaLog::new();
+        let mut live = ProviderRegistry::new();
+        live.set_delta_sink(Box::new(log.clone()));
+        for &op in &ops {
+            apply_op(&mut live, op);
+        }
+        let records = log.collect_after(0).expect("nothing pruned");
+        for record in records {
+            if let DeltaOp::Mutation(delta) = record.op {
+                let value = delta.to_value();
+                let back = RegistryDelta::from_value(&value).expect("round trip");
+                prop_assert_eq!(back, delta);
+            }
+        }
+    }
+}

@@ -84,6 +84,22 @@ impl SatisfactionRegistry {
         self.providers.remove(&provider).is_some()
     }
 
+    /// Takes a provider's tracker out of the registry, history intact, so a
+    /// shard handoff can move the provider's satisfaction state to another
+    /// registry instead of resetting it. The counterpart of
+    /// [`SatisfactionRegistry::adopt_provider`].
+    pub fn extract_provider(&mut self, provider: ProviderId) -> Option<ProviderSatisfaction> {
+        self.providers.remove(&provider)
+    }
+
+    /// Installs a provider tracker extracted from another registry
+    /// (replacing any existing tracker for that id). The tracker keeps its
+    /// own window length: a provider mid-handoff must not have its
+    /// interaction history rescaled by the destination's configuration.
+    pub fn adopt_provider(&mut self, provider: ProviderId, tracker: ProviderSatisfaction) {
+        self.providers.insert(provider, tracker);
+    }
+
     /// Number of registered consumers.
     #[must_use]
     pub fn consumer_count(&self) -> usize {

@@ -16,7 +16,12 @@
 //!   and one mediation thread per shard; producers enqueue query batches
 //!   without blocking on mediation, and `finish()` merges the per-shard
 //!   outcome streams and [`ShardReport`]s (tallies + p50/p95/p99 latency)
-//!   into one [`ServiceReport`].
+//!   into one [`ServiceReport`];
+//! * [`ReplicatedMediator`] is the fault-tolerant front: every shard is a
+//!   [`ReplicatedShard`] pairing the live mediator with a standby mirror fed
+//!   by the registry's delta log; [`crash_shard`](ReplicatedMediator::crash_shard)
+//!   kills a primary mid-run and promotes its standby with a byte-identical
+//!   decision stream.
 //!
 //! ## Determinism contract
 //!
@@ -38,12 +43,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod failover;
 pub mod ingest;
 pub mod report;
 pub mod router;
 pub mod shard;
 pub mod sharded;
 
+pub use failover::{ReplicatedMediator, ReplicatedShard};
 pub use ingest::MediationService;
 pub use report::{OutcomeRecord, ServiceReport, ShardReport};
 pub use router::ShardRouter;

@@ -13,6 +13,7 @@
 
 use sbqa_core::{BatchReport, KnAdjustment, PlanCacheStats};
 use sbqa_metrics::{LatencyRecorder, LatencyUnit};
+use sbqa_replication::ReplicationStats;
 use sbqa_types::{ConsumerId, ProviderId, QueryId, VirtualTime};
 
 /// The service-visible outcome of one query's mediation.
@@ -57,6 +58,9 @@ pub struct ShardReport {
     pub kn_trail: Vec<KnAdjustment>,
     /// Counters of the shard registry's candidate-plan cache.
     pub cache: PlanCacheStats,
+    /// Replication counters (log depth, applied sequence, replay lag);
+    /// `None` when the shard runs without a standby.
+    pub replication: Option<ReplicationStats>,
 }
 
 /// The merged report of a whole service run.
@@ -148,6 +152,22 @@ impl ServiceReport {
         merged
     }
 
+    /// Fleet-wide replication counters: every replicated shard's stats
+    /// folded together (depths sum, replay lag takes the worst shard).
+    /// `None` when no shard ran with a standby.
+    #[must_use]
+    pub fn replication_stats(&self) -> Option<ReplicationStats> {
+        let mut merged: Option<ReplicationStats> = None;
+        for shard in &self.shards {
+            if let Some(stats) = &shard.replication {
+                merged
+                    .get_or_insert_with(ReplicationStats::default)
+                    .merge(stats);
+            }
+        }
+        merged
+    }
+
     /// Every shard's adaptive-`kn` trajectory, flattened in `(shard, round)`
     /// order — the service-level kn-over-time series. Empty when adaptation
     /// is disabled.
@@ -198,6 +218,13 @@ mod tests {
                 misses: 1,
                 ..PlanCacheStats::default()
             },
+            replication: Some(ReplicationStats {
+                log_depth: 3,
+                last_appended: 10 + shard as u64,
+                last_applied: 10 + shard as u64,
+                replay_lag: shard as u64,
+                ..ReplicationStats::default()
+            }),
         }
     }
 
@@ -240,6 +267,12 @@ mod tests {
         assert_eq!(cache.misses, 2);
         assert_eq!(cache.lookups(), 6);
         assert!((cache.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+        // Replication counters fold across shards: depths sum, lag is the
+        // worst shard's, high-water marks take the maximum.
+        let replication = report.replication_stats().unwrap();
+        assert_eq!(replication.log_depth, 6);
+        assert_eq!(replication.last_appended, 11);
+        assert_eq!(replication.replay_lag, 1);
 
         let degenerate = ServiceReport::merge(Vec::new(), Vec::new(), std::time::Duration::ZERO);
         assert_eq!(degenerate.throughput_per_sec(), 0.0);

@@ -124,6 +124,9 @@ impl MediatorShard {
             latency: self.latency.clone(),
             kn_trail: self.kn_trail(),
             cache: self.mediator.plan_cache_stats(),
+            // A bare shard has no standby; the replicated wrapper
+            // (`crate::failover::ReplicatedShard`) fills these in.
+            replication: None,
         }
     }
 

@@ -29,9 +29,12 @@
 //! allocator seeds are all derived from the seed, never from thread timing
 //! or hasher state.
 
+use std::collections::BTreeSet;
+
 use sbqa_core::allocator::{AllocationDecision, IntentionOracle};
 use sbqa_core::{BatchReport, KnControllerConfig, Mediator};
 use sbqa_metrics::LatencyRecorder;
+use sbqa_replication::HandoffPackage;
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{
     CapabilitySet, ConsumerId, ProviderId, Query, SbqaError, SbqaResult, SystemConfig,
@@ -274,6 +277,91 @@ impl ShardedMediator {
     pub fn into_shards(self) -> (ShardRouter, Vec<MediatorShard>) {
         (self.router, self.shards)
     }
+
+    /// Re-partitions the service across a different shard count **live**,
+    /// via replication [`HandoffPackage`]s: every provider's full registry
+    /// snapshot (capabilities, capacity, load columns, online flag) and its
+    /// satisfaction tracker travel to the shard the re-seeded router
+    /// assigns, replayed there as snapshot deltas — no provider is
+    /// re-registered from the outside world, and no accumulated state
+    /// (utilization, queue depth, offline flags, satisfaction windows) is
+    /// lost in transit.
+    ///
+    /// `make` constructs the new shards' mediators (fresh allocators: each
+    /// new shard's RNG stream starts at its seed, exactly as if the service
+    /// had been built at this size — the resized service is deterministic,
+    /// not a byte-continuation of the old one). Consumer registrations are
+    /// re-created on every new shard with fresh satisfaction windows:
+    /// consumer histories are per-shard views of the mediations *that shard*
+    /// performed, which the new partition redistributes anyway. Provider
+    /// windows, by contrast, describe the provider itself and travel with
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Any handoff replay error (a corrupt package); the service is consumed
+    /// either way, so resize at a quiescent point.
+    pub fn resize<F>(self, new_shards: usize, mut make: F) -> SbqaResult<Self>
+    where
+        F: FnMut(usize) -> Mediator,
+    {
+        let (router, shards) = self.into_shards();
+        let new_router = ShardRouter::new(new_shards, router.seed());
+        let mut packages: Vec<HandoffPackage> = (0..new_router.shards())
+            .map(|_| HandoffPackage::new())
+            .collect();
+        let mut consumers: BTreeSet<ConsumerId> = BTreeSet::new();
+        for shard in shards {
+            let (_allocator, providers, mut satisfaction) = shard.into_mediator().into_parts();
+            consumers.extend(satisfaction.consumer_satisfactions().map(|(id, _)| id));
+            for snapshot in providers.iter() {
+                let target = new_router.shard_of_provider(snapshot.id);
+                let tracker = satisfaction.extract_provider(snapshot.id);
+                packages[target].push_provider(snapshot, tracker);
+            }
+        }
+        let mut built = Vec::with_capacity(packages.len());
+        for (index, package) in packages.into_iter().enumerate() {
+            let mut mediator = make(index);
+            for &consumer in &consumers {
+                mediator.register_consumer(consumer);
+            }
+            package.apply(&mut mediator)?;
+            built.push(MediatorShard::new(index, mediator));
+        }
+        Ok(Self {
+            router: new_router,
+            shards: built,
+            order_scratch: Vec::new(),
+        })
+    }
+
+    /// [`resize`](Self::resize) with SbQA mediators: new shard `i` hosts an
+    /// allocator seeded with `router seed + i`, the same derivation
+    /// [`ShardedMediator::sbqa`] uses, so a grown service is
+    /// indistinguishable from one built at the new size with the same
+    /// provider history.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation errors, or any [`resize`](Self::resize)
+    /// handoff error.
+    pub fn resize_sbqa(self, config: SystemConfig, new_shards: usize) -> SbqaResult<Self> {
+        config.validate()?;
+        let seed = self.router.seed();
+        let mut built = Vec::new();
+        for index in 0..new_shards.max(1) {
+            built.push(Mediator::sbqa(
+                config.clone(),
+                seed.wrapping_add(index as u64),
+            )?);
+        }
+        let mut mediators = built.into_iter();
+        self.resize(new_shards, |_| {
+            // sbqa-lint: allow(panic-hygiene, "builder produced exactly one mediator per shard two lines above")
+            mediators.next().expect("one mediator per shard")
+        })
+    }
 }
 
 /// The merged processing order's sort key.
@@ -393,6 +481,108 @@ mod tests {
         };
         assert_eq!(shard_totals, report);
         assert_eq!(service.aggregate_latency().count(), 3);
+    }
+
+    #[test]
+    fn resize_moves_provider_state_without_reregistering() {
+        let mut service = service(2);
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
+        // Accumulate state the handoff must preserve: loads, an offline
+        // provider and live satisfaction windows.
+        service
+            .update_provider_load(ProviderId::new(3), 2.5, 7)
+            .unwrap();
+        service
+            .set_provider_online(ProviderId::new(11), false)
+            .unwrap();
+        let queries: Vec<Query> = (0..20u64).map(|i| query(i, i as f64)).collect();
+        service.submit_batch(&queries, &oracle, |_, _, _| {});
+        let before: f64 = (0..2)
+            .map(|s| {
+                service
+                    .satisfaction(s)
+                    .provider_satisfactions()
+                    .map(|(_, sat)| sat.value())
+                    .sum::<f64>()
+            })
+            .sum();
+
+        let grown = service
+            .resize_sbqa(SystemConfig::default().with_knbest(10, 3), 5)
+            .unwrap();
+        assert_eq!(grown.shard_count(), 5);
+        assert_eq!(grown.provider_count(), 40);
+
+        // Every provider landed on the new router's shard with its state.
+        let moved = grown
+            .shard(grown.router().shard_of_provider(ProviderId::new(3)))
+            .mediator()
+            .providers()
+            .get(ProviderId::new(3))
+            .unwrap();
+        assert_eq!(moved.utilization, 2.5);
+        assert_eq!(moved.queue_length, 7);
+        assert!(
+            !grown
+                .shard(grown.router().shard_of_provider(ProviderId::new(11)))
+                .mediator()
+                .providers()
+                .get(ProviderId::new(11))
+                .unwrap()
+                .online
+        );
+        // Provider satisfaction windows travelled with their providers.
+        let after: f64 = (0..5)
+            .map(|s| {
+                grown
+                    .satisfaction(s)
+                    .provider_satisfactions()
+                    .map(|(_, sat)| sat.value())
+                    .sum::<f64>()
+            })
+            .sum();
+        assert!(
+            (before - after).abs() < 1e-12,
+            "before {before}, after {after}"
+        );
+        // And shrinking back works too.
+        let shrunk = grown
+            .resize_sbqa(SystemConfig::default().with_knbest(10, 3), 1)
+            .unwrap();
+        assert_eq!(shrunk.provider_count(), 40);
+        assert!(
+            !shrunk
+                .shard(0)
+                .mediator()
+                .providers()
+                .get(ProviderId::new(11))
+                .unwrap()
+                .online
+        );
+    }
+
+    #[test]
+    fn resized_service_matches_one_built_at_the_new_size() {
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
+        let grown = service(2)
+            .resize_sbqa(SystemConfig::default().with_knbest(10, 3), 4)
+            .unwrap();
+        let mut native = service(4);
+        let mut resized = grown;
+        // Same seed derivation, same provider population, no prior history:
+        // the decision streams coincide.
+        let queries: Vec<Query> = (0..30u64).map(|i| query(i, i as f64)).collect();
+        let mut from_resized = Vec::new();
+        let mut from_native = Vec::new();
+        resized.submit_batch(&queries, &oracle, |_, q, r| {
+            from_resized.push((q.id, r.map(|d| d.selected.clone()).ok()));
+        });
+        native.submit_batch(&queries, &oracle, |_, q, r| {
+            from_native.push((q.id, r.map(|d| d.selected.clone()).ok()));
+        });
+        assert_eq!(from_resized, from_native);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Integration tests of the replication subsystem at the service layer:
+//! crash/promotion byte-identity under registry churn, standby lockstep,
+//! checkpoint pruning, and delta-driven live resize.
+
+use sbqa_core::{Mediator, StaticIntentions};
+use sbqa_service::{ReplicatedMediator, ShardedMediator};
+use sbqa_types::{
+    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+    VirtualTime,
+};
+
+fn caps(class: u8) -> CapabilitySet {
+    CapabilitySet::singleton(Capability::new(class))
+}
+
+fn query(id: u64, at: f64, class: u8) -> Query {
+    Query::builder(QueryId::new(id), ConsumerId::new(1), Capability::new(class))
+        .issued_at(VirtualTime::new(at))
+        .build()
+}
+
+fn oracle() -> StaticIntentions {
+    StaticIntentions::new().with_defaults(Intention::new(0.6), Intention::new(-0.2))
+}
+
+fn replicated(shards: usize, providers: u64) -> ReplicatedMediator {
+    let mut service =
+        ReplicatedMediator::sbqa(SystemConfig::default().with_knbest(10, 3), 42, shards).unwrap();
+    for p in 0..providers {
+        service
+            .register_provider(
+                ProviderId::new(p),
+                caps((p % 2) as u8),
+                1.0 + (p % 3) as f64,
+            )
+            .unwrap();
+    }
+    service.register_consumer(ConsumerId::new(1));
+    service
+}
+
+/// Deterministic churn applied identically to two services.
+fn churn(service: &mut ReplicatedMediator, round: u64, providers: u64) {
+    for step in 0..3u64 {
+        let p = (round * 7 + step * 11) % providers;
+        if step == 2 {
+            let online = !(round + p).is_multiple_of(3);
+            service
+                .set_provider_online(ProviderId::new(p), online)
+                .unwrap();
+        } else {
+            service
+                .update_provider_load(
+                    ProviderId::new(p),
+                    (round + step) as f64 * 0.4,
+                    step as usize,
+                )
+                .unwrap();
+        }
+    }
+}
+
+#[test]
+fn crash_and_promotion_preserve_the_decision_stream_under_churn() {
+    let oracle = oracle();
+    let mut stormy = replicated(3, 30);
+    let mut calm = replicated(3, 30);
+    let stream: Vec<Query> = (0..200u64)
+        .map(|i| query(i, i as f64 * 0.05, (i % 2) as u8))
+        .collect();
+
+    let mut stormy_outcomes = Vec::new();
+    let mut calm_outcomes = Vec::new();
+    for (round, chunk) in stream.chunks(25).enumerate() {
+        churn(&mut stormy, round as u64, 30);
+        churn(&mut calm, round as u64, 30);
+        match round {
+            3 => {
+                stormy.crash_shard(1, &oracle).unwrap();
+            }
+            5 => {
+                // A different shard, later in the run.
+                stormy.crash_shard(2, &oracle).unwrap();
+                // Crashing the same shard twice must also hold.
+                stormy.crash_shard(1, &oracle).unwrap();
+            }
+            _ => {}
+        }
+        stormy
+            .submit_batch(chunk, &oracle, |_, q, r| {
+                stormy_outcomes.push((q.id, r.map(|d| d.selected.clone()).ok()));
+            })
+            .unwrap();
+        calm.submit_batch(chunk, &oracle, |_, q, r| {
+            calm_outcomes.push((q.id, r.map(|d| d.selected.clone()).ok()));
+        })
+        .unwrap();
+    }
+
+    assert_eq!(stormy_outcomes, calm_outcomes);
+    assert!(stormy.mirrors_in_lockstep());
+    assert!(calm.mirrors_in_lockstep());
+
+    // Cumulative tallies survive the promotions.
+    let stormy_total: usize = stormy
+        .shard_reports()
+        .iter()
+        .map(|r| r.report.submitted())
+        .sum();
+    assert_eq!(stormy_total, 200);
+}
+
+#[test]
+fn checkpoints_bound_replay_state() {
+    let oracle = oracle();
+    let mut service = replicated(2, 20);
+    service.set_checkpoint_interval(0); // manual control
+    let stream: Vec<Query> = (0..60u64).map(|i| query(i, i as f64, 0)).collect();
+    for chunk in stream.chunks(20) {
+        service.submit_batch(chunk, &oracle, |_, _, _| {}).unwrap();
+    }
+    let before: usize = (0..2)
+        .map(|i| {
+            let stats = service.shard(i).replication_stats();
+            stats.journal_depth + stats.log_depth
+        })
+        .sum();
+    assert!(
+        before > 0,
+        "a run without checkpoints accumulates replay state"
+    );
+
+    service.checkpoint_all().unwrap();
+    for i in 0..2 {
+        let stats = service.shard(i).replication_stats();
+        assert_eq!(stats.journal_depth, 0, "checkpoint clears the journal");
+        assert_eq!(stats.tail_depth, 0, "checkpoint clears the tail");
+        assert_eq!(stats.replay_lag, 0);
+        assert!(stats.checkpoints >= 2);
+        // The log keeps only the snapshot mark.
+        assert!(
+            stats.log_depth <= 1,
+            "log depth {} after prune",
+            stats.log_depth
+        );
+    }
+
+    // A crash right after a checkpoint still promotes cleanly.
+    let report = service.crash_shard(0, &oracle).unwrap();
+    assert_eq!(report.queries_mediated + report.queries_starved, 0);
+    assert!(service.mirrors_in_lockstep());
+}
+
+#[test]
+fn resize_then_replicate_round_trip() {
+    // A sharded service resized live, then armed with replication: the
+    // handoff must hand over registry state replication can keep mirroring.
+    let mut plain =
+        ShardedMediator::sbqa(SystemConfig::default().with_knbest(10, 3), 42, 2).unwrap();
+    for p in 0..24u64 {
+        plain.register_provider(ProviderId::new(p), caps(0), 1.0);
+    }
+    plain.register_consumer(ConsumerId::new(1));
+    plain
+        .update_provider_load(ProviderId::new(5), 3.0, 2)
+        .unwrap();
+    plain
+        .set_provider_online(ProviderId::new(9), false)
+        .unwrap();
+
+    let grown = plain
+        .resize_sbqa(SystemConfig::default().with_knbest(10, 3), 4)
+        .unwrap();
+    assert_eq!(grown.shard_count(), 4);
+    assert_eq!(grown.provider_count(), 24);
+
+    // Rebuild a replicated service over the same population and prove the
+    // mirrors track the resized state (load and offline flags included).
+    let (router, shards) = grown.into_shards();
+    let mut replicated = ReplicatedMediator::new(router.shards(), router.seed(), {
+        let mut mediators: Vec<Mediator> = shards
+            .into_iter()
+            .map(sbqa_service::MediatorShard::into_mediator)
+            .collect();
+        mediators.reverse();
+        move |_| mediators.pop().expect("one mediator per shard")
+    })
+    .unwrap();
+    assert!(replicated.mirrors_in_lockstep());
+    let moved = replicated
+        .shard(replicated.router().shard_of_provider(ProviderId::new(5)))
+        .primary()
+        .mediator()
+        .providers()
+        .get(ProviderId::new(5))
+        .unwrap();
+    assert_eq!(moved.utilization, 3.0);
+
+    // And it still mediates (with the offline provider excluded).
+    let oracle = oracle();
+    let stream: Vec<Query> = (0..30u64).map(|i| query(i, i as f64, 0)).collect();
+    let report = replicated
+        .submit_batch(&stream, &oracle, |_, _, _| {})
+        .unwrap();
+    assert_eq!(report.mediated + report.starved, 30);
+    assert!(replicated.mirrors_in_lockstep());
+}

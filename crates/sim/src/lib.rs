@@ -29,6 +29,7 @@ pub mod config;
 pub mod consumer;
 pub mod departure;
 pub mod event;
+pub mod failover;
 pub mod network;
 pub mod provider;
 pub mod report;
@@ -44,6 +45,7 @@ pub use adaptive::{
 pub use config::{DeparturePolicy, NetworkConfig, SimulationConfig};
 pub use consumer::{ConsumerSpec, ConsumerState};
 pub use event::{Event, EventQueue, ScheduledEvent};
+pub use failover::{run_replicated_service, FailoverRunConfig, FailoverRunReport, FaultPlan};
 pub use network::NetworkModel;
 pub use provider::{ProviderSpec, ProviderState};
 pub use report::{ParticipantCounts, SimulationReport};

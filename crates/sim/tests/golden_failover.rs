@@ -1,0 +1,129 @@
+//! Golden failover byte-identity gate (seed 42).
+//!
+//! Drives the same deterministic stream — with mid-run registry churn —
+//! through a replicated two-shard service twice: once uninterrupted, once
+//! with both shards' primaries killed at a scheduled virtual time and their
+//! standbys promoted. The merged `(VirtualTime, QueryId)`-ordered outcome
+//! streams must be **byte-identical**, and their shared digest is pinned so
+//! a refactor that changes either run's allocation trajectory (RNG
+//! consumption, replay ordering, churn derivation) trips this gate even if
+//! the two runs still agree with each other.
+
+use sbqa_core::intention::{ConsumerProfile, ProviderProfile};
+use sbqa_core::SystemConfig;
+use sbqa_sim::{
+    generate_query_stream, run_replicated_service, ConsumerSpec, FailoverRunConfig, FaultPlan,
+    ProviderSpec, WorkloadModel,
+};
+use sbqa_types::{Capability, CapabilitySet, ConsumerId, ProviderId, VirtualTime};
+
+/// Pinned outcomes of the seed-42 run: (mediated, starved, outcome digest,
+/// crash virtual time of the plan).
+const GOLDEN_MEDIATED: usize = 400;
+const GOLDEN_STARVED: usize = 0;
+const GOLDEN_DIGEST: u64 = 0x1177_9275_a73a_1c4c;
+
+fn consumers() -> Vec<ConsumerSpec> {
+    (0..4u64)
+        .map(|c| {
+            ConsumerSpec::new(
+                ConsumerId::new(c),
+                Capability::new((c % 3) as u8),
+                2.0,
+                1.0,
+                1,
+                ConsumerProfile::default(),
+            )
+        })
+        .collect()
+}
+
+fn providers() -> Vec<ProviderSpec> {
+    (0..36u64)
+        .map(|p| {
+            ProviderSpec::new(
+                ProviderId::new(1_000 + p),
+                CapabilitySet::from_capabilities([
+                    Capability::new((p % 3) as u8),
+                    Capability::new(((p + 1) % 3) as u8),
+                ]),
+                1.0 + (p % 2) as f64,
+                ProviderProfile::default(),
+            )
+        })
+        .collect()
+}
+
+fn config() -> FailoverRunConfig {
+    FailoverRunConfig {
+        shards: 2,
+        batch: 32,
+        seed: 42,
+        system: SystemConfig::default().with_knbest(10, 3),
+        checkpoint_interval: 4,
+        churn_per_batch: 5,
+    }
+}
+
+#[test]
+fn failover_run_seed42_is_byte_identical_and_pinned() {
+    let consumers = consumers();
+    let providers = providers();
+    let stream = generate_query_stream(&consumers, &WorkloadModel::default(), 400, 42);
+    let config = config();
+
+    let calm = run_replicated_service(&config, &providers, &consumers, &stream, &FaultPlan::new())
+        .unwrap();
+    let crash_time = stream[stream.len() / 2].issued_at;
+    let plan = FaultPlan::new()
+        .crash_at(crash_time, 0)
+        .crash_at(crash_time, 1);
+    let stormy = run_replicated_service(&config, &providers, &consumers, &stream, &plan).unwrap();
+
+    // On drift, these are the replacement values for the GOLDEN constants.
+    println!(
+        "mediated {} starved {} digest {:#018x} crash at {}",
+        calm.mediated(),
+        calm.starved(),
+        calm.outcome_digest(),
+        crash_time.seconds(),
+    );
+
+    // The headline property: a run that loses both primaries mid-stream is
+    // byte-identical to one that never crashed.
+    assert_eq!(stormy.crashes_fired, 2);
+    assert_eq!(calm.outcomes, stormy.outcomes);
+    assert_eq!(calm.outcome_digest(), stormy.outcome_digest());
+
+    // The pinned trajectory: both runs must also match history.
+    assert_eq!(calm.mediated(), GOLDEN_MEDIATED, "mediated count drifted");
+    assert_eq!(calm.starved(), GOLDEN_STARVED, "starved count drifted");
+    assert_eq!(
+        calm.outcome_digest(),
+        GOLDEN_DIGEST,
+        "outcome stream digest drifted"
+    );
+
+    // Promotion really happened and really replayed work.
+    let stats = stormy.replication_stats().unwrap();
+    assert_eq!(stats.promotions, 2);
+    let replayed: usize = stormy
+        .replays
+        .iter()
+        .map(|(_, r)| r.queries_mediated + r.queries_starved)
+        .sum();
+    assert!(replayed > 0, "promotion replayed no journaled queries");
+}
+
+#[test]
+fn failover_run_seed42_is_reproducible() {
+    let consumers = consumers();
+    let providers = providers();
+    let stream = generate_query_stream(&consumers, &WorkloadModel::default(), 400, 42);
+    let plan = FaultPlan::new().crash_at(VirtualTime::new(10.0), 1);
+    let a = run_replicated_service(&config(), &providers, &consumers, &stream, &plan).unwrap();
+    let b = run_replicated_service(&config(), &providers, &consumers, &stream, &plan).unwrap();
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.crashes_fired, b.crashes_fired);
+    assert_eq!(a.outcome_digest(), b.outcome_digest());
+}

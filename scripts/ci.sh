@@ -36,7 +36,7 @@ echo "== examples and benches compile"
 cargo build --examples
 cargo bench --no-run -p sbqa_bench
 
-echo "== bench smoke: scenario1 --quick, scenario_multicap --quick, scenario_sharded --quick, scenario_adaptive --quick and the registry bench"
+echo "== bench smoke: scenario1 --quick, scenario_multicap --quick, scenario_sharded --quick, scenario_adaptive --quick, scenario_failover --quick and the registry bench"
 # Exercises the allocation hot path end-to-end (golden-output protected by
 # tests/golden_scenario1.rs), the multi-capability postings-merge path
 # (golden-output protected by tests/golden_multicap.rs; the candidate-plan
@@ -48,11 +48,16 @@ echo "== bench smoke: scenario1 --quick, scenario_multicap --quick, scenario_sha
 # (adaptive ≥ best static kn on aggregate consumer satisfaction) — and the
 # capability-index micro-bench — whose candidates/* series cover single-cap
 # lookup vs 2- and 4-way All/Any merges — so a hot-path regression that only
-# shows up at runtime still fails CI.
+# shows up at runtime still fails CI. The failover smoke crashes every
+# shard's primary at the stream midpoint and exits non-zero unless the
+# promoted run's merged outcome stream is byte-identical to the
+# uninterrupted one, so replication replay is exercised end-to-end on every
+# CI run.
 cargo run --release -p sbqa_bench --bin scenario1 -- --quick > /dev/null
 cargo run --release -p sbqa_bench --bin scenario_multicap -- --quick > /dev/null
 cargo run --release -p sbqa_bench --bin scenario_sharded -- --quick --shards 1,2 > /dev/null
 cargo run --release -p sbqa_bench --bin scenario_adaptive -- --quick > /dev/null
+cargo run --release -p sbqa_bench --bin scenario_failover -- --quick > /dev/null
 cargo bench -p sbqa_bench --bench registry > /dev/null
 
 echo "== 1M-provider smoke: scenario_sharded --providers 1000000 --quick"
@@ -63,14 +68,17 @@ echo "== 1M-provider smoke: scenario_sharded --providers 1000000 --quick"
 cargo run --release -p sbqa_bench --bin scenario_sharded -- \
     --providers 1000000 --quick --shards 1,2 > /dev/null
 
-echo "== golden determinism gates (scenario1, multicap, sharded service)"
+echo "== golden determinism gates (scenario1, multicap, sharded service, failover)"
 # Byte-identical-per-seed is a hard invariant (ARCHITECTURE.md): these run
 # as part of the test suites above, but are re-run here by name so a
 # filtered or partial test invocation can never skip them silently. The
 # plan cache and batch-level dedup are enabled by default in every one of
 # these runs, so the golden outputs double as proof that caching serves the
-# exact bytes the uncached merge path produced.
+# exact bytes the uncached merge path produced. The failover gates pin the
+# seed-42 crash-and-promote outcome digest (golden_failover) and assert the
+# crashed-run ≡ uninterrupted-run byte-identity under churn (failover).
 cargo test --release -p sbqa --test golden_scenario1 --test golden_multicap --test determinism -q
-cargo test --release -p sbqa_service --test determinism -q
+cargo test --release -p sbqa_service --test determinism --test failover -q
+cargo test --release -p sbqa_sim --test golden_failover -q
 
 echo "CI OK"
