@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the overload machinery.
+//!
+//! Three costs the degradation ladder adds to the ingest path, each
+//! measured directly so regressions show up in `BENCH_overload.json`:
+//!
+//! * `ring/push_pop` — one push + one pop through the bounded ring
+//!   (uncontended): the per-query cost of the bounded queue versus the
+//!   seed's unbounded mpsc.
+//! * `ladder/observe` — one admission verdict: a leak computation, a tier
+//!   adjustment and a counter bump. This runs once per enqueued query, so
+//!   it must stay trivially cheap.
+//! * `submit/{normal,shrunk,baseline}` — one mediation at each admission
+//!   tier against a 10k-provider registry: what a degraded query costs
+//!   relative to a full-quality one. Baseline-tier mediation skips scoring
+//!   and RNG entirely and should be the cheapest of the three.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sbqa_core::{
+    DegradationConfig, DegradationLadder, DegradationTier, Mediator, StaticIntentions,
+};
+use sbqa_service::BoundedRing;
+use sbqa_types::{
+    Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
+    VirtualTime,
+};
+
+/// Number of capability classes the synthetic population spreads over.
+const CLASSES: u8 = 8;
+
+fn capabilities(i: usize) -> CapabilitySet {
+    let base = (i % CLASSES as usize) as u8;
+    let mut caps = CapabilitySet::singleton(Capability::new(base));
+    if i.is_multiple_of(3) {
+        caps.insert(Capability::new((base + 1) % CLASSES));
+    }
+    caps
+}
+
+fn mediator(n: usize) -> Mediator {
+    let mut mediator = Mediator::sbqa(SystemConfig::default().with_knbest(20, 4), 42)
+        .expect("default config validates");
+    for i in 0..n {
+        mediator.register_provider(ProviderId::new(i as u64), capabilities(i), 1.0);
+    }
+    mediator.register_consumer(ConsumerId::new(1));
+    mediator
+}
+
+fn query(id: u64) -> Query {
+    Query::builder(
+        QueryId::new(id),
+        ConsumerId::new(1),
+        Capability::new((id % u64::from(CLASSES)) as u8),
+    )
+    .issued_at(VirtualTime::new(id as f64 * 1e-3))
+    .build()
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let ring: BoundedRing<u64> = BoundedRing::new(1_024);
+    c.bench_function("ring/push_pop", |b| {
+        b.iter(|| {
+            ring.try_push(black_box(7u64)).expect("ring has room");
+            black_box(ring.try_pop())
+        });
+    });
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    let mut ladder = DegradationLadder::new(DegradationConfig::default()).expect("valid config");
+    let mut tick = 0u64;
+    c.bench_function("ladder/observe", |b| {
+        b.iter(|| {
+            tick += 1;
+            black_box(ladder.observe_arrival(VirtualTime::new(tick as f64 * 1e-3)))
+        });
+    });
+}
+
+fn bench_tiered_submit(c: &mut Criterion) {
+    let oracle = StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.6));
+    let mut group = c.benchmark_group("submit");
+    for (label, tier) in [
+        ("normal", DegradationTier::Normal),
+        ("shrunk", DegradationTier::ShrinkKn),
+        ("baseline", DegradationTier::Baseline),
+    ] {
+        let mut mediator = mediator(10_000);
+        mediator.set_degraded_kn_floor(2);
+        mediator.set_degradation_tier(tier);
+        let mut id = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                id += 1;
+                let q = query(id);
+                black_box(mediator.submit_in_place(&q, &oracle).is_ok())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_ladder, bench_tiered_submit);
+criterion_main!(benches);

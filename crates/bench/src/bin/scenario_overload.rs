@@ -1,0 +1,381 @@
+//! Sustained overload: the satisfaction-vs-latency frontier of the
+//! degradation ladder, with runtime-enforced determinism checks.
+//!
+//! Not one of the paper's seven scenarios: this harness measures what the
+//! bounded-ring ingest front buys *past* saturation. The `scenario_sharded`
+//! population is driven through the service under sustained arrival steps
+//! of **1× / 10× / 100×** the base rate, each twice:
+//!
+//! * **unbounded** — the seed's behavior: a huge ring, no ladder. Every
+//!   query gets full-quality mediation, however stale its answer;
+//! * **bounded + ladder** — the degradation ladder armed: under modeled
+//!   pressure the service shrinks `kn`, falls back to the capacity
+//!   baseline, and finally sheds — deterministically.
+//!
+//! The table prints, per run: per-tier mediation counts (normal / shrunk /
+//! baseline / shed), ingest-to-decision p50/p99, mean consumer satisfaction
+//! over *admitted* queries, and throughput — the frontier being that the
+//! bounded column trades a bounded slice of satisfaction (and the shed
+//! tail) for two orders of magnitude of tail latency.
+//!
+//! The run then *checks* (not just reports) the overload contract and
+//! exits non-zero on violation:
+//!
+//! * **determinism** — the 100× bounded run's outcome digest and shed-set
+//!   digest are byte-identical across a re-run and across two producer
+//!   chunk sizes;
+//! * **coverage** — the 100× bounded run exercises all three degraded
+//!   tiers (shrink, baseline, shed) and Normal;
+//! * **latency** (full runs only) — the bounded 10× p99 stays ≤ 500 ms;
+//! * **quality** (full runs only) — bounded 10× admitted satisfaction
+//!   stays within 5% of the unloaded (1×) run's.
+//!
+//! Flags (see `sbqa_bench::cli`): `--quick`, `--providers N`, `--queries Q`,
+//! `--shards N` (first value; default 2), `--batch B`, `--seed SEED`,
+//! `--k K`, `--kn KN`.
+
+use std::process::ExitCode;
+
+use sbqa_bench::cli;
+use sbqa_core::intention::{ConsumerProfile, ProviderProfile};
+use sbqa_core::DegradationConfig;
+use sbqa_metrics::Table;
+use sbqa_service::IngestConfig;
+use sbqa_sim::{
+    generate_stepped_stream, run_overload_service, ConsumerSpec, LoadStep, OverloadRunConfig,
+    OverloadRunReport, ProviderSpec, WorkloadModel,
+};
+use sbqa_types::{
+    Capability, CapabilityRequirement, CapabilitySet, ConsumerId, ProviderId, SystemConfig,
+};
+
+/// Capability classes the population spreads over.
+const CLASSES: u8 = 8;
+
+/// The arrival steps swept, as multiples of the base rate.
+const STEPS: [f64; 3] = [1.0, 10.0, 100.0];
+
+/// The latency bound the bounded front must hold at the 10× step (full
+/// runs; quick runs use tiny populations where constants dominate).
+const P99_BOUND_MS: f64 = 500.0;
+
+/// Admitted satisfaction at 10× must stay within this fraction of the
+/// unloaded run's.
+const SATISFACTION_TOLERANCE: f64 = 0.05;
+
+fn set(classes: &[u8]) -> CapabilitySet {
+    CapabilitySet::from_capabilities(classes.iter().copied().map(Capability::new))
+}
+
+/// The `scenario_sharded` population shape: overlapping capability profiles.
+fn providers(count: usize) -> Vec<ProviderSpec> {
+    (0..count as u64)
+        .map(|i| {
+            let base = (i % u64::from(CLASSES)) as u8;
+            let mut caps = CapabilitySet::singleton(Capability::new(base));
+            if i % 3 == 0 {
+                caps.insert(Capability::new((base + 1) % CLASSES));
+            }
+            if i % 5 == 0 {
+                caps.insert(Capability::new((base + 2) % CLASSES));
+            }
+            ProviderSpec::new(
+                ProviderId::new(1_000 + i),
+                caps,
+                1.0 + (i % 4) as f64,
+                ProviderProfile::default(),
+            )
+        })
+        .collect()
+}
+
+/// Four consumers, mixed single- and multi-capability requirements
+/// (≈ 30 queries per virtual second at the base rates).
+fn consumers() -> Vec<ConsumerSpec> {
+    vec![
+        ConsumerSpec::new(
+            ConsumerId::new(1),
+            Capability::new(0),
+            10.0,
+            1.0,
+            1,
+            ConsumerProfile::default(),
+        ),
+        ConsumerSpec::new(
+            ConsumerId::new(2),
+            Capability::new(3),
+            10.0,
+            1.0,
+            2,
+            ConsumerProfile::default(),
+        ),
+        ConsumerSpec::new(
+            ConsumerId::new(3),
+            Capability::new(1),
+            5.0,
+            1.0,
+            1,
+            ConsumerProfile::default(),
+        )
+        .with_requirement(CapabilityRequirement::All(set(&[1, 2]))),
+        ConsumerSpec::new(
+            ConsumerId::new(4),
+            Capability::new(4),
+            5.0,
+            1.0,
+            1,
+            ConsumerProfile::default(),
+        )
+        .with_requirement(CapabilityRequirement::Any(set(&[4, 5, 6]))),
+    ]
+}
+
+/// The ladder the bounded runs arm. The drain model (250 admitted queries
+/// per virtual second, per shard) sits far above the base rate — the 1×
+/// and 10× streams ride Normal — and far below the 100× step, which must
+/// climb every tier.
+fn ladder() -> DegradationConfig {
+    DegradationConfig {
+        capacity: 256,
+        drain_rate: 250.0,
+        ..DegradationConfig::default()
+    }
+}
+
+struct Cell {
+    step: f64,
+    bounded: bool,
+    report: OverloadRunReport,
+}
+
+fn run_cell(
+    step: f64,
+    bounded: bool,
+    base: &OverloadRunConfig,
+    providers: &[ProviderSpec],
+    consumers: &[ConsumerSpec],
+    stream: &[sbqa_types::Query],
+) -> Result<Cell, sbqa_types::SbqaError> {
+    let mut config = base.clone();
+    config.ingest = if bounded {
+        IngestConfig {
+            ring_capacity: 1_024,
+            degradation: Some(ladder()),
+        }
+    } else {
+        IngestConfig::default()
+    };
+    let report = run_overload_service(&config, providers, consumers, stream)?;
+    Ok(Cell {
+        step,
+        bounded,
+        report,
+    })
+}
+
+fn row(cell: &Cell) -> [String; 11] {
+    let report = &cell.report;
+    let latency = report.report.aggregate_latency();
+    let percentiles = latency.percentiles(&[0.5, 0.99]);
+    let (normal, shrunk, baseline) = match &report.degradation {
+        Some(stats) => (stats.normal, stats.shrink_kn, stats.baseline),
+        None => (report.report.total.submitted() as u64, 0, 0),
+    };
+    [
+        format!("{:.0}x", cell.step),
+        if cell.bounded {
+            "bounded+ladder".to_string()
+        } else {
+            "unbounded".to_string()
+        },
+        normal.to_string(),
+        shrunk.to_string(),
+        baseline.to_string(),
+        report.shed.to_string(),
+        report.report.total.starved.to_string(),
+        format!("{:.2}", percentiles[0] as f64 / 1e6),
+        format!("{:.2}", percentiles[1] as f64 / 1e6),
+        format!("{:.4}", report.admitted_satisfaction),
+        format!("{:.0}", report.report.throughput_per_sec()),
+    ]
+}
+
+fn main() -> ExitCode {
+    let options = cli::parse_env_or_exit();
+    let provider_count = options
+        .volunteers
+        .unwrap_or(if options.quick { 2_000 } else { 100_000 });
+    let query_count = options
+        .queries
+        .unwrap_or(if options.quick { 5_000 } else { 50_000 });
+    let shards = options
+        .shards
+        .as_ref()
+        .and_then(|counts| counts.first().copied())
+        .unwrap_or(2);
+    let batch = options.batch.unwrap_or(64);
+    let seed = options.seed.unwrap_or(42);
+    let system = SystemConfig::default().with_knbest(
+        options.knbest_k.unwrap_or(20),
+        options.knbest_kn.unwrap_or(4),
+    );
+
+    eprintln!(
+        "overload scenario: {provider_count} providers, {query_count} queries per step, \
+         {shards} shards, batch {batch}, seed {seed}…"
+    );
+    let providers = providers(provider_count);
+    let consumers = consumers();
+    let base = OverloadRunConfig {
+        shards,
+        batch,
+        seed,
+        system,
+        ingest: IngestConfig::default(),
+        step: None,
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for multiplier in STEPS {
+        let step = (multiplier > 1.0).then_some(LoadStep {
+            at_fraction: 0.25,
+            rate_multiplier: multiplier,
+        });
+        let stream = generate_stepped_stream(
+            &consumers,
+            &WorkloadModel::default(),
+            query_count,
+            seed,
+            step,
+        );
+        let mut config = base.clone();
+        config.step = step;
+        for bounded in [false, true] {
+            match run_cell(
+                multiplier, bounded, &config, &providers, &consumers, &stream,
+            ) {
+                Ok(cell) => cells.push(cell),
+                Err(err) => {
+                    eprintln!("run at {multiplier}x (bounded: {bounded}) failed: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        // Determinism gate at the heaviest step: re-run and re-chunk the
+        // bounded configuration; every digest must agree.
+        if (multiplier - STEPS[STEPS.len() - 1]).abs() < f64::EPSILON {
+            let golden = &cells
+                .iter()
+                .rfind(|cell| cell.bounded)
+                .expect("bounded cell just pushed")
+                .report;
+            for rechunk in [batch, batch / 2 + 1] {
+                let mut check = config.clone();
+                check.batch = rechunk.max(1);
+                check.ingest = IngestConfig {
+                    ring_capacity: 1_024,
+                    degradation: Some(ladder()),
+                };
+                let again = match run_overload_service(&check, &providers, &consumers, &stream) {
+                    Ok(report) => report,
+                    Err(err) => {
+                        eprintln!("determinism re-run failed: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if again.digest != golden.digest || again.shed_digest != golden.shed_digest {
+                    eprintln!(
+                        "determinism check FAILED at {multiplier}x chunk {rechunk}: \
+                         digest {:#018x} vs {:#018x}, shed {:#018x} vs {:#018x}",
+                        again.digest, golden.digest, again.shed_digest, golden.shed_digest
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!(
+                "determinism check: {multiplier}x outcome digest {:#018x}, \
+                 shed digest {:#018x}, stable across runs and chunkings ✓",
+                golden.digest, golden.shed_digest
+            );
+        }
+    }
+
+    // Coverage gate: the 100x bounded run must exercise every tier.
+    let heaviest = cells
+        .iter()
+        .rfind(|cell| cell.bounded)
+        .expect("bounded cells exist");
+    let stats = heaviest
+        .report
+        .degradation
+        .expect("bounded runs arm the ladder");
+    if stats.normal == 0 || stats.shrink_kn == 0 || stats.baseline == 0 || stats.shed == 0 {
+        eprintln!("coverage check FAILED: 100x run missed a tier: {stats:?}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "coverage check: 100x tiers normal {} / shrunk {} / baseline {} / shed {} \
+         ({} transitions) ✓",
+        stats.normal, stats.shrink_kn, stats.baseline, stats.shed, stats.transitions
+    );
+
+    let mut table = Table::new(
+        "Scenario overload — satisfaction-vs-latency frontier per tier",
+        &[
+            "step",
+            "config",
+            "normal",
+            "shrunk-kn",
+            "baseline",
+            "shed",
+            "starved",
+            "p50 (ms)",
+            "p99 (ms)",
+            "admitted sat.",
+            "queries/s",
+        ],
+    );
+    for cell in &cells {
+        table.add_row(&row(cell));
+    }
+    println!("{}", table.render());
+
+    // Full-run acceptance gates: tail latency and admitted quality at 10x.
+    if !options.quick {
+        let bounded_10x = cells
+            .iter()
+            .find(|cell| cell.bounded && (cell.step - 10.0).abs() < f64::EPSILON)
+            .expect("10x bounded cell exists");
+        let p99_ms = bounded_10x.report.report.aggregate_latency().p99() as f64 / 1e6;
+        if p99_ms > P99_BOUND_MS {
+            eprintln!("latency check FAILED: bounded 10x p99 {p99_ms:.1} ms > {P99_BOUND_MS} ms");
+            return ExitCode::FAILURE;
+        }
+        let unloaded = cells
+            .iter()
+            .find(|cell| cell.bounded && (cell.step - 1.0).abs() < f64::EPSILON)
+            .expect("1x bounded cell exists");
+        let reference = unloaded.report.admitted_satisfaction;
+        let at_10x = bounded_10x.report.admitted_satisfaction;
+        let drop = if reference.abs() > f64::EPSILON {
+            (reference - at_10x) / reference.abs()
+        } else {
+            0.0
+        };
+        if drop > SATISFACTION_TOLERANCE {
+            eprintln!(
+                "quality check FAILED: admitted satisfaction fell {:.1}% under the 10x step \
+                 ({at_10x:.4} vs {reference:.4} unloaded)",
+                drop * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "acceptance: bounded 10x p99 {p99_ms:.1} ms ≤ {P99_BOUND_MS} ms, \
+             admitted satisfaction {at_10x:.4} vs {reference:.4} unloaded \
+             ({:+.1}%) ✓",
+            -drop * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -34,6 +34,7 @@
 
 pub mod adaptive;
 pub mod allocator;
+pub mod degrade;
 pub mod delta;
 pub mod intention;
 pub mod knbest;
@@ -47,6 +48,10 @@ pub use adaptive::{KnAdjustment, KnController, KnControllerConfig};
 pub use allocator::{
     AllocationDecision, CandidateBlock, Candidates, IntentionOracle, PlanToken, ProposalRecord,
     ProviderColumns, ProviderSnapshot, QueryAllocator, StaticIntentions,
+};
+pub use degrade::{
+    baseline_allocate_into, Admission, DegradationConfig, DegradationLadder, DegradationStats,
+    DegradationTier, QueryDisposition,
 };
 pub use delta::{DeltaSink, RegistryDelta};
 pub use intention::{

@@ -34,6 +34,7 @@ use crate::adaptive::{KnController, KnControllerConfig};
 use crate::allocator::{
     AllocationDecision, Candidates, IntentionOracle, ProposalRecord, QueryAllocator,
 };
+use crate::degrade::{baseline_allocate_into, DegradationTier};
 use crate::knbest::{KnBestScratch, KnBestSelector};
 use crate::ranking::rank_indices_by_score;
 use crate::registry::{PlanCacheStats, PlanHandle, PlanKey, ProviderRegistry};
@@ -343,6 +344,14 @@ pub struct Mediator {
     /// RNG consumption — and therefore the decision stream — is
     /// byte-identical with the memo on or off.
     batch_dedup: bool,
+    /// The degradation tier the next mediation runs under; set per query by
+    /// an overload-aware host (the service layer's
+    /// [`DegradationLadder`](crate::degrade::DegradationLadder)). `Normal`
+    /// (the default) leaves mediation byte-identical to a mediator without
+    /// degradation support.
+    degradation_tier: DegradationTier,
+    /// The exploration-width floor the ShrinkKn tier clamps `kn` to.
+    degraded_floor: usize,
 }
 
 impl Mediator {
@@ -357,6 +366,8 @@ impl Mediator {
             scratch: MediationScratch::default(),
             kn_controller: None,
             batch_dedup: true,
+            degradation_tier: DegradationTier::Normal,
+            degraded_floor: 2,
         }
     }
 
@@ -390,6 +401,8 @@ impl Mediator {
             scratch: MediationScratch::default(),
             kn_controller: None,
             batch_dedup: true,
+            degradation_tier: DegradationTier::Normal,
+            degraded_floor: 2,
         }
     }
 
@@ -582,6 +595,35 @@ impl Mediator {
         self.kn_controller.as_mut().map_or(0, KnController::adapt)
     }
 
+    /// Sets the degradation tier the next mediations run under. Overload
+    /// hosts call this per query with the
+    /// [`DegradationLadder`](crate::degrade::DegradationLadder)'s admission
+    /// tier; `Normal` restores full-quality mediation. A `Shed` tier is
+    /// treated as `Baseline` — shedding happens *before* mediation, so a
+    /// query that reaches the mediator is by definition admitted.
+    pub fn set_degradation_tier(&mut self, tier: DegradationTier) {
+        self.degradation_tier = tier;
+    }
+
+    /// The degradation tier currently in force.
+    #[must_use]
+    pub fn degradation_tier(&self) -> DegradationTier {
+        self.degradation_tier
+    }
+
+    /// Sets the exploration-width floor the ShrinkKn tier clamps `kn` to
+    /// (default 2). Values are used as-is; the allocator itself clamps to
+    /// its legal `[1, k]` range.
+    pub fn set_degraded_kn_floor(&mut self, floor: usize) {
+        self.degraded_floor = floor.max(1);
+    }
+
+    /// The ShrinkKn exploration-width floor.
+    #[must_use]
+    pub fn degraded_kn_floor(&self) -> usize {
+        self.degraded_floor
+    }
+
     /// The shared mediation core: computes `Pq` as a borrowed view (through
     /// the plan memo when batch dedup applies), lets the allocation
     /// technique fill the scratch decision, and records the mediation result
@@ -598,7 +640,10 @@ impl Mediator {
             scratch,
             kn_controller,
             batch_dedup,
+            degradation_tier,
+            degraded_floor,
         } = self;
+        let tier = *degradation_tier;
         if let Some(controller) = kn_controller {
             allocator.set_exploration_width(controller.kn_for_query(query));
         }
@@ -631,16 +676,51 @@ impl Mediator {
             return Err(providers.starvation_error(query));
         }
 
-        allocator.allocate_into(
-            query,
-            candidates,
-            oracle,
-            satisfaction,
-            &mut scratch.decision,
-        )?;
-        if let Some(controller) = kn_controller {
-            if let Some(sample) = allocator.satisfaction_signal() {
-                controller.observe_query(query, sample);
+        match tier {
+            DegradationTier::Normal | DegradationTier::ShrinkKn => {
+                // ShrinkKn clamps the exploration width to the floor for
+                // this one draw and restores it afterwards, so the tier
+                // leaves no width residue once pressure subsides. The KnBest
+                // draw consumes RNG independently of the width, so the RNG
+                // stream — and with it replay byte-identity — is unaffected
+                // by when the clamp engages.
+                let saved = if tier == DegradationTier::ShrinkKn {
+                    let previous = allocator.exploration_width();
+                    if let Some(previous) = previous {
+                        allocator.set_exploration_width(previous.min(*degraded_floor));
+                    }
+                    previous
+                } else {
+                    None
+                };
+                let outcome = allocator.allocate_into(
+                    query,
+                    candidates,
+                    oracle,
+                    satisfaction,
+                    &mut scratch.decision,
+                );
+                if let Some(previous) = saved {
+                    allocator.set_exploration_width(previous);
+                }
+                outcome?;
+                // The controller adapts only on evidence from widths it
+                // chose itself: forced-floor samples would read as "small kn
+                // is fine" exactly when the system is drowning.
+                if tier == DegradationTier::Normal {
+                    if let Some(controller) = kn_controller {
+                        if let Some(sample) = allocator.satisfaction_signal() {
+                            controller.observe_query(query, sample);
+                        }
+                    }
+                }
+            }
+            DegradationTier::Baseline | DegradationTier::Shed => {
+                // The capacity fallback: no KnBest draw, no SQLB scoring, no
+                // RNG consumed. (A `Shed` tier reaching mediation means the
+                // host admitted the query anyway; serve it at the cheapest
+                // quality rather than inventing a starvation.)
+                baseline_allocate_into(query, candidates, oracle, &mut scratch.decision)?;
             }
         }
 
@@ -1437,6 +1517,100 @@ mod tests {
             got.push(result.unwrap().clone());
         });
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn normal_tier_is_byte_identical_to_an_untouched_mediator() {
+        use crate::degrade::DegradationTier;
+        let build = || {
+            let config = SystemConfig::default().with_knbest(10, 4);
+            let mut mediator = Mediator::sbqa(config, 123).unwrap();
+            for p in 0..10u64 {
+                mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+            }
+            mediator.register_consumer(ConsumerId::new(1));
+            mediator
+        };
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.4), Intention::new(0.2));
+        let mut plain = build();
+        let mut tiered = build();
+        // Setting Normal explicitly (what a ladder-free host does) must
+        // leave no trace on the decision stream.
+        tiered.set_degradation_tier(DegradationTier::Normal);
+        tiered.set_degraded_kn_floor(1);
+        for q in 0..40u64 {
+            let query = query(q, 2);
+            let expected = plain.submit(&query, &oracle).unwrap();
+            let got = tiered.submit(&query, &oracle).unwrap();
+            assert_eq!(expected, got, "query {q}");
+        }
+    }
+
+    #[test]
+    fn shrink_kn_tier_clamps_the_draw_and_restores_the_width() {
+        use crate::degrade::DegradationTier;
+        let config = SystemConfig::default().with_knbest(10, 6);
+        let mut mediator = Mediator::sbqa(config, 7).unwrap();
+        for p in 0..12u64 {
+            mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+        }
+        mediator.register_consumer(ConsumerId::new(1));
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
+
+        mediator.set_degradation_tier(DegradationTier::ShrinkKn);
+        mediator.set_degraded_kn_floor(2);
+        let outcome = mediator.submit(&query(1, 6), &oracle).unwrap();
+        assert_eq!(
+            outcome.decision.proposals.len(),
+            2,
+            "the draw ran at the floor width"
+        );
+
+        // Back at Normal, the full width is restored.
+        mediator.set_degradation_tier(DegradationTier::Normal);
+        let outcome = mediator.submit(&query(2, 6), &oracle).unwrap();
+        assert_eq!(outcome.decision.proposals.len(), 6);
+    }
+
+    #[test]
+    fn baseline_tier_consumes_no_rng() {
+        use crate::degrade::DegradationTier;
+        let build = || {
+            // A fixed ω makes the Normal-tier decision a pure function of
+            // the RNG draw: the fallback's satisfaction writes cannot
+            // explain a divergence, only consumed RNG could.
+            let config = SystemConfig::default()
+                .with_knbest(10, 4)
+                .with_omega(OmegaPolicy::Fixed(0.5));
+            let mut mediator = Mediator::sbqa(config, 55).unwrap();
+            for p in 0..10u64 {
+                mediator.register_provider(ProviderId::new(p), caps(), 1.0);
+            }
+            mediator.register_consumer(ConsumerId::new(1));
+            mediator
+        };
+        let oracle =
+            StaticIntentions::new().with_defaults(Intention::new(0.5), Intention::new(0.5));
+
+        // Mediator A serves 20 queries under the Baseline tier; mediator B
+        // serves none. If the fallback consumed RNG, their next Normal-tier
+        // decisions would diverge.
+        let mut detoured = build();
+        detoured.set_degradation_tier(DegradationTier::Baseline);
+        for q in 0..20u64 {
+            let outcome = detoured.submit(&query(q, 1), &oracle).unwrap();
+            assert!(outcome.decision.omega.is_none(), "fallback carries no ω");
+        }
+        detoured.set_degradation_tier(DegradationTier::Normal);
+
+        let mut fresh = build();
+        let probe = query(100, 2);
+        assert_eq!(
+            detoured.submit(&probe, &oracle).unwrap().decision,
+            fresh.submit(&probe, &oracle).unwrap().decision,
+        );
     }
 
     #[test]

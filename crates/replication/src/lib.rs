@@ -45,7 +45,7 @@ pub mod standby;
 
 pub use handoff::HandoffPackage;
 pub use log::{DeltaLog, DeltaOp, DeltaRecord, SharedDeltaLog};
-pub use standby::{ReplayReport, StandbyShard};
+pub use standby::{JournalEntry, ReplayReport, StandbyShard};
 
 use sbqa_core::{Mediator, RegistryDelta};
 use sbqa_types::SbqaResult;

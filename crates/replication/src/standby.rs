@@ -20,7 +20,10 @@
 //! (or queries-then-deltas) would reconstruct a different mediator than the
 //! one that crashed.
 
-use sbqa_core::{IntentionOracle, Mediator, ProviderRegistry, QueryAllocator, RegistryDelta};
+use sbqa_core::{
+    DegradationTier, IntentionOracle, Mediator, ProviderRegistry, QueryAllocator, QueryDisposition,
+    RegistryDelta,
+};
 use sbqa_satisfaction::SatisfactionRegistry;
 use sbqa_types::{ConsumerId, Query, SbqaError, SbqaResult};
 
@@ -37,6 +40,22 @@ pub struct ReplayReport {
     /// Journaled queries that starved on replay (exactly the ones that
     /// starved on the primary: starvation is part of the decision stream).
     pub queries_starved: usize,
+    /// Journaled queries the primary shed under overload: replay skips them
+    /// without consuming RNG, exactly as the primary's admission control did.
+    pub queries_shed: usize,
+}
+
+/// One journaled query together with its admission disposition on the
+/// primary. Replaying the disposition — rather than re-running admission —
+/// is what keeps promotion byte-identical under overload: the promoted
+/// mediator mediates exactly the queries the primary admitted, at exactly
+/// the degradation tier the primary used, and skips exactly the sheds.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// The query as the primary saw it.
+    pub query: Query,
+    /// What the primary's admission control decided for it.
+    pub disposition: QueryDisposition,
 }
 
 /// A promotable mirror of one mediator shard.
@@ -51,9 +70,12 @@ pub struct StandbyShard {
     applied: u64,
     /// Mutations observed after `watermark`, in sequence order.
     tail: Vec<(u64, RegistryDelta)>,
-    /// Queries the primary accepted after the checkpoint, each tagged with
-    /// the log watermark in force when it was submitted.
-    journal: Vec<(u64, Query)>,
+    /// Queries the primary observed after the checkpoint — admitted *and*
+    /// shed — each tagged with the log watermark in force when it arrived.
+    journal: Vec<(u64, JournalEntry)>,
+    /// The degraded-`kn` floor the primary's mediator clamps to under
+    /// [`DegradationTier::ShrinkKn`]; replay must clamp to the same floor.
+    degraded_floor: usize,
     checkpoints: u64,
 }
 
@@ -93,8 +115,17 @@ impl StandbyShard {
             applied: watermark,
             tail: Vec::new(),
             journal: Vec::new(),
+            degraded_floor: 2,
             checkpoints: 1,
         }
+    }
+
+    /// Sets the degraded-`kn` floor the promoted mediator clamps to when a
+    /// journaled query replays at [`DegradationTier::ShrinkKn`]. Must match
+    /// the primary's floor or a shrink-tier replay would draw a different
+    /// candidate count than the primary did.
+    pub fn set_degraded_floor(&mut self, floor: usize) {
+        self.degraded_floor = floor.max(1);
     }
 
     /// Observes one log record. Records at or below the applied watermark
@@ -149,11 +180,27 @@ impl StandbyShard {
         Ok(records.len())
     }
 
-    /// Journals a query the primary is about to mediate, tagged with the
-    /// current applied watermark so promotion can interleave it with the
-    /// tail at exactly the primary's position.
+    /// Journals a query the primary is about to mediate at
+    /// [`DegradationTier::Normal`], tagged with the current applied
+    /// watermark so promotion can interleave it with the tail at exactly
+    /// the primary's position.
     pub fn observe_query(&mut self, query: &Query) {
-        self.journal.push((self.applied, query.clone()));
+        self.observe_query_with(query, QueryDisposition::Mediated(DegradationTier::Normal));
+    }
+
+    /// Journals a query with the admission disposition the primary decided
+    /// for it: the degradation tier it mediated at, or [`QueryDisposition::Shed`]
+    /// for a query its admission control rejected. Shed entries replay as
+    /// skips — no mediation, no RNG — so promotion under overload continues
+    /// byte-identically.
+    pub fn observe_query_with(&mut self, query: &Query, disposition: QueryDisposition) {
+        self.journal.push((
+            self.applied,
+            JournalEntry {
+                query: query.clone(),
+                disposition,
+            },
+        ));
     }
 
     /// Mirrors a control-plane consumer registration. Consumer churn is not
@@ -202,9 +249,10 @@ impl StandbyShard {
     /// decision stream being reproduced.
     pub fn promote(mut self, oracle: &dyn IntentionOracle) -> SbqaResult<(Mediator, ReplayReport)> {
         let mut mediator = Mediator::from_parts(self.allocator, self.providers, self.satisfaction);
+        mediator.set_degraded_kn_floor(self.degraded_floor);
         let mut report = ReplayReport::default();
         let mut deltas = self.tail.drain(..).peekable();
-        for (watermark, query) in self.journal.drain(..) {
+        for (watermark, entry) in self.journal.drain(..) {
             while let Some(&(sequence, delta)) = deltas.peek() {
                 if sequence > watermark {
                     break;
@@ -213,10 +261,19 @@ impl StandbyShard {
                 report.deltas_replayed += 1;
                 deltas.next();
             }
-            if mediator.submit_in_place(&query, oracle).is_ok() {
-                report.queries_mediated += 1;
-            } else {
-                report.queries_starved += 1;
+            match entry.disposition {
+                QueryDisposition::Shed => {
+                    // The primary never mediated it; neither does replay.
+                    report.queries_shed += 1;
+                }
+                QueryDisposition::Mediated(tier) => {
+                    mediator.set_degradation_tier(tier);
+                    if mediator.submit_in_place(&entry.query, oracle).is_ok() {
+                        report.queries_mediated += 1;
+                    } else {
+                        report.queries_starved += 1;
+                    }
+                }
             }
         }
         for (_, delta) in deltas {

@@ -24,7 +24,9 @@
 use std::time::Instant;
 
 use sbqa_core::allocator::{AllocationDecision, IntentionOracle};
-use sbqa_core::{BatchReport, Mediator};
+use sbqa_core::{
+    Admission, BatchReport, DegradationConfig, DegradationLadder, Mediator, QueryDisposition,
+};
 pub use sbqa_replication::standby::ReplayReport;
 pub use sbqa_replication::ReplicationStats;
 
@@ -48,6 +50,10 @@ pub struct ReplicatedShard {
     log: SharedDeltaLog,
     standby: StandbyShard,
     promotions: u64,
+    /// Overload admission control. Lives here — not on the primary — so a
+    /// crash does not reset the ladder: the promoted mediator inherits the
+    /// exact leaky-bucket state the crashed primary was shedding under.
+    ladder: Option<DegradationLadder>,
 }
 
 impl ReplicatedShard {
@@ -93,7 +99,32 @@ impl ReplicatedShard {
             log,
             standby,
             promotions: 0,
+            ladder: None,
         })
+    }
+
+    /// Arms overload admission control: every subsequent
+    /// [`ReplicatedShard::submit_with_start`] runs the query through the
+    /// deterministic degradation ladder, journaling the verdict on the
+    /// standby so a promotion replays admitted queries at their tier and
+    /// skips the sheds.
+    ///
+    /// # Errors
+    ///
+    /// [`SbqaError::InvalidConfiguration`] for an invalid ladder config.
+    pub fn enable_degradation(&mut self, config: DegradationConfig) -> SbqaResult<()> {
+        self.primary
+            .mediator_mut()
+            .set_degraded_kn_floor(config.floor_kn);
+        self.standby.set_degraded_floor(config.floor_kn);
+        self.ladder = Some(DegradationLadder::new(config)?);
+        Ok(())
+    }
+
+    /// The shard's degradation ladder, if armed.
+    #[must_use]
+    pub fn ladder(&self) -> Option<&DegradationLadder> {
+        self.ladder.as_ref()
     }
 
     /// This shard's position in the service.
@@ -179,11 +210,16 @@ impl ReplicatedShard {
 
     /// Mediates one query on the primary, journaling it on the standby
     /// first (at the current log watermark, so promotion replays it at
-    /// exactly this position between deltas).
+    /// exactly this position between deltas). With a
+    /// [degradation ladder](ReplicatedShard::enable_degradation) armed the
+    /// query passes admission control first; its verdict — tier or shed —
+    /// is journaled alongside it, so promotion reproduces the overload
+    /// decisions byte-identically instead of re-running admission.
     ///
     /// # Errors
     ///
-    /// Starvation from the primary, or a replication gap from the standby
+    /// Starvation from the primary, [`SbqaError::QueryShed`] when admission
+    /// control rejects the query, or a replication gap from the standby
     /// sync (in which case the query was neither journaled nor mediated).
     pub fn submit_with_start(
         &mut self,
@@ -192,8 +228,24 @@ impl ReplicatedShard {
         start: Instant,
     ) -> SbqaResult<&AllocationDecision> {
         self.sync()?;
-        self.standby.observe_query(query);
-        self.primary.submit_with_start(query, oracle, start)
+        let Some(ladder) = &mut self.ladder else {
+            self.standby.observe_query(query);
+            return self.primary.submit_with_start(query, oracle, start);
+        };
+        match ladder.observe_arrival(query.issued_at) {
+            Admission::Shed => {
+                self.standby
+                    .observe_query_with(query, QueryDisposition::Shed);
+                self.primary.record_shed(start);
+                Err(SbqaError::QueryShed { query: query.id })
+            }
+            Admission::Admit(tier) => {
+                self.standby
+                    .observe_query_with(query, QueryDisposition::Mediated(tier));
+                self.primary.mediator_mut().set_degradation_tier(tier);
+                self.primary.submit_with_start(query, oracle, start)
+            }
+        }
     }
 
     /// Cuts a fresh checkpoint from the live primary into the standby and
@@ -240,6 +292,7 @@ impl ReplicatedShard {
             log,
             mut standby,
             promotions,
+            ladder,
         } = self;
         // The crash: the live mediator is dropped wholesale.
         drop(primary);
@@ -247,6 +300,14 @@ impl ReplicatedShard {
         let (mediator, report) = standby.promote(oracle)?;
         let mut promoted = Self::new(index, mediator)?;
         promoted.promotions = promotions + 1;
+        if let Some(ladder) = ladder {
+            // The ladder survives the crash: re-seat it (and the shrink-tier
+            // floor, which re-arming reset) around the promoted mediator.
+            let floor = ladder.config().floor_kn;
+            promoted.primary.mediator_mut().set_degraded_kn_floor(floor);
+            promoted.standby.set_degraded_floor(floor);
+            promoted.ladder = Some(ladder);
+        }
         Ok((promoted, report))
     }
 
@@ -368,6 +429,20 @@ impl ReplicatedMediator {
         &self.shards[index]
     }
 
+    /// Arms overload admission control on every shard. Each shard gets its
+    /// own ladder instance (depth is per-shard, like the registry slice),
+    /// and every admission verdict is journaled for byte-identical failover.
+    ///
+    /// # Errors
+    ///
+    /// [`SbqaError::InvalidConfiguration`] for an invalid ladder config.
+    pub fn enable_degradation(&mut self, config: DegradationConfig) -> SbqaResult<()> {
+        for shard in &mut self.shards {
+            shard.enable_degradation(config)?;
+        }
+        Ok(())
+    }
+
     /// Sets how many batches elapse between automatic checkpoints
     /// (0 disables automatic checkpointing; promotion then replays the
     /// whole run since the bootstrap checkpoint).
@@ -475,6 +550,10 @@ impl ReplicatedMediator {
                     report.mediated += 1;
                     self.tallies[shard].mediated += 1;
                 }
+                // A shed is neither mediated nor starved: it is counted in
+                // the shard ladder's `DegradationStats` and surfaced to the
+                // caller through `on_result`.
+                Err(SbqaError::QueryShed { .. }) => {}
                 Err(_) => {
                     report.starved += 1;
                     self.tallies[shard].starved += 1;
@@ -538,6 +617,9 @@ impl ReplicatedMediator {
                 let mut snapshot = shard.primary().report_snapshot();
                 snapshot.report = *tally;
                 snapshot.replication = Some(shard.replication_stats());
+                // The ladder lives on the replicated shard (it survives
+                // promotions), not on the primary the snapshot came from.
+                snapshot.degradation = shard.ladder().map(DegradationLadder::stats);
                 snapshot
             })
             .collect()

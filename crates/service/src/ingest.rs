@@ -2,61 +2,125 @@
 //!
 //! [`MediationService`] turns a [`ShardedMediator`] into a running service:
 //! each shard moves into its own **mediation thread** behind a per-shard
-//! mpsc **ingest queue** (std `std::sync::mpsc` — no external runtime).
-//! Producers enqueue queries (singly or in batches) without blocking on
-//! mediation; each shard thread drains its queue chunk by chunk through the
-//! shard's instrumented submit path and accumulates the outcome stream.
-//! [`MediationService::finish`] closes the queues, joins the threads and
+//! **bounded ingest ring** ([`BoundedRing`] — no external runtime).
+//! Producers enqueue queries (singly or in batches) and only block when a
+//! shard's ring is full; each shard thread drains its ring in waves through
+//! the shard's instrumented submit path and accumulates the outcome stream.
+//! [`MediationService::finish`] closes the rings, joins the threads and
 //! merges the per-shard results into a [`ServiceReport`].
+//!
+//! ## Back-pressure and the degradation ladder
+//!
+//! The seed's unbounded mpsc queues had defined behavior only below
+//! saturation: a sustained overload step just grew the hot shard's queue
+//! (7.9 s p99 at a 10× step) while every query still received full-quality
+//! mediation, far too late to matter. [`IngestConfig`] replaces that with
+//! two coupled mechanisms:
+//!
+//! * the **bounded ring** ([`IngestConfig::ring_capacity`]) bounds the
+//!   physical queue, so wall-clock queue wait — and with it ingest-to-
+//!   decision latency — is capped at roughly `capacity / drain-rate`;
+//! * the **degradation ladder** ([`IngestConfig::degradation`], a
+//!   [`DegradationLadder`](sbqa_core::DegradationLadder) per shard) decides
+//!   *deterministically* what to sacrifice as modeled pressure rises:
+//!   shrink the KnBest exploration width toward the floor, fall back to a
+//!   capacity-based allocation, and finally shed — in stable
+//!   `(VirtualTime, QueryId)` order, so the shed set is byte-reproducible
+//!   per seed and independent of chunk sizes and thread timing.
+//!
+//! Without a degradation config the service behaves exactly like the seed
+//! (the default ring is large enough that sub-saturation workloads never
+//! block), and each shard admits everything at full quality.
 //!
 //! ## Latency semantics
 //!
-//! Every query is stamped with a wall-clock [`Instant`] *at enqueue time*;
-//! its latency sample spans enqueue → decision, so it includes the time
-//! spent waiting in the ingest queue. Enqueueing in larger chunks amortizes
-//! channel traffic but makes early-chunk queries wait on late-chunk ones —
-//! exactly the batch-size/latency trade-off the `service` bench sweeps.
+//! Every query is stamped with a wall-clock [`Instant`] *at enqueue time*,
+//! before any blocking push; its latency sample spans enqueue → decision
+//! (or enqueue → shed), so it includes both the time spent blocked on a
+//! full ring and the time waiting inside it. Enqueueing in larger chunks
+//! amortizes ring traffic — the batch-size/latency trade-off the `service`
+//! bench sweeps.
 //!
 //! ## Determinism
 //!
-//! Per shard, queries are mediated in queue (FIFO) order, so with a single
-//! producer the per-shard decision streams — and the merged
-//! `(VirtualTime, QueryId)`-ordered outcome stream — are byte-stable across
-//! runs for a fixed seed, no matter how the shard threads interleave in wall
-//! time. (Latency *samples* are wall-clock measurements and naturally vary;
+//! Per shard, queries are mediated in ring (FIFO) order. The producer sorts
+//! every per-shard sub-batch by `(issued_at, id)` before it enters the ring
+//! — this fixes the seed's chunking wart, where a chunk enqueued out of
+//! issue order inverted arrival order at the queue boundary and made the
+//! drain order (and any order-sensitive admission policy) depend on how the
+//! producer happened to chunk. With a single producer the per-shard drain
+//! streams — and the merged `(VirtualTime, QueryId)`-ordered outcome stream
+//! — are therefore byte-stable across runs for a fixed seed, no matter how
+//! the shard threads interleave in wall time, and the degradation ladder's
+//! tier transitions and shed decisions inherit that stability because they
+//! are driven by the stream's own virtual time, never the wall clock.
+//! (Latency *samples* are wall-clock measurements and naturally vary;
 //! determinism is about decisions.) With multiple racing producers the
 //! per-shard arrival order itself becomes nondeterministic; byte-stability
 //! then requires the producers to agree on an enqueue order.
+//!
+//! Adaptive-`kn` keeps its producer-defined cadence: each enqueued chunk's
+//! first envelope carries a chunk marker and the shard thread runs one
+//! adaptation round when it meets one, so the cadence is independent of how
+//! ring waves happen to slice the stream.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use sbqa_core::allocator::IntentionOracle;
+use sbqa_core::{Admission, DegradationConfig};
+use sbqa_types::SbqaResult;
 
 use crate::report::{OutcomeRecord, ServiceReport};
+use crate::ring::BoundedRing;
 use crate::router::ShardRouter;
 use crate::shard::MediatorShard;
 use crate::sharded::ShardedMediator;
 
-/// A query travelling through an ingest queue with its enqueue timestamp.
+/// Configuration of the ingest front.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestConfig {
+    /// Capacity of each shard's ingest ring. Producers block once a ring is
+    /// full. The default (65 536) is effectively "never block" for
+    /// sub-saturation workloads, preserving the seed's behavior.
+    pub ring_capacity: usize,
+    /// Arms every shard with a degradation ladder; `None` (the default)
+    /// admits everything at full quality.
+    pub degradation: Option<DegradationConfig>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            ring_capacity: 65_536,
+            degradation: None,
+        }
+    }
+}
+
+/// A query travelling through an ingest ring with its enqueue timestamp.
 struct Envelope {
     query: sbqa_types::Query,
     enqueued: Instant,
+    /// `true` on the first envelope of a producer chunk: the shard thread
+    /// runs one adaptive-`kn` round when it meets one, keeping the
+    /// adaptation cadence producer-defined (and deterministic) even though
+    /// the ring delivers envelopes in wall-clock-sized waves.
+    chunk_start: bool,
 }
 
-/// What a shard thread hands back when its queue closes.
+/// What a shard thread hands back when its ring closes.
 struct ShardResult {
     shard: MediatorShard,
     outcomes: Vec<OutcomeRecord>,
 }
 
-/// A running sharded mediation service: per-shard ingest queues in front of
-/// per-shard mediation threads.
+/// A running sharded mediation service: per-shard bounded ingest rings in
+/// front of per-shard mediation threads.
 pub struct MediationService {
     router: ShardRouter,
-    senders: Vec<Sender<Vec<Envelope>>>,
+    rings: Vec<Arc<BoundedRing<Envelope>>>,
     workers: Vec<JoinHandle<ShardResult>>,
     /// Per-shard staging buffers reused by [`MediationService::enqueue_batch`].
     staging: Vec<Vec<Envelope>>,
@@ -65,46 +129,66 @@ pub struct MediationService {
 }
 
 impl MediationService {
-    /// Spawns one mediation thread per shard of `service`, each behind its
-    /// own ingest queue. The oracle is shared by all shards (in a real
-    /// deployment it is the network asking participants for intentions; here
-    /// it must be thread-safe).
+    /// Spawns one mediation thread per shard of `service` with the default
+    /// [`IngestConfig`]: a large ring, no degradation — the seed's behavior.
     #[must_use]
     pub fn spawn(service: ShardedMediator, oracle: Arc<dyn IntentionOracle + Send + Sync>) -> Self {
+        Self::spawn_with(service, oracle, IngestConfig::default())
+            // sbqa-lint: allow(panic-hygiene, "the default IngestConfig carries no degradation config, the only fallible part of spawn_with")
+            .expect("default ingest configuration is valid")
+    }
+
+    /// Spawns one mediation thread per shard of `service`, each behind its
+    /// own bounded ingest ring, optionally armed with a degradation ladder.
+    /// The oracle is shared by all shards (in a real deployment it is the
+    /// network asking participants for intentions; here it must be
+    /// thread-safe).
+    pub fn spawn_with(
+        service: ShardedMediator,
+        oracle: Arc<dyn IntentionOracle + Send + Sync>,
+        config: IngestConfig,
+    ) -> SbqaResult<Self> {
+        if let Some(degradation) = &config.degradation {
+            degradation.validate()?;
+        }
         let (router, shards) = service.into_shards();
-        let mut senders = Vec::with_capacity(shards.len());
+        let mut rings = Vec::with_capacity(shards.len());
         let mut workers = Vec::with_capacity(shards.len());
         let mut staging = Vec::with_capacity(shards.len());
-        for shard in shards {
-            let (sender, receiver) = channel::<Vec<Envelope>>();
+        for mut shard in shards {
+            if let Some(degradation) = config.degradation {
+                shard.enable_degradation(degradation)?;
+            }
+            let ring = Arc::new(BoundedRing::new(config.ring_capacity));
+            let worker_ring = Arc::clone(&ring);
             let oracle = Arc::clone(&oracle);
             workers.push(std::thread::spawn(move || {
-                drain(shard, &receiver, &*oracle)
+                drain(shard, &worker_ring, &*oracle)
             }));
-            senders.push(sender);
+            rings.push(ring);
             staging.push(Vec::new());
         }
-        Self {
+        Ok(Self {
             router,
-            senders,
+            rings,
             workers,
             staging,
             enqueued: 0,
             // sbqa-lint: allow(wall-clock, "latency instrumentation only; enqueue stamps never influence allocation results")
             started: Instant::now(),
-        }
+        })
     }
 
-    /// The router assigning queries to shard queues.
+    /// The router assigning queries to shard rings.
     #[must_use]
     pub fn router(&self) -> &ShardRouter {
         &self.router
     }
 
-    /// Number of shard queues.
+    /// Number of shard rings.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.senders.len()
+        self.rings.len()
     }
 
     /// Number of queries enqueued so far.
@@ -113,8 +197,8 @@ impl MediationService {
         self.enqueued
     }
 
-    /// Enqueues one query on its assigned shard's queue. Never blocks on
-    /// mediation.
+    /// Enqueues one query on its assigned shard's ring, blocking while the
+    /// ring is full (bounded back-pressure, never unbounded growth).
     ///
     /// # Panics
     /// Panics if the shard's mediation thread has died (a shard panic is a
@@ -125,18 +209,22 @@ impl MediationService {
             query,
             // sbqa-lint: allow(wall-clock, "latency instrumentation only; enqueue stamps never influence allocation results")
             enqueued: Instant::now(),
+            chunk_start: true,
         };
-        self.senders[shard]
-            .send(vec![envelope])
-            // sbqa-lint: allow(panic-hygiene, "mediation threads outlive the queue by construction; a dead shard is unrecoverable")
-            .expect("shard mediation thread is alive");
+        self.rings[shard]
+            .push(envelope)
+            // sbqa-lint: allow(panic-hygiene, "mediation threads outlive the ring by construction; a closed ring here is unrecoverable")
+            .unwrap_or_else(|_| panic!("shard mediation ring closed early"));
         self.enqueued += 1;
     }
 
-    /// Enqueues a batch: queries are split by assigned shard (preserving
-    /// their relative order) and each shard receives its sub-batch as one
-    /// queue message, so the whole chunk costs one channel send per involved
-    /// shard. All queries of the batch share one enqueue timestamp.
+    /// Enqueues a batch: queries are split by assigned shard, each shard's
+    /// sub-batch is sorted into stable `(issued_at, id)` order, and the
+    /// envelopes enter the shard's ring in that order. The sort is what
+    /// keeps the per-shard drain order — and everything keyed on it, like
+    /// degradation-ladder admission — independent of how the producer
+    /// chunked the stream. All queries of the batch share one enqueue
+    /// timestamp; the call blocks while a target ring is full.
     ///
     /// # Panics
     /// Panics if a shard's mediation thread has died.
@@ -145,20 +233,30 @@ impl MediationService {
         let enqueued = Instant::now();
         for query in queries {
             let shard = self.router.shard_of_query(query.id);
-            self.staging[shard].push(Envelope { query, enqueued });
+            self.staging[shard].push(Envelope {
+                query,
+                enqueued,
+                chunk_start: false,
+            });
             self.enqueued += 1;
         }
         for (shard, staged) in self.staging.iter_mut().enumerate() {
-            if !staged.is_empty() {
-                self.senders[shard]
-                    .send(std::mem::take(staged))
-                    // sbqa-lint: allow(panic-hygiene, "mediation threads outlive the queue by construction; a dead shard is unrecoverable")
-                    .expect("shard mediation thread is alive");
+            if staged.is_empty() {
+                continue;
+            }
+            // Stable drain order inside the chunk: issue time, then id.
+            staged.sort_by_key(|envelope| (envelope.query.issued_at, envelope.query.id));
+            staged[0].chunk_start = true;
+            for envelope in staged.drain(..) {
+                self.rings[shard]
+                    .push(envelope)
+                    // sbqa-lint: allow(panic-hygiene, "mediation threads outlive the ring by construction; a closed ring here is unrecoverable")
+                    .unwrap_or_else(|_| panic!("shard mediation ring closed early"));
             }
         }
     }
 
-    /// Closes the ingest queues, waits for every shard to drain dry, and
+    /// Closes the ingest rings, waits for every shard to drain dry, and
     /// merges the per-shard results — outcomes ordered by
     /// `(VirtualTime, QueryId)` — returning the shards alongside so a caller
     /// can keep mediating synchronously or respawn.
@@ -167,9 +265,10 @@ impl MediationService {
     /// Propagates a panic from any shard mediation thread.
     #[must_use]
     pub fn finish_with_shards(self) -> (ServiceReport, Vec<MediatorShard>) {
-        // Dropping the senders closes every queue; each worker drains what
-        // is left and returns.
-        drop(self.senders);
+        // Closing the rings lets each worker drain what is left and return.
+        for ring in &self.rings {
+            ring.close();
+        }
         let mut shard_reports = Vec::with_capacity(self.workers.len());
         let mut shards = Vec::with_capacity(self.workers.len());
         let mut outcomes = Vec::with_capacity(self.enqueued);
@@ -194,41 +293,62 @@ impl MediationService {
 impl std::fmt::Debug for MediationService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MediationService")
-            .field("shards", &self.senders.len())
+            .field("shards", &self.rings.len())
             .field("enqueued", &self.enqueued)
             .finish()
     }
 }
 
-/// A shard thread's life: drain envelope chunks until the queue closes.
+/// A shard thread's life: drain ring waves until the ring closes. Envelopes
+/// arrive in producer order (the ring is FIFO), so degradation-ladder
+/// admission — which must see arrivals in `(issued_at, id)` order — runs
+/// right here, one verdict per envelope, before any mediation.
 fn drain(
     mut shard: MediatorShard,
-    receiver: &Receiver<Vec<Envelope>>,
+    ring: &BoundedRing<Envelope>,
     oracle: &dyn IntentionOracle,
 ) -> ShardResult {
     let mut outcomes = Vec::new();
-    while let Ok(chunk) = receiver.recv() {
-        // Chunk boundary = this front's batch boundary: one adaptation
-        // round per received chunk (a no-op without a controller). With
-        // adaptation enabled the ingest chunking therefore *is* the
-        // adaptation cadence — producers that need decisions independent of
-        // chunk size keep adaptation off.
-        shard.mediator_mut().adapt_kn();
-        for envelope in &chunk {
+    let mut wave = Vec::new();
+    while ring.pop_wave(&mut wave) {
+        for envelope in wave.drain(..) {
+            // Chunk boundary = this front's batch boundary: one adaptation
+            // round per producer chunk (a no-op without a controller),
+            // regardless of how ring waves slice the stream.
+            if envelope.chunk_start {
+                shard.mediator_mut().adapt_kn();
+            }
             let query = &envelope.query;
-            let result = shard.submit_with_start(query, oracle, envelope.enqueued);
-            let (selected, starved) = match result {
-                Ok(decision) => (decision.selected.clone(), false),
-                Err(_) => (Vec::new(), true),
-            };
-            outcomes.push(OutcomeRecord {
-                shard: shard.index(),
-                query: query.id,
-                consumer: query.consumer,
-                issued_at: query.issued_at,
-                selected,
-                starved,
-            });
+            match shard.admit(query.issued_at) {
+                Admission::Shed => {
+                    shard.record_shed(envelope.enqueued);
+                    outcomes.push(OutcomeRecord {
+                        shard: shard.index(),
+                        query: query.id,
+                        consumer: query.consumer,
+                        issued_at: query.issued_at,
+                        selected: Vec::new(),
+                        starved: false,
+                        shed: true,
+                    });
+                }
+                Admission::Admit(_) => {
+                    let result = shard.submit_with_start(query, oracle, envelope.enqueued);
+                    let (selected, starved) = match result {
+                        Ok(decision) => (decision.selected.clone(), false),
+                        Err(_) => (Vec::new(), true),
+                    };
+                    outcomes.push(OutcomeRecord {
+                        shard: shard.index(),
+                        query: query.id,
+                        consumer: query.consumer,
+                        issued_at: query.issued_at,
+                        selected,
+                        starved,
+                        shed: false,
+                    });
+                }
+            }
         }
     }
     ShardResult { shard, outcomes }
@@ -288,6 +408,7 @@ mod tests {
         assert_eq!(report.total.submitted(), 64);
         assert_eq!(report.total.starved, 0);
         assert_eq!(report.outcomes.len(), 64);
+        assert_eq!(report.shed(), 0, "no ladder, nothing shed");
         // Outcomes come back in (issued_at, id) order regardless of which
         // shard thread finished first.
         let ids: Vec<u64> = report.outcomes.iter().map(|o| o.query.raw()).collect();
@@ -347,5 +468,122 @@ mod tests {
             .iter_mut()
             .any(|s| s.submit_timed(&q, &static_oracle).is_ok());
         assert!(any_ok);
+    }
+
+    #[test]
+    fn spawn_with_rejects_an_invalid_degradation_config() {
+        let config = IngestConfig {
+            ring_capacity: 64,
+            degradation: Some(DegradationConfig {
+                capacity: 0,
+                ..DegradationConfig::default()
+            }),
+        };
+        assert!(MediationService::spawn_with(build_service(2, 10), oracle(), config).is_err());
+    }
+
+    #[test]
+    fn overloaded_service_sheds_deterministically_and_conserves_queries() {
+        // 400 queries issued in a burst (all inside 0.4 virtual seconds)
+        // against a drain model of 100/s and a modeled capacity of 50: the
+        // ladder must engage and shed a deterministic suffix-heavy subset.
+        let config = IngestConfig {
+            ring_capacity: 32,
+            degradation: Some(DegradationConfig {
+                capacity: 50,
+                drain_rate: 100.0,
+                ..DegradationConfig::default()
+            }),
+        };
+        let run = |chunk: usize| {
+            let mut running =
+                MediationService::spawn_with(build_service(2, 20), oracle(), config).unwrap();
+            let stream: Vec<Query> = (0..400u64)
+                .map(|id| {
+                    Query::builder(
+                        QueryId::new(id),
+                        ConsumerId::new(1),
+                        Capability::new((id % 2) as u8),
+                    )
+                    .issued_at(VirtualTime::new(id as f64 * 0.001))
+                    .build()
+                })
+                .collect();
+            for batch in stream.chunks(chunk) {
+                running.enqueue_batch(batch.iter().cloned());
+            }
+            running.finish()
+        };
+        let report = run(64);
+        let degradation = report.degradation_stats().unwrap();
+        assert!(degradation.shed > 0, "the burst must overflow the model");
+        assert_eq!(
+            degradation.admitted() as usize,
+            report.total.submitted(),
+            "every admitted query is tallied"
+        );
+        assert_eq!(
+            degradation.observed() as usize,
+            400,
+            "conservation: admitted + shed = enqueued"
+        );
+        assert_eq!(report.outcomes.len(), 400, "sheds appear in the stream");
+
+        // Byte-identical decisions and shed set across runs and chunkings.
+        let shed_set = |r: &ServiceReport| -> Vec<u64> {
+            r.outcomes
+                .iter()
+                .filter(|o| o.shed)
+                .map(|o| o.query.raw())
+                .collect()
+        };
+        let outcome_set = |r: &ServiceReport| -> Vec<(u64, Vec<u64>, bool, bool)> {
+            r.outcomes
+                .iter()
+                .map(|o| {
+                    (
+                        o.query.raw(),
+                        o.selected.iter().map(|p| p.raw()).collect(),
+                        o.starved,
+                        o.shed,
+                    )
+                })
+                .collect()
+        };
+        let again = run(64);
+        assert_eq!(outcome_set(&report), outcome_set(&again));
+        let rechunked = run(17);
+        assert_eq!(
+            shed_set(&report),
+            shed_set(&rechunked),
+            "the shed set is chunk-size independent"
+        );
+        assert_eq!(outcome_set(&report), outcome_set(&rechunked));
+    }
+
+    #[test]
+    fn producer_chunk_order_is_normalized_at_the_ring() {
+        // Enqueue a chunk in *reverse* issue order: the drain (and therefore
+        // the decision stream) must match the sorted enqueue byte for byte —
+        // the chunking-note fix.
+        let run = |reverse: bool| {
+            // One shard so every query lands in the same ring.
+            let mut running = MediationService::spawn(build_service(1, 20), oracle());
+            let mut ids: Vec<u64> = (0..40).collect();
+            if reverse {
+                ids.reverse();
+            }
+            running.enqueue_batch(ids.into_iter().map(query));
+            running.finish()
+        };
+        let sorted = run(false);
+        let reversed = run(true);
+        let decisions = |r: &ServiceReport| -> Vec<(u64, Vec<u64>)> {
+            r.outcomes
+                .iter()
+                .map(|o| (o.query.raw(), o.selected.iter().map(|p| p.raw()).collect()))
+                .collect()
+        };
+        assert_eq!(decisions(&sorted), decisions(&reversed));
     }
 }

@@ -12,11 +12,14 @@
 //! * [`ShardedMediator`] is the synchronous facade: the same registration /
 //!   `submit_batch` surface as a plain mediator, with queries dispatched to
 //!   their assigned shards in merged `(VirtualTime, QueryId)` order;
-//! * [`MediationService`] is the asynchronous ingest front: one mpsc queue
-//!   and one mediation thread per shard; producers enqueue query batches
-//!   without blocking on mediation, and `finish()` merges the per-shard
-//!   outcome streams and [`ShardReport`]s (tallies + p50/p95/p99 latency)
-//!   into one [`ServiceReport`];
+//! * [`MediationService`] is the asynchronous ingest front: one bounded
+//!   ingest ring ([`BoundedRing`]) and one mediation thread per shard;
+//!   producers enqueue query batches and block only when a ring fills, an
+//!   optional per-shard degradation ladder (shrink-kn → capacity baseline →
+//!   deterministic shedding) keeps behavior defined *past* saturation, and
+//!   `finish()` merges the per-shard outcome streams and [`ShardReport`]s
+//!   (tallies + p50/p95/p99 latency + degradation counters) into one
+//!   [`ServiceReport`];
 //! * [`ReplicatedMediator`] is the fault-tolerant front: every shard is a
 //!   [`ReplicatedShard`] pairing the live mediator with a standby mirror fed
 //!   by the registry's delta log; [`crash_shard`](ReplicatedMediator::crash_shard)
@@ -46,13 +49,15 @@
 pub mod failover;
 pub mod ingest;
 pub mod report;
+pub mod ring;
 pub mod router;
 pub mod shard;
 pub mod sharded;
 
 pub use failover::{ReplicatedMediator, ReplicatedShard};
-pub use ingest::MediationService;
+pub use ingest::{IngestConfig, MediationService};
 pub use report::{OutcomeRecord, ServiceReport, ShardReport};
+pub use ring::BoundedRing;
 pub use router::ShardRouter;
 pub use shard::MediatorShard;
 pub use sharded::ShardedMediator;

@@ -11,7 +11,7 @@
 //!   latency can be compared *across* shards;
 //! * the aggregate [`BatchReport`] and latency distribution.
 
-use sbqa_core::{BatchReport, KnAdjustment, PlanCacheStats};
+use sbqa_core::{BatchReport, DegradationStats, KnAdjustment, PlanCacheStats};
 use sbqa_metrics::{LatencyRecorder, LatencyUnit};
 use sbqa_replication::ReplicationStats;
 use sbqa_types::{ConsumerId, ProviderId, QueryId, VirtualTime};
@@ -29,10 +29,14 @@ pub struct OutcomeRecord {
     /// component).
     pub issued_at: VirtualTime,
     /// Providers the query was allocated to, best-ranked first; empty if the
-    /// query starved.
+    /// query starved or was shed.
     pub selected: Vec<ProviderId>,
     /// `true` if the shard found no capable online provider.
     pub starved: bool,
+    /// `true` if the degradation ladder rejected the query before mediation.
+    /// Disjoint from `starved`: shedding is a deliberate admission decision,
+    /// not a capability failure.
+    pub shed: bool,
 }
 
 impl OutcomeRecord {
@@ -61,6 +65,9 @@ pub struct ShardReport {
     /// Replication counters (log depth, applied sequence, replay lag);
     /// `None` when the shard runs without a standby.
     pub replication: Option<ReplicationStats>,
+    /// Degradation-ladder counters (per-tier admissions, sheds, tier
+    /// transitions); `None` when the shard runs without a ladder.
+    pub degradation: Option<DegradationStats>,
 }
 
 /// The merged report of a whole service run.
@@ -168,6 +175,28 @@ impl ServiceReport {
         merged
     }
 
+    /// Fleet-wide degradation counters: every ladder-armed shard's stats
+    /// folded together. `None` when no shard ran with a degradation ladder.
+    #[must_use]
+    pub fn degradation_stats(&self) -> Option<DegradationStats> {
+        let mut merged: Option<DegradationStats> = None;
+        for shard in &self.shards {
+            if let Some(stats) = &shard.degradation {
+                merged
+                    .get_or_insert_with(DegradationStats::default)
+                    .merge(stats);
+            }
+        }
+        merged
+    }
+
+    /// Queries the degradation ladders shed across the whole service (0
+    /// without ladders).
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.degradation_stats().map_or(0, |stats| stats.shed)
+    }
+
     /// Every shard's adaptive-`kn` trajectory, flattened in `(shard, round)`
     /// order — the service-level kn-over-time series. Empty when adaptation
     /// is disabled.
@@ -200,6 +229,7 @@ mod tests {
             issued_at: VirtualTime::new(at),
             selected: vec![ProviderId::new(id)],
             starved: false,
+            shed: false,
         }
     }
 
@@ -224,6 +254,12 @@ mod tests {
                 last_applied: 10 + shard as u64,
                 replay_lag: shard as u64,
                 ..ReplicationStats::default()
+            }),
+            degradation: Some(DegradationStats {
+                normal: mediated as u64,
+                shed: shard as u64,
+                transitions: 1,
+                ..DegradationStats::default()
             }),
         }
     }
@@ -273,6 +309,12 @@ mod tests {
         assert_eq!(replication.log_depth, 6);
         assert_eq!(replication.last_appended, 11);
         assert_eq!(replication.replay_lag, 1);
+        // Degradation counters fold across shards the same way.
+        let degradation = report.degradation_stats().unwrap();
+        assert_eq!(degradation.normal, 5);
+        assert_eq!(degradation.shed, 1);
+        assert_eq!(degradation.transitions, 2);
+        assert_eq!(report.shed(), 1);
 
         let degenerate = ServiceReport::merge(Vec::new(), Vec::new(), std::time::Duration::ZERO);
         assert_eq!(degenerate.throughput_per_sec(), 0.0);

@@ -16,9 +16,11 @@
 use std::time::Instant;
 
 use sbqa_core::allocator::{AllocationDecision, IntentionOracle};
-use sbqa_core::{BatchReport, Mediator};
+use sbqa_core::{
+    Admission, BatchReport, DegradationConfig, DegradationLadder, DegradationTier, Mediator,
+};
 use sbqa_metrics::LatencyRecorder;
-use sbqa_types::{Query, SbqaResult};
+use sbqa_types::{Query, SbqaResult, VirtualTime};
 
 /// A mediator shard: one [`Mediator`] plus service-side instrumentation.
 #[derive(Debug)]
@@ -27,6 +29,9 @@ pub struct MediatorShard {
     mediator: Mediator,
     report: BatchReport,
     latency: LatencyRecorder,
+    /// Overload admission control; `None` (the default) admits everything
+    /// at [`DegradationTier::Normal`], byte-identical to the seed behavior.
+    ladder: Option<DegradationLadder>,
 }
 
 impl MediatorShard {
@@ -38,7 +43,49 @@ impl MediatorShard {
             mediator,
             report: BatchReport::default(),
             latency: LatencyRecorder::new(),
+            ladder: None,
         }
+    }
+
+    /// Arms the shard with a degradation ladder: every subsequent
+    /// [`MediatorShard::admit`] runs the query through the deterministic
+    /// leaky bucket before mediation.
+    pub fn enable_degradation(&mut self, config: DegradationConfig) -> SbqaResult<()> {
+        self.mediator.set_degraded_kn_floor(config.floor_kn);
+        self.ladder = Some(DegradationLadder::new(config)?);
+        Ok(())
+    }
+
+    /// The shard's degradation ladder, if armed.
+    #[must_use]
+    pub fn ladder(&self) -> Option<&DegradationLadder> {
+        self.ladder.as_ref()
+    }
+
+    /// Runs admission control for a query arriving at `at`, setting the
+    /// mediator's degradation tier on admission. Hosts must call this in
+    /// `(issued_at, id)` order per shard and honour a
+    /// [`Admission::Shed`] verdict by *not* mediating the query (recording
+    /// it via [`MediatorShard::record_shed`] instead). Without a ladder
+    /// every query is admitted at [`DegradationTier::Normal`] and the
+    /// mediator is left untouched.
+    pub fn admit(&mut self, at: VirtualTime) -> Admission {
+        let Some(ladder) = &mut self.ladder else {
+            return Admission::Admit(DegradationTier::Normal);
+        };
+        let admission = ladder.observe_arrival(at);
+        if let Admission::Admit(tier) = admission {
+            self.mediator.set_degradation_tier(tier);
+        }
+        admission
+    }
+
+    /// Records a shed query's latency sample (enqueue → shed decision).
+    /// Sheds are not tallied in the [`BatchReport`] — conservation is
+    /// `enqueued = mediated + starved + shed`, with the shed count living in
+    /// the ladder's [`DegradationStats`](sbqa_core::DegradationStats).
+    pub fn record_shed(&mut self, start: Instant) {
+        self.latency.record(start.elapsed());
     }
 
     /// This shard's position in the service.
@@ -127,6 +174,7 @@ impl MediatorShard {
             // A bare shard has no standby; the replicated wrapper
             // (`crate::failover::ReplicatedShard`) fills these in.
             replication: None,
+            degradation: self.ladder.as_ref().map(DegradationLadder::stats),
         }
     }
 

@@ -32,7 +32,7 @@
 use std::collections::BTreeSet;
 
 use sbqa_core::allocator::{AllocationDecision, IntentionOracle};
-use sbqa_core::{BatchReport, KnControllerConfig, Mediator};
+use sbqa_core::{Admission, BatchReport, DegradationConfig, KnControllerConfig, Mediator};
 use sbqa_metrics::LatencyRecorder;
 use sbqa_replication::HandoffPackage;
 use sbqa_satisfaction::SatisfactionRegistry;
@@ -149,6 +149,21 @@ impl ShardedMediator {
         }
     }
 
+    /// Arms **every shard** with a degradation ladder: each shard runs its
+    /// own deterministic leaky bucket over the arrivals routed to it, so a
+    /// hot shard can shed while a cold one still mediates at full quality.
+    /// Admission runs inside [`ShardedMediator::submit_batch`], in the same
+    /// merged `(VirtualTime, QueryId)` order as mediation; shed queries are
+    /// reported to the callback as [`SbqaError::QueryShed`] and tallied in
+    /// the shards' [`DegradationStats`](sbqa_core::DegradationStats), not in
+    /// the [`BatchReport`].
+    pub fn enable_degradation(&mut self, config: DegradationConfig) -> SbqaResult<()> {
+        for shard in &mut self.shards {
+            shard.enable_degradation(config)?;
+        }
+        Ok(())
+    }
+
     /// Marks a provider online or offline at its owning shard.
     pub fn set_provider_online(&mut self, id: ProviderId, online: bool) -> SbqaResult<()> {
         let shard = self.router.shard_of_provider(id);
@@ -225,6 +240,16 @@ impl ShardedMediator {
         for &pos in &self.order_scratch {
             let query = &queries[pos as usize];
             let shard = self.router.shard_of_query(query.id);
+            if matches!(self.shards[shard].admit(query.issued_at), Admission::Shed) {
+                // sbqa-lint: allow(wall-clock, "latency instrumentation only; the shed decision itself is virtual-time driven")
+                self.shards[shard].record_shed(std::time::Instant::now());
+                on_result(
+                    pos as usize,
+                    query,
+                    Err(SbqaError::QueryShed { query: query.id }),
+                );
+                continue;
+            }
             let result = self.shards[shard].submit_timed(query, oracle);
             match &result {
                 Ok(_) => report.mediated += 1,

@@ -2,7 +2,7 @@
 //! crash/promotion byte-identity under registry churn, standby lockstep,
 //! checkpoint pruning, and delta-driven live resize.
 
-use sbqa_core::{Mediator, StaticIntentions};
+use sbqa_core::{DegradationConfig, Mediator, StaticIntentions};
 use sbqa_service::{ReplicatedMediator, ShardedMediator};
 use sbqa_types::{
     Capability, CapabilitySet, ConsumerId, Intention, ProviderId, Query, QueryId, SystemConfig,
@@ -149,6 +149,96 @@ fn checkpoints_bound_replay_state() {
     let report = service.crash_shard(0, &oracle).unwrap();
     assert_eq!(report.queries_mediated + report.queries_starved, 0);
     assert!(service.mirrors_in_lockstep());
+}
+
+#[test]
+fn crash_while_shedding_preserves_the_overload_decision_stream() {
+    // Drive two degradation-armed replicated services deep into overload —
+    // a dense burst that climbs the ladder into shedding — and crash one of
+    // them mid-shed. The outcome streams (decisions, starvations AND shed
+    // rejections) must stay byte-identical: the ladder survives on the
+    // replicated shard, and the journal replays admitted queries at their
+    // recorded tier while skipping the recorded sheds.
+    let oracle = oracle();
+    let degradation = DegradationConfig {
+        capacity: 40,
+        drain_rate: 50.0,
+        ..DegradationConfig::default()
+    };
+    let mut crashed = replicated(2, 24);
+    let mut calm = replicated(2, 24);
+    crashed.enable_degradation(degradation).unwrap();
+    calm.enable_degradation(degradation).unwrap();
+
+    // 300 queries inside 0.6 virtual seconds: ~500/s against a 50/s drain
+    // model — the ladder must reach Shed well before the crash round.
+    let stream: Vec<Query> = (0..300u64)
+        .map(|i| query(i, i as f64 * 0.002, (i % 2) as u8))
+        .collect();
+
+    let mut crashed_outcomes = Vec::new();
+    let mut calm_outcomes = Vec::new();
+    let classify =
+        |r: Result<&sbqa_core::allocator::AllocationDecision, sbqa_types::SbqaError>| match r {
+            Ok(d) => (Some(d.selected.clone()), false),
+            Err(sbqa_types::SbqaError::QueryShed { .. }) => (None, true),
+            Err(_) => (None, false),
+        };
+    for (round, chunk) in stream.chunks(50).enumerate() {
+        if round == 3 {
+            // By round 3 the bucket is saturated: crash one shard while its
+            // ladder is actively shedding.
+            let pre = shed_total(&crashed);
+            assert!(pre > 0, "the ladder must be shedding before the crash");
+            let replay = crashed.crash_shard(0, &oracle).unwrap();
+            assert!(
+                replay.queries_shed > 0,
+                "the journal must have replayed shed entries"
+            );
+        }
+        crashed
+            .submit_batch(chunk, &oracle, |_, q, r| {
+                crashed_outcomes.push((q.id, classify(r)));
+            })
+            .unwrap();
+        calm.submit_batch(chunk, &oracle, |_, q, r| {
+            calm_outcomes.push((q.id, classify(r)));
+        })
+        .unwrap();
+    }
+
+    assert_eq!(crashed_outcomes, calm_outcomes);
+    assert!(crashed_outcomes.iter().any(|(_, (_, shed))| *shed));
+    assert!(crashed.mirrors_in_lockstep());
+
+    // The surviving ladders tell the same overload story.
+    assert_eq!(shed_total(&crashed), shed_total(&calm));
+    let crashed_stats = degradation_totals(&crashed);
+    let calm_stats = degradation_totals(&calm);
+    assert_eq!(crashed_stats, calm_stats);
+    // Conservation across the whole run: mediated + starved + shed = 300.
+    let tallied: usize = crashed
+        .shard_reports()
+        .iter()
+        .map(|r| r.report.submitted())
+        .sum();
+    assert_eq!(tallied as u64 + shed_total(&crashed), 300);
+}
+
+fn shed_total(service: &ReplicatedMediator) -> u64 {
+    (0..service.shard_count())
+        .filter_map(|i| service.shard(i).ladder())
+        .map(|ladder| ladder.stats().shed)
+        .sum()
+}
+
+fn degradation_totals(service: &ReplicatedMediator) -> Vec<(u64, u64, u64, u64)> {
+    (0..service.shard_count())
+        .map(|i| {
+            let stats = service.shard(i).ladder().expect("ladder armed").stats();
+            (stats.normal, stats.shrink_kn, stats.baseline, stats.shed)
+        })
+        .collect()
 }
 
 #[test]

@@ -1,0 +1,139 @@
+//! Property tests for the bounded ingest ring.
+//!
+//! For any capacity and any randomized interleaving of producer pushes and
+//! consumer pops:
+//!
+//! * **capacity** — the ring never holds more than its capacity;
+//! * **FIFO** — items come out in exactly the order they went in;
+//! * **conservation** — every item pushed is either popped or still in the
+//!   ring when it closes: `pushed = popped + drained + in_flight(0)`.
+//!
+//! A final threaded smoke drives a real producer/consumer pair through a
+//! tiny ring (forcing blocking pushes) and checks the same invariants
+//! against wall-clock interleaving.
+
+use proptest::prelude::*;
+
+use sbqa_service::BoundedRing;
+
+/// One scripted step of the single-threaded interleaving.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Try to push the next sequence number.
+    Push,
+    /// Try to pop one item.
+    Pop,
+    /// Drain a whole wave (what the shard thread does).
+    Wave,
+}
+
+/// Weighted decode of a raw draw: pushes dominate (3:2:1) so rings actually
+/// fill up against the smaller capacities.
+fn decode(raw: u8) -> Step {
+    match raw {
+        0..=2 => Step::Push,
+        3..=4 => Step::Pop,
+        _ => Step::Wave,
+    }
+}
+
+proptest! {
+    #[test]
+    fn interleavings_uphold_capacity_fifo_and_conservation(
+        capacity in 1usize..32,
+        raw_steps in proptest::collection::vec(0u8..6, 1..200),
+    ) {
+        let steps = raw_steps.into_iter().map(decode);
+        let ring: BoundedRing<u64> = BoundedRing::new(capacity);
+        let mut next = 0u64;
+        let mut pushed = 0u64;
+        let mut popped: Vec<u64> = Vec::new();
+        let mut wave = Vec::new();
+
+        for step in steps {
+            match step {
+                Step::Push => {
+                    // `try_push` so a full ring never blocks the script.
+                    if ring.try_push(next).is_ok() {
+                        next += 1;
+                        pushed += 1;
+                    }
+                }
+                Step::Pop => {
+                    if let Some(item) = ring.try_pop() {
+                        popped.push(item);
+                    }
+                }
+                Step::Wave => {
+                    if !ring.is_empty() {
+                        prop_assert!(ring.pop_wave(&mut wave));
+                        popped.append(&mut wave);
+                    }
+                }
+            }
+            // Capacity is never exceeded at any point of the interleaving.
+            prop_assert!(ring.len() <= capacity, "len {} > capacity {}", ring.len(), capacity);
+        }
+
+        // Close and drain the remainder the way a shard shutdown does.
+        ring.close();
+        while ring.pop_wave(&mut wave) {
+            popped.append(&mut wave);
+        }
+
+        // FIFO: popped is exactly 0..pushed in order.
+        prop_assert_eq!(popped.len() as u64, pushed, "conservation");
+        for (expected, item) in popped.iter().enumerate() {
+            prop_assert_eq!(*item, expected as u64, "FIFO order");
+        }
+    }
+}
+
+#[test]
+fn threaded_producers_conserve_and_order_per_producer() {
+    // Two producers × 500 items through a capacity-4 ring: pushes must
+    // block (not drop), the consumer must see every item exactly once, and
+    // each producer's items must arrive in that producer's order.
+    const PER_PRODUCER: u64 = 500;
+    let ring: std::sync::Arc<BoundedRing<(u8, u64)>> = std::sync::Arc::new(BoundedRing::new(4));
+
+    let mut producers = Vec::new();
+    for who in 0u8..2 {
+        let ring = std::sync::Arc::clone(&ring);
+        producers.push(std::thread::spawn(move || {
+            for sequence in 0..PER_PRODUCER {
+                ring.push((who, sequence))
+                    .expect("ring open while producing");
+            }
+        }));
+    }
+
+    let consumer = {
+        let ring = std::sync::Arc::clone(&ring);
+        std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            let mut wave = Vec::new();
+            while ring.pop_wave(&mut wave) {
+                seen.append(&mut wave);
+            }
+            seen
+        })
+    };
+
+    for producer in producers {
+        producer.join().unwrap();
+    }
+    ring.close();
+    let seen = consumer.join().unwrap();
+
+    assert_eq!(seen.len() as u64, 2 * PER_PRODUCER, "conservation");
+    let mut next = [0u64; 2];
+    for (who, sequence) in seen {
+        assert_eq!(
+            sequence, next[who as usize],
+            "per-producer FIFO for producer {who}"
+        );
+        next[who as usize] += 1;
+    }
+    assert_eq!(next, [PER_PRODUCER; 2]);
+}

@@ -251,6 +251,7 @@ pub fn run_replicated_service(
                 issued_at: query.issued_at,
                 selected,
                 starved,
+                shed: false,
             });
         })?;
     }

@@ -31,6 +31,7 @@ pub mod departure;
 pub mod event;
 pub mod failover;
 pub mod network;
+pub mod overload;
 pub mod provider;
 pub mod report;
 pub mod rng;
@@ -47,6 +48,10 @@ pub use consumer::{ConsumerSpec, ConsumerState};
 pub use event::{Event, EventQueue, ScheduledEvent};
 pub use failover::{run_replicated_service, FailoverRunConfig, FailoverRunReport, FaultPlan};
 pub use network::NetworkModel;
+pub use overload::{
+    admitted_satisfaction, outcome_digest, run_overload_service, shed_digest, OverloadRunConfig,
+    OverloadRunReport,
+};
 pub use provider::{ProviderSpec, ProviderState};
 pub use report::{ParticipantCounts, SimulationReport};
 pub use rng::SimRng;

@@ -222,6 +222,7 @@ pub fn run_single_mediator(
             issued_at: query.issued_at,
             selected,
             starved,
+            shed: false,
         });
     }
     let wall = started.elapsed();

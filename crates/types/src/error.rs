@@ -42,6 +42,13 @@ pub enum SbqaError {
         /// Human-readable description of the missing ingredient.
         reason: String,
     },
+    /// The query was rejected by admission control before mediation: the
+    /// degradation ladder was in its shed tier when the query arrived. Not a
+    /// starvation — the system chose not to serve it, deterministically.
+    QueryShed {
+        /// The query that was shed.
+        query: QueryId,
+    },
 }
 
 impl fmt::Display for SbqaError {
@@ -64,6 +71,9 @@ impl fmt::Display for SbqaError {
             }
             SbqaError::EmptyScenario { reason } => {
                 write!(f, "scenario cannot run: {reason}")
+            }
+            SbqaError::QueryShed { query } => {
+                write!(f, "query {query} was shed by overload admission control")
             }
         }
     }
@@ -129,6 +139,13 @@ mod tests {
         .is_starvation());
         assert!(!SbqaError::invalid_config("bad k").is_starvation());
         assert!(!SbqaError::empty_scenario("no consumers").is_starvation());
+        assert!(
+            !SbqaError::QueryShed {
+                query: QueryId::new(1)
+            }
+            .is_starvation(),
+            "shedding is a deliberate admission decision, not starvation"
+        );
     }
 
     #[test]

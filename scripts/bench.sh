@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 OUT_DIR="$(pwd)/${1:-bench_results}"
 mkdir -p "$OUT_DIR"
 
-BENCHES=(adaptive allocation cache knbest registry replication scoring scenarios service window)
+BENCHES=(adaptive allocation cache knbest overload registry replication scoring scenarios service window)
 
 for bench in "${BENCHES[@]}"; do
     out="$OUT_DIR/BENCH_${bench}.json"

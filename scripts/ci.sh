@@ -60,6 +60,16 @@ cargo run --release -p sbqa_bench --bin scenario_adaptive -- --quick > /dev/null
 cargo run --release -p sbqa_bench --bin scenario_failover -- --quick > /dev/null
 cargo bench -p sbqa_bench --bench registry > /dev/null
 
+echo "== overload smoke: scenario_overload --quick"
+# Drives sustained 1x/10x/100x arrival steps through the bounded-ring
+# ingest with the degradation ladder armed, and exits non-zero unless the
+# 100x decision stream (outcome digest + shed-set digest) is identical
+# across re-runs and producer chunk sizes AND all four tiers
+# (normal/shrink-kn/baseline/shed) are observed and counted. This is the
+# past-saturation behavior gate: overload must degrade deterministically,
+# never by queue explosion.
+cargo run --release -p sbqa_bench --bin scenario_overload -- --quick > /dev/null
+
 echo "== 1M-provider smoke: scenario_sharded --providers 1000000 --quick"
 # The headline scale: one million registered providers behind the bitmap
 # postings index. A quick query stream over 1 and 2 shards proves
@@ -68,7 +78,7 @@ echo "== 1M-provider smoke: scenario_sharded --providers 1000000 --quick"
 cargo run --release -p sbqa_bench --bin scenario_sharded -- \
     --providers 1000000 --quick --shards 1,2 > /dev/null
 
-echo "== golden determinism gates (scenario1, multicap, sharded service, failover)"
+echo "== golden determinism gates (scenario1, multicap, sharded service, failover, overload)"
 # Byte-identical-per-seed is a hard invariant (ARCHITECTURE.md): these run
 # as part of the test suites above, but are re-run here by name so a
 # filtered or partial test invocation can never skip them silently. The
@@ -77,8 +87,12 @@ echo "== golden determinism gates (scenario1, multicap, sharded service, failove
 # exact bytes the uncached merge path produced. The failover gates pin the
 # seed-42 crash-and-promote outcome digest (golden_failover) and assert the
 # crashed-run ≡ uninterrupted-run byte-identity under churn (failover).
+# The overload gates pin the seed-42 100x-step outcome and shed-set digests
+# (golden_overload) and assert run-to-run + chunking byte-identity of the
+# degradation ladder's admit/degrade/shed decisions (overload), including
+# crash-while-shedding promotion (failover's overload case).
 cargo test --release -p sbqa --test golden_scenario1 --test golden_multicap --test determinism -q
-cargo test --release -p sbqa_service --test determinism --test failover -q
-cargo test --release -p sbqa_sim --test golden_failover -q
+cargo test --release -p sbqa_service --test determinism --test failover --test overload -q
+cargo test --release -p sbqa_sim --test golden_failover --test golden_overload -q
 
 echo "CI OK"
